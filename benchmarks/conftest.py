@@ -1,0 +1,103 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*`` module regenerates one table or figure of the
+paper's evaluation: it runs the simulator and baseline models, renders the
+same rows/series the paper reports, asserts the paper's qualitative claims
+(who wins, by roughly what factor), and records the rendered table under
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Heavy artifacts (datasets,
+simulator runs) are cached in session-scoped fixtures; pytest-benchmark
+timings use single-round pedantic mode since each "iteration" is itself a
+full simulation.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.baselines import (
+    CambriconXBaseline,
+    CPUBaseline,
+    GPUBaseline,
+    T2SBaseline,
+)
+from repro.sim import Tensaurus
+from repro.util.rng import make_rng
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Experiment rank parameters (documented in EXPERIMENTS.md).
+MTTKRP_RANK = 32
+TTMC_RANKS = (32, 32)
+SPMM_CNN_COLS = 256
+SPMM_GRAPH_COLS = 128
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a rendered result table for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` once through pytest-benchmark (a run is a simulation)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def accelerator() -> Tensaurus:
+    return Tensaurus()
+
+
+@pytest.fixture(scope="session")
+def cpu() -> CPUBaseline:
+    return CPUBaseline()
+
+
+@pytest.fixture(scope="session")
+def gpu() -> GPUBaseline:
+    return GPUBaseline()
+
+
+@pytest.fixture(scope="session")
+def cambricon() -> CambriconXBaseline:
+    return CambriconXBaseline()
+
+
+@pytest.fixture(scope="session")
+def t2s() -> T2SBaseline:
+    return T2SBaseline()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return make_rng(2020)
+
+
+@functools.lru_cache(maxsize=None)
+def tensor_dataset(name: str):
+    return datasets.load_tensor(name)
+
+
+@functools.lru_cache(maxsize=None)
+def matrix_dataset(name: str):
+    return datasets.load_matrix(name)
+
+
+@functools.lru_cache(maxsize=None)
+def cnn_layer(name: str):
+    return datasets.load_cnn_layer(name)
+
+
+@functools.lru_cache(maxsize=None)
+def factor_pair(rows: int, cols: int, rank: int, seed: int = 0):
+    """Deterministic dense factor matrices for a kernel invocation."""
+    rng = make_rng(seed)
+    return rng.random((rows, rank)), rng.random((cols, rank))

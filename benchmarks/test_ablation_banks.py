@@ -1,0 +1,66 @@
+"""Ablation — SPM bank count.
+
+The crossbar serializes simultaneous PE requests that collide on an SPM
+bank (Section 5.2.3). Sweeping the bank count around the design point's 8
+banks shows the conflict-stall curve: few banks serialize heavily, and the
+returns diminish once banks comfortably exceed the lane count — the sizing
+argument for 8 banks x 8 lanes.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datasets import random_sparse_tensor
+from repro.formats import CISSTensor
+from repro.sim import TensaurusConfig
+from repro.sim.costs import kernel_costs
+from repro.sim.lanes import analyze_lanes
+
+from benchmarks.conftest import record_result, run_once
+
+BANKS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    tensor = random_sparse_tensor((2000, 300, 256), 100_000, skew=0.9, seed=21)
+    ciss = CISSTensor.from_sparse(tensor, 8)
+    cfg = TensaurusConfig()
+    costs = kernel_costs("spmttkrp", cfg, fiber_elems=32)
+    rows = []
+    for banks in BANKS:
+        stats = analyze_lanes(ciss.kinds, ciss.a_idx, ciss.k_idx, costs, banks)
+        rows.append((banks, stats))
+    return rows
+
+
+def render_and_check(sweep):
+    base = sweep[0][1].compute_cycles  # 1 bank: worst case
+    table = format_table(
+        ["banks", "conflict stalls", "compute cycles", "vs 1 bank"],
+        [
+            [banks, stats.conflict_stalls, stats.compute_cycles,
+             base / stats.compute_cycles]
+            for banks, stats in sweep
+        ],
+    )
+    record_result("ablation_banks", table)
+    stalls = [stats.conflict_stalls for _b, stats in sweep]
+    cycles = [stats.compute_cycles for _b, stats in sweep]
+    # Monotone: more banks never hurt.
+    assert all(a >= b for a, b in zip(stalls, stalls[1:]))
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    # One bank serializes all 8 lanes: stalls dominate the runtime.
+    assert stalls[0] > 2 * stalls[3]
+    # Past the lane count the returns flatten (8 -> 32 banks < 20% gain).
+    eight, thirty_two = cycles[3], cycles[5]
+    assert (eight - thirty_two) / eight < 0.20
+    return table
+
+
+def test_ablation_banks(sweep):
+    render_and_check(sweep)
+
+
+def test_benchmark_ablation_banks(benchmark, sweep):
+    run_once(benchmark, lambda: render_and_check(sweep))

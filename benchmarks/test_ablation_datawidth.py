@@ -1,0 +1,71 @@
+"""Ablation — data width (fp32 vs fp16 storage).
+
+The CISS entry is ``(dw + 2*iw) * P`` bits, so halving the data width
+shrinks the tensor stream and the dense-operand tiles. Memory-bound sparse
+kernels speed up close to the byte savings; compute-bound dense kernels
+barely move (MAC throughput, not bytes, is their limit) — the classic
+quantization asymmetry, exposed here purely through the bandwidth model.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datasets import random_sparse_tensor
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.util.rng import make_rng
+
+from benchmarks.conftest import record_result, run_once
+
+RANK = 32
+
+
+@pytest.fixture(scope="module")
+def runs():
+    rng = make_rng(22)
+    sparse = random_sparse_tensor((30_000, 1200, 200), 80_000, skew=1.1, seed=9)
+    fb = rng.random((1200, RANK))
+    fc = rng.random((200, RANK))
+    dense_a = rng.random((512, 512))
+    dense_b = rng.random((512, 256))
+    out = {}
+    for dw in (4, 2):
+        acc = Tensaurus(TensaurusConfig(data_width=dw))
+        out[dw] = {
+            "sparse": acc.run_mttkrp(
+                sparse, fb, fc, msu_mode="direct", compute_output=False
+            ),
+            "dense": acc.run_spmm(dense_a, dense_b, compute_output=False),
+        }
+    return out
+
+
+def render_and_check(runs):
+    rows = []
+    for kind in ("sparse", "dense"):
+        fp32 = runs[4][kind]
+        fp16 = runs[2][kind]
+        rows.append(
+            [kind, fp32.cycles, fp16.cycles, fp32.cycles / fp16.cycles,
+             fp32.total_bytes / fp16.total_bytes]
+        )
+    table = format_table(
+        ["workload", "fp32 cycles", "fp16 cycles", "speedup", "byte ratio"],
+        rows,
+    )
+    record_result("ablation_datawidth", table)
+    sparse_speedup = runs[4]["sparse"].cycles / runs[2]["sparse"].cycles
+    dense_speedup = runs[4]["dense"].cycles / runs[2]["dense"].cycles
+    # The memory-bound sparse kernel gains substantially...
+    assert sparse_speedup > 1.15
+    # ...while the compute-bound dense kernel gains little.
+    assert dense_speedup < 1.1
+    assert sparse_speedup > dense_speedup
+    return table
+
+
+def test_ablation_datawidth(runs):
+    render_and_check(runs)
+
+
+def test_benchmark_ablation_datawidth(benchmark, runs):
+    run_once(benchmark, lambda: render_and_check(runs))

@@ -1,0 +1,80 @@
+"""Ablation — operand factoring (Eq. 2 / Eq. 5) vs the naive forms.
+
+The accelerator implements the factored forms; this ablation quantifies the
+multiplication savings the paper derives in Section 2 (MTTKRP:
+``2*I*J*K*F`` -> ``I*J*F*(K+1)``; TTMc: ``2*I*J*K*F1*F2`` ->
+``I*J*(K*F2 + F1*F2)``) and verifies both forms agree numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.kernels import (
+    mttkrp_dense,
+    mttkrp_dense_factored,
+    mttkrp_flops,
+    ttmc_dense,
+    ttmc_dense_factored,
+    ttmc_flops,
+)
+from repro.util.rng import make_rng
+
+from benchmarks.conftest import record_result, run_once
+
+SHAPE = (64, 56, 48)
+RANK = 32
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = make_rng(42)
+    tensor = rng.random(SHAPE)
+    b = rng.random((SHAPE[1], RANK))
+    c = rng.random((SHAPE[2], RANK))
+    return tensor, b, c
+
+
+def render_and_check(operands):
+    tensor, b, c = operands
+    rows = []
+    m_naive = mttkrp_flops(SHAPE, RANK, factored=False)
+    m_fact = mttkrp_flops(SHAPE, RANK, factored=True)
+    rows.append(["MTTKRP", m_naive, m_fact, m_naive / m_fact])
+    t_naive = ttmc_flops(SHAPE, (RANK, RANK), factored=False)
+    t_fact = ttmc_flops(SHAPE, (RANK, RANK), factored=True)
+    rows.append(["TTMc", t_naive, t_fact, t_naive / t_fact])
+    table = format_table(
+        ["kernel", "naive ops", "factored ops", "savings"], rows
+    )
+    record_result("ablation_factoring", table)
+    # Eq. 2: savings approach 2x for MTTKRP as K grows.
+    assert m_naive / m_fact > 1.5
+    # Eq. 5: savings approach F1 for TTMc (here F1 = 32 >> 1).
+    assert t_naive / t_fact > 10
+    # Both forms are numerically identical.
+    assert np.allclose(
+        mttkrp_dense(tensor, [b, c], 0), mttkrp_dense_factored(tensor, [b, c], 0)
+    )
+    assert np.allclose(
+        ttmc_dense(tensor, [b, c], 0), ttmc_dense_factored(tensor, [b, c], 0)
+    )
+    return table
+
+
+def test_ablation_factoring(operands):
+    render_and_check(operands)
+
+
+def test_ttmc_savings_scale_with_rank(operands):
+    small = ttmc_flops(SHAPE, (4, 4), factored=False) / ttmc_flops(
+        SHAPE, (4, 4), factored=True
+    )
+    large = ttmc_flops(SHAPE, (64, 64), factored=False) / ttmc_flops(
+        SHAPE, (64, 64), factored=True
+    )
+    assert large > small
+
+
+def test_benchmark_ablation_factoring(benchmark, operands):
+    run_once(benchmark, lambda: render_and_check(operands))

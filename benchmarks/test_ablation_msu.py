@@ -1,0 +1,73 @@
+"""Ablation — MSU buffered reduction vs direct memory accumulation
+(Section 5.2.5).
+
+The paper: buffering intermediate results saves off-chip accesses, but for
+very sparse tensors the larger tensor tile (more dense-operand reuse) of
+direct accumulation wins. We sweep density and show the crossover, and
+check the auto policy picks the cheaper mode at both extremes.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datasets import random_sparse_tensor
+from repro.util.rng import make_rng
+
+from benchmarks.conftest import record_result, run_once
+
+SHAPE = (4096, 1500, 1200)
+RANK = 32
+DENSITIES = (1e-6, 1e-5, 1e-4)
+
+
+@pytest.fixture(scope="module")
+def sweep(accelerator):
+    rng = make_rng(44)
+    b = rng.random((SHAPE[1], RANK))
+    c = rng.random((SHAPE[2], RANK))
+    rows = []
+    total = SHAPE[0] * SHAPE[1] * SHAPE[2]
+    for density in DENSITIES:
+        t = random_sparse_tensor(SHAPE, int(total * density), skew=0.8, seed=3)
+        buf = accelerator.run_mttkrp(t, b, c, msu_mode="buffered", compute_output=False)
+        direct = accelerator.run_mttkrp(t, b, c, msu_mode="direct", compute_output=False)
+        auto = accelerator.run_mttkrp(t, b, c, msu_mode="auto", compute_output=False)
+        rows.append((density, buf, direct, auto))
+    return rows
+
+
+def render_and_check(sweep):
+    table = format_table(
+        ["density", "buffered cyc", "direct cyc", "direct/buffered",
+         "auto picks"],
+        [
+            [d, buf.cycles, direct.cycles, direct.cycles / buf.cycles,
+             auto.detail["msu_mode"]]
+            for d, buf, direct, auto in sweep
+        ],
+    )
+    record_result("ablation_msu", table)
+    # At the sparsest point direct accumulation wins (the paper's
+    # rationale: the whole output mode in one pass maximizes dense-operand
+    # reuse); at the middle point the buffered reduction wins.
+    sparsest = sweep[0]
+    middle = sweep[1]
+    assert sparsest[2].cycles < sparsest[1].cycles
+    assert middle[1].cycles < middle[2].cycles
+    # Auto tracks the winner at both points.
+    assert sparsest[3].detail["msu_mode"] == "direct"
+    assert middle[3].detail["msu_mode"] == "buffered"
+    return table
+
+
+def test_ablation_msu(sweep):
+    render_and_check(sweep)
+
+
+def test_auto_never_worst(sweep):
+    for _d, buf, direct, auto in sweep:
+        assert auto.cycles <= max(buf.cycles, direct.cycles) * 1.01
+
+
+def test_benchmark_ablation_msu(benchmark, sweep):
+    run_once(benchmark, lambda: render_and_check(sweep))

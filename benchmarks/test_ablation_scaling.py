@@ -1,0 +1,73 @@
+"""Ablation — PE array and VLEN scaling.
+
+Sweeps the PE grid and SIMD width around the paper's 8x8/VLEN-4 design
+point: compute-bound dense GEMM should scale with MAC count until the
+memory ceiling, while bandwidth-bound sparse kernels stop scaling once the
+stream saturates — the architectural argument for sizing the array to the
+HBM bandwidth.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datasets import random_sparse_tensor
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.util.rng import make_rng
+
+from benchmarks.conftest import record_result, run_once
+
+ROW_SWEEP = (2, 4, 8, 16)
+RANK = 32
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rng = make_rng(45)
+    dense_a = rng.random((768, 768))
+    dense_b = rng.random((768, 256))
+    sparse = random_sparse_tensor((5000, 500, 400), 150_000, skew=1.0, seed=4)
+    fb = rng.random((500, RANK))
+    fc = rng.random((400, RANK))
+    rows = []
+    for r in ROW_SWEEP:
+        acc = Tensaurus(TensaurusConfig(rows=r))
+        gemm = acc.run_spmm(dense_a, dense_b, compute_output=False)
+        sp = acc.run_mttkrp(sparse, fb, fc, msu_mode="direct", compute_output=False)
+        rows.append((r, acc.config.peak_gops, gemm, sp))
+    return rows
+
+
+def render_and_check(sweep):
+    table = format_table(
+        ["PE rows", "peak GOP/s", "GEMM GOP/s", "SpMTTKRP GOP/s",
+         "SpMTTKRP GB/s"],
+        [
+            [r, peak, gemm.gops, sp.gops, sp.achieved_bw_gbs]
+            for r, peak, gemm, sp in sweep
+        ],
+    )
+    record_result("ablation_scaling", table)
+    gemm_gops = [g.gops for _r, _p, g, _s in sweep]
+    sp_gops = [s.gops for _r, _p, _g, s in sweep]
+    # Dense GEMM scales nearly linearly 2 -> 8 rows (compute bound).
+    assert gemm_gops[2] > 3.0 * gemm_gops[0]
+    # Sparse MTTKRP gains far less going 8 -> 16 rows than 2 -> 4 rows:
+    # the memory stream, not the PE array, is the limit.
+    early_gain = sp_gops[1] / sp_gops[0]
+    late_gain = sp_gops[3] / sp_gops[2]
+    assert late_gain < early_gain
+    return table
+
+
+def test_ablation_scaling(sweep):
+    render_and_check(sweep)
+
+
+def test_vlen_scaling_peak():
+    for vlen in (2, 4, 8):
+        cfg = TensaurusConfig(vlen=vlen)
+        assert cfg.peak_gops == pytest.approx(vlen * 128.0)
+
+
+def test_benchmark_ablation_scaling(benchmark, sweep):
+    run_once(benchmark, lambda: render_and_check(sweep))

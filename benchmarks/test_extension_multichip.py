@@ -1,0 +1,64 @@
+"""Extension — multi-chip scaling of SpMTTKRP.
+
+Beyond the paper's single-chip evaluation: partition the output mode over
+1..8 chips (the slice-parallel decomposition SPLATT uses across cores) and
+measure makespan scaling. Scaling is real but saturates quickly: the kernel
+is memory bound and every chip re-streams its own copy of the dense operand
+tiles, so the aggregate traffic grows with the chip count while the sparse
+work divides — the replication tax of slice-parallel MTTKRP. Load skew
+(the CISS lane scheduler's on-chip problem, here across chips) adds a
+second, smaller erosion visible in the efficiency column.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import MultiChipTensaurus
+
+from benchmarks.conftest import MTTKRP_RANK, factor_pair, record_result, run_once, tensor_dataset
+
+CHIPS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    tensor = tensor_dataset("nell-2")
+    b, c = factor_pair(tensor.shape[1], tensor.shape[2], MTTKRP_RANK)
+    results = []
+    for chips in CHIPS:
+        farm = MultiChipTensaurus(chips)
+        results.append((chips, farm.run_mttkrp(tensor, b, c, msu_mode="direct")))
+    return results
+
+
+def render_and_check(sweep):
+    base = sweep[0][1].makespan_s
+    table = format_table(
+        ["chips", "makespan us", "speedup", "efficiency"],
+        [
+            [chips, res.makespan_s * 1e6, base / res.makespan_s,
+             res.scaling_efficiency]
+            for chips, res in sweep
+        ],
+    )
+    record_result("extension_multichip", table)
+    speedups = [base / res.makespan_s for _c, res in sweep]
+    # Monotone speedup with a real gain by 4 chips...
+    assert all(a <= b * 1.02 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[2] > 1.4
+    # ...but strongly sublinear: operand-replication traffic and slice skew
+    # cap scaling well below ideal.
+    assert speedups[3] < 0.6 * 8
+    assert sweep[3][1].scaling_efficiency < 1.0
+    # Work conservation: total ops are chip-count independent.
+    ops = {res.total_ops for _c, res in sweep}
+    assert len(ops) == 1
+    return table
+
+
+def test_extension_multichip(sweep):
+    render_and_check(sweep)
+
+
+def test_benchmark_extension_multichip(benchmark, sweep):
+    run_once(benchmark, lambda: render_and_check(sweep))

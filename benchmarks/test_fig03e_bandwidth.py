@@ -1,0 +1,66 @@
+"""Fig. 3e — achieved DDR4 bandwidth: extended CSR vs CISS, 2..16 PEs.
+
+Paper numbers (peak 16 GB/s): extended CSR 1.6/1.8/1.9/1.9 GB/s,
+CISS 4.3/6.1/11.2/11.2 GB/s. Expected shape: extended CSR saturates near
+~12% of peak regardless of PE count; CISS scales with PEs and reaches a
+large fraction (~70%) of peak.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datasets import random_sparse_tensor
+from repro.formats import CISSTensor, ExtendedCSRTensor
+from repro.sim import DDR4_PRESET, StreamMemory
+
+from benchmarks.conftest import record_result, run_once
+
+PE_COUNTS = (2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def stream_tensor():
+    # A tensor large enough that steady-state streaming dominates.
+    return random_sparse_tensor((2000, 120, 100), 40_000, skew=0.8, seed=33)
+
+
+@pytest.fixture(scope="module")
+def bandwidths(stream_tensor):
+    mem = StreamMemory(DDR4_PRESET)
+    ext = ExtendedCSRTensor.from_sparse(stream_tensor)
+    rows = []
+    for pes in PE_COUNTS:
+        r_ext = mem.service_trace(ext.pe_address_trace(pes))
+        ciss = CISSTensor.from_sparse(stream_tensor, pes)
+        r_ciss = mem.service_trace(ciss.pe_address_trace())
+        rows.append((pes, r_ext.achieved_gbs, r_ciss.achieved_gbs))
+    return rows
+
+
+def render_and_check(bandwidths):
+    """Build the Fig. 3e table and assert the paper's shape claims."""
+    table = format_table(
+        ["PEs", "extCSR GB/s", "CISS GB/s", "CISS/extCSR"],
+        [[p, e, c, c / e] for p, e, c in bandwidths],
+    )
+    record_result("fig03e_bandwidth", table)
+    ext = [e for _p, e, _c in bandwidths]
+    ciss = {p: c for p, _e, c in bandwidths}
+    # Extended CSR saturates far below peak regardless of PE count.
+    assert max(ext) < 1.5 * min(ext)
+    assert max(ext) < 0.25 * DDR4_PRESET.peak_gbs
+    # CISS scales with PEs and approaches peak (paper: 70%).
+    assert ciss[4] > 1.5 * ciss[2]
+    assert ciss[8] > 1.5 * ciss[4]
+    assert ciss[16] > 0.5 * DDR4_PRESET.peak_gbs
+    # CISS wins by a large factor at 8 PEs (paper: 11.2/1.9 ~ 5.9x).
+    assert ciss[8] > 4.0 * ext[2]
+    return table
+
+
+def test_fig03e_table(bandwidths):
+    render_and_check(bandwidths)
+
+
+def test_benchmark_fig03e(benchmark, bandwidths):
+    run_once(benchmark, lambda: render_and_check(bandwidths))

@@ -1,0 +1,92 @@
+"""Fig. 8 — SpMTTKRP speedup (a) and energy benefit (b) of Tensaurus and
+the GPU over the CPU baseline, on the three tensors along each mode.
+
+Paper: Tensaurus 22.9x geomean over CPU and 3.1x over GPU; 223.2x /
+292.8x more energy efficient than CPU / GPU.
+"""
+
+import pytest
+
+from repro.analysis import SpeedupRow, geomean, speedup_table
+from repro.baselines import tensor_workload
+from repro.energy import accelerator_energy
+
+from benchmarks.conftest import (
+    MTTKRP_RANK,
+    factor_pair,
+    record_result,
+    run_once,
+    tensor_dataset,
+)
+
+TENSORS = ("nell-2", "netflix", "poisson3D")
+
+
+@pytest.fixture(scope="module")
+def rows(accelerator, cpu, gpu):
+    out = []
+    for name in TENSORS:
+        t = tensor_dataset(name)
+        for mode in range(3):
+            rest = [m for m in range(3) if m != mode]
+            b, c = factor_pair(t.shape[rest[0]], t.shape[rest[1]], MTTKRP_RANK)
+            rep = accelerator.run_mttkrp(t, b, c, mode=mode, compute_output=False)
+            stats = tensor_workload("mttkrp", t, MTTKRP_RANK, mode=mode)
+            r_cpu = cpu.run(stats)
+            r_gpu = gpu.run(stats)
+            out.append(
+                SpeedupRow(
+                    f"{name}-m{mode}",
+                    times={
+                        "tensaurus": rep.time_s,
+                        "cpu": r_cpu.time_s,
+                        "gpu": r_gpu.time_s,
+                    },
+                    energies={
+                        "tensaurus": accelerator_energy(
+                            rep, accelerator.config.peak_gops
+                        ),
+                        "cpu": r_cpu.energy_j,
+                        "gpu": r_gpu.energy_j,
+                    },
+                )
+            )
+    return out
+
+
+def render_and_check(rows):
+    speed = speedup_table(rows, ["tensaurus", "gpu"], metric="speedup")
+    energy = speedup_table(rows, ["tensaurus", "gpu"], metric="energy")
+    record_result("fig08a_spmttkrp_speedup", speed)
+    record_result("fig08b_spmttkrp_energy", energy)
+    tens = geomean([r.speedup("tensaurus") for r in rows])
+    over_gpu = geomean(
+        [r.times["gpu"] / r.times["tensaurus"] for r in rows]
+    )
+    e_cpu = geomean([r.energy_benefit("tensaurus") for r in rows])
+    e_gpu = geomean(
+        [r.energies["gpu"] / r.energies["tensaurus"] for r in rows]
+    )
+    # Paper bands: 22.9x CPU, 3.1x GPU; 223x / 293x energy.
+    assert 12 < tens < 50, tens
+    assert 1.5 < over_gpu < 8, over_gpu
+    assert 100 < e_cpu < 500, e_cpu
+    assert 120 < e_gpu < 700, e_gpu
+    # Tensaurus wins on every tensor/mode against the CPU.
+    assert all(r.speedup("tensaurus") > 1 for r in rows)
+    record_result(
+        "fig08_geomeans",
+        f"speedup over CPU: {tens:.1f}x (paper 22.9x)\n"
+        f"speedup over GPU: {over_gpu:.2f}x (paper 3.1x)\n"
+        f"energy benefit vs CPU: {e_cpu:.0f}x (paper 223.2x)\n"
+        f"energy benefit vs GPU: {e_gpu:.0f}x (paper 292.8x)",
+    )
+    return tens, over_gpu, e_cpu, e_gpu
+
+
+def test_fig08(rows):
+    render_and_check(rows)
+
+
+def test_benchmark_fig08(benchmark, rows):
+    run_once(benchmark, lambda: render_and_check(rows))

@@ -1,0 +1,99 @@
+"""Fig. 9 — SpTTMc speedup (a) and energy benefit (b) over the CPU.
+
+Paper: Tensaurus 6.02x geomean over CPU but only 0.1x of the GPU
+*kernel-only* time (ParTI leaves much of SpTTMc on the host CPU, which the
+comparison excludes; counting it the paper estimates a 5x win). Energy:
+23.2x / 30.9x vs CPU / GPU. The CPU gap is much smaller than SpMTTKRP's
+because SpTTMc's operand factoring thrives on the CPU's 45 MB L3
+(Section 7.2) — we assert exactly that contrast.
+"""
+
+import pytest
+
+from repro.analysis import SpeedupRow, geomean, speedup_table
+from repro.baselines import tensor_workload
+from repro.energy import accelerator_energy
+
+from benchmarks.conftest import (
+    TTMC_RANKS,
+    factor_pair,
+    record_result,
+    run_once,
+    tensor_dataset,
+)
+
+TENSORS = ("nell-2", "netflix", "poisson3D")
+
+
+@pytest.fixture(scope="module")
+def rows(accelerator, cpu, gpu):
+    out = []
+    for name in TENSORS:
+        t = tensor_dataset(name)
+        for mode in range(3):
+            rest = [m for m in range(3) if m != mode]
+            b, c = factor_pair(t.shape[rest[0]], t.shape[rest[1]], TTMC_RANKS[0])
+            rep = accelerator.run_ttmc(t, b, c, mode=mode, compute_output=False)
+            stats = tensor_workload("ttmc", t, *TTMC_RANKS, mode=mode)
+            r_cpu = cpu.run(stats)
+            r_gpu = gpu.run(stats)
+            out.append(
+                SpeedupRow(
+                    f"{name}-m{mode}",
+                    times={
+                        "tensaurus": rep.time_s,
+                        "cpu": r_cpu.time_s,
+                        "gpu": r_gpu.time_s,
+                    },
+                    energies={
+                        "tensaurus": accelerator_energy(
+                            rep, accelerator.config.peak_gops
+                        ),
+                        "cpu": r_cpu.energy_j,
+                        "gpu": r_gpu.energy_j,
+                    },
+                )
+            )
+    return out
+
+
+def render_and_check(rows):
+    speed = speedup_table(rows, ["tensaurus", "gpu"], metric="speedup")
+    energy = speedup_table(rows, ["tensaurus", "gpu"], metric="energy")
+    record_result("fig09a_spttmc_speedup", speed)
+    record_result("fig09b_spttmc_energy", energy)
+    tens = geomean([r.speedup("tensaurus") for r in rows])
+    vs_gpu = geomean([r.times["gpu"] / r.times["tensaurus"] for r in rows])
+    e_cpu = geomean([r.energy_benefit("tensaurus") for r in rows])
+    # Paper bands: 6.02x CPU; 0.1x of the GPU kernel-only time.
+    assert 3 < tens < 15, tens
+    assert vs_gpu < 0.5, vs_gpu  # GPU kernel-only wins, as in the paper
+    assert e_cpu > 10, e_cpu  # still large energy advantage (paper 23x)
+    record_result(
+        "fig09_geomeans",
+        f"speedup over CPU: {tens:.2f}x (paper 6.02x)\n"
+        f"vs GPU kernel-only: {vs_gpu:.2f}x (paper 0.1x)\n"
+        f"energy benefit vs CPU: {e_cpu:.0f}x (paper 23.2x)",
+    )
+    return tens, vs_gpu, e_cpu
+
+
+def test_fig09(rows):
+    render_and_check(rows)
+
+
+def test_cpu_gap_smaller_than_mttkrp(accelerator, cpu, rows):
+    """Section 7.2's explanation reproduced: the SpTTMc speedup over CPU is
+    well below the SpMTTKRP speedup because the CPU exploits its big L3."""
+    from repro.baselines import tensor_workload as tw
+    from benchmarks.conftest import MTTKRP_RANK
+    t = tensor_dataset("nell-2")
+    b, c = factor_pair(t.shape[1], t.shape[2], MTTKRP_RANK)
+    rep = accelerator.run_mttkrp(t, b, c, compute_output=False)
+    mttkrp_speedup = cpu.run(tw("mttkrp", t, MTTKRP_RANK)).time_s / rep.time_s
+    ttmc_speedup = geomean([r.speedup("tensaurus") for r in rows])
+    assert ttmc_speedup < 0.6 * mttkrp_speedup
+
+
+def test_benchmark_fig09(benchmark, rows):
+    run_once(benchmark, lambda: render_and_check(rows))

@@ -1,0 +1,50 @@
+"""Table 2 — area and power breakdown of Tensaurus.
+
+Regenerates the component table from the model constants and checks the
+paper's structural facts: totals (2.3 mm^2, 982.21 mW), the PE array as
+the dominant power consumer (~41%), the SPMs as the dominant area (~36%).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.energy import (
+    AREA_POWER_TABLE,
+    TENSAURUS_TOTAL_AREA_MM2,
+    TENSAURUS_TOTAL_POWER_W,
+)
+
+from benchmarks.conftest import record_result, run_once
+
+
+def build_table():
+    total_area = sum(a for a, _p in AREA_POWER_TABLE.values())
+    total_power = sum(p for _a, p in AREA_POWER_TABLE.values())
+    rows = [
+        [name.upper(), area, 100 * area / total_area, power, 100 * power / total_power]
+        for name, (area, power) in AREA_POWER_TABLE.items()
+    ]
+    rows.append(["Total", total_area, 100.0, total_power, 100.0])
+    return format_table(
+        ["Component", "Area(mm2)", "Area %", "Power(mW)", "Power %"], rows
+    ), total_area, total_power
+
+
+def render_and_check():
+    table, area, power = build_table()
+    record_result("tab02_area_power", table)
+    assert area == pytest.approx(TENSAURUS_TOTAL_AREA_MM2, rel=0.01)
+    assert power / 1000 == pytest.approx(TENSAURUS_TOTAL_POWER_W, rel=0.01)
+    pe_share = AREA_POWER_TABLE["pe"][1] / (TENSAURUS_TOTAL_POWER_W * 1000)
+    spm_area_share = AREA_POWER_TABLE["spm"][0] / TENSAURUS_TOTAL_AREA_MM2
+    assert pe_share == pytest.approx(0.409, abs=0.01)
+    assert spm_area_share == pytest.approx(0.362, abs=0.01)
+    return table
+
+
+def test_tab02_table():
+    render_and_check()
+
+
+def test_benchmark_tab02(benchmark):
+    run_once(benchmark, render_and_check)

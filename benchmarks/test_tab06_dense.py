@@ -1,0 +1,76 @@
+"""Table 6 — dense-mode Tensaurus vs T2S-Tensor.
+
+Paper: Tensaurus-dense achieves 511.9 / 498.9 / 506.5 GOP/s for
+DMTTKRP / DTTMc / GEMM — about 0.52x / 0.54x / 0.49x of the scaled
+T2S-Tensor designs (986.3 / 926.6 / 1019.8 GOP/s), because Tensaurus
+spends every other cycle on scratchpad access where T2S's fixed-function
+pipelines do not.
+
+DTTMc runs at the OSR-resident rank tile (F1 = OLEN = VLEN): this is the
+per-pass working shape of the architecture, and the throughput *ratio* is
+what Table 6 reports.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import matrix_workload, tensor_workload
+from repro.util.rng import make_rng
+
+from benchmarks.conftest import record_result, run_once
+
+PAPER_RATIOS = {"dmttkrp": 0.52, "dttmc": 0.54, "gemm": 0.49}
+
+
+@pytest.fixture(scope="module")
+def dense_results(accelerator, t2s):
+    rng = make_rng(6)
+    rows = {}
+    # DMTTKRP
+    tensor = rng.random((128, 128, 128))
+    b, c = rng.random((128, 32)), rng.random((128, 32))
+    rep = accelerator.run_mttkrp(tensor, b, c, compute_output=False)
+    ref = t2s.run(tensor_workload("mttkrp", tensor, 32))
+    rows["dmttkrp"] = (rep.gops, ref.gops, ref.time_s / rep.time_s)
+    # DTTMc at the per-pass tile (F1 = VLEN = 4, F2 = 32).
+    b2, c2 = rng.random((128, 4)), rng.random((128, 32))
+    rep = accelerator.run_ttmc(tensor, b2, c2, compute_output=False)
+    ref = t2s.run(tensor_workload("ttmc", tensor, 4, 32))
+    rows["dttmc"] = (rep.gops, ref.gops, ref.time_s / rep.time_s)
+    # GEMM
+    a = rng.random((1024, 1024))
+    bm = rng.random((1024, 1024))
+    rep = accelerator.run_spmm(a, bm, compute_output=False)
+    ref = t2s.run(matrix_workload("gemm", a, 1024))
+    rows["gemm"] = (rep.gops, ref.gops, ref.time_s / rep.time_s)
+    return rows
+
+
+def render_and_check(dense_results):
+    table = format_table(
+        ["benchmark", "Tensaurus GOP/s", "T2S GOP/s", "speedup", "paper"],
+        [
+            [k, tens, t2s_gops, ratio, PAPER_RATIOS[k]]
+            for k, (tens, t2s_gops, ratio) in dense_results.items()
+        ],
+    )
+    record_result("tab06_dense_vs_t2s", table)
+    for kernel, (tens_gops, _t2s_gops, ratio) in dense_results.items():
+        # Tensaurus-dense runs near its 512 GOP/s peak...
+        assert tens_gops > 0.85 * 512, kernel
+        # ...and lands at roughly half of T2S (paper: 0.49-0.54).
+        assert 0.35 < ratio < 0.7, (kernel, ratio)
+    return table
+
+
+def test_tab06(dense_results):
+    render_and_check(dense_results)
+
+
+def test_paper_ratio_band(dense_results):
+    for kernel, (_t, _r, ratio) in dense_results.items():
+        assert ratio == pytest.approx(PAPER_RATIOS[kernel], abs=0.12), kernel
+
+
+def test_benchmark_tab06(benchmark, dense_results):
+    run_once(benchmark, lambda: render_and_check(dense_results))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: encode a sparse tensor in CISS, run SpMTTKRP on the simulated
+Tensaurus accelerator, and compare against the CPU/GPU baseline models.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SparseTensor, Tensaurus
+from repro.baselines import CPUBaseline, GPUBaseline, tensor_workload
+from repro.energy import accelerator_energy
+from repro.formats import CISSTensor
+from repro.kernels import mttkrp_sparse
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Build a sparse tensor (here: random; see repro.datasets for the
+    #    paper's workloads).
+    shape = (2000, 400, 300)
+    nnz = 50_000
+    lin = rng.choice(shape[0] * shape[1] * shape[2], size=nnz, replace=False)
+    coords = np.stack(
+        [
+            lin // (shape[1] * shape[2]),
+            (lin // shape[2]) % shape[1],
+            lin % shape[2],
+        ],
+        axis=1,
+    )
+    tensor = SparseTensor(shape, coords, rng.standard_normal(nnz))
+    print(f"tensor: {tensor}")
+
+    # 2. Look at its CISS encoding — the paper's storage format.
+    ciss = CISSTensor.from_sparse(tensor, num_lanes=8)
+    print(
+        f"CISS: {ciss.num_entries} entries x {ciss.entry_bytes()} B, "
+        f"padding {ciss.padding_fraction():.1%}, "
+        f"lane nnz counts {ciss.lane_nnz_counts()}"
+    )
+
+    # 3. Run SpMTTKRP (the CP-ALS bottleneck kernel) on the accelerator.
+    rank = 32
+    mat_b = rng.random((shape[1], rank))
+    mat_c = rng.random((shape[2], rank))
+    acc = Tensaurus()
+    report = acc.run_mttkrp(tensor, mat_b, mat_c, mode=0)
+    print(f"simulated: {report.summary()}")
+    print(f"  MSU reduction mode: {report.detail['msu_mode']}")
+
+    # The simulator's output is the real kernel result.
+    reference = mttkrp_sparse(tensor, [mat_b, mat_c], mode=0)
+    assert np.allclose(report.output, reference)
+    print("  output verified against the reference kernel")
+
+    # 4. Compare against the CPU (SPLATT) and GPU (ParTI) cost models.
+    stats = tensor_workload("mttkrp", tensor, rank)
+    cpu = CPUBaseline().run(stats)
+    gpu = GPUBaseline().run(stats)
+    energy = accelerator_energy(report, acc.config.peak_gops)
+    print(f"speedup over CPU: {cpu.time_s / report.time_s:.1f}x")
+    print(f"speedup over GPU: {gpu.time_s / report.time_s:.1f}x")
+    print(f"energy benefit over CPU: {cpu.energy_j / energy:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Recommender-system embeddings via CP decomposition on the accelerator.
+
+The paper's motivating application (Section 1): factorizing a sparse
+(user x item x time) ratings tensor — the Netflix workload — into rank-F
+factor matrices that embed users and items in a latent space. Every MTTKRP
+of the CP-ALS solver executes on the simulated Tensaurus, and the script
+reports both the model quality (fit, a sample recommendation) and the
+accelerator activity.
+
+Run:  python examples/recommender_cp.py
+"""
+
+import numpy as np
+
+from repro import SparseTensor, datasets
+from repro.factorization import accelerated_cp_als
+from repro.util.rng import make_rng
+
+
+def plant_preferences(structure: SparseTensor, rank: int = 8) -> SparseTensor:
+    """Replace the observed ratings with a low-rank preference model.
+
+    The *sparsity pattern* (which user rated which movie when) comes from
+    the Netflix-like dataset; the rating values come from a planted rank-8
+    user/movie/time model plus noise, so CP-ALS has real structure to find
+    — like actual ratings do.
+    """
+    rng = make_rng(77)
+    u = rng.standard_normal((structure.shape[0], rank))
+    v = rng.standard_normal((structure.shape[1], rank))
+    w = 1.0 + 0.1 * rng.standard_normal((structure.shape[2], rank))
+    c = structure.coords
+    vals = np.einsum("nf,nf,nf->n", u[c[:, 0]], v[c[:, 1]], w[c[:, 2]])
+    vals += 0.05 * rng.standard_normal(vals.shape[0])
+    vals[vals == 0.0] = 0.05
+    return SparseTensor(structure.shape, c, vals)
+
+
+def main() -> None:
+    # A Netflix-like (user, movie, week) ratings tensor with planted
+    # low-rank preferences. Dimensions follow Table 3's shape but densified
+    # (~75 ratings per user) so a 4-sweep demo can actually recover the
+    # preference structure; the full-scale pattern is what the Fig. 8
+    # benchmarks use.
+    structure = datasets.random_sparse_tensor(
+        (4000, 800, 40), 300_000, skew=1.1, seed=15
+    )
+    ratings = plant_preferences(structure)
+    users, movies, weeks = ratings.shape
+    print(
+        f"ratings tensor: {users} users x {movies} movies x {weeks} weeks, "
+        f"{ratings.nnz} ratings (density {ratings.density:.2e})"
+    )
+
+    rank = 8
+    run = accelerated_cp_als(ratings, rank=rank, num_iters=6, seed=7)
+    cp = run.decomposition
+    print(f"CP rank-{rank} fit after {len(cp.fit_trace)} sweeps: {cp.fit:.4f}")
+
+    # Accelerator activity: one MTTKRP per mode per sweep.
+    print(
+        f"accelerator: {len(run.reports)} MTTKRP invocations, "
+        f"{run.accelerator_seconds * 1e3:.2f} ms simulated, "
+        f"{run.total_ops / 1e9:.2f} GOP, {run.total_bytes / 1e6:.1f} MB moved"
+    )
+    by_mode = {}
+    for rep, mode in zip(run.reports, [0, 1, 2] * (len(run.reports) // 3)):
+        by_mode.setdefault(mode, []).append(rep.gops)
+    for mode, gops in sorted(by_mode.items()):
+        print(f"  mode-{mode} MTTKRP: {np.mean(gops):.0f} GOP/s average")
+
+    # Use the embedding: recommend movies for one user by scoring the
+    # reconstructed slice (sum over time).
+    user_fac, movie_fac, week_fac = cp.factors
+    rng = make_rng(1)
+    user = int(rng.integers(0, users))
+    time_profile = week_fac.sum(axis=0)  # aggregate over weeks
+    scores = (user_fac[user] * cp.weights * time_profile) @ movie_fac.T
+    top = np.argsort(scores)[::-1][:5]
+    print(f"top-5 recommended movie ids for user {user}: {[int(m) for m in top]}")
+
+
+if __name__ == "__main__":
+    main()

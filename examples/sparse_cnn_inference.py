@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Pruned-CNN inference layers on the accelerator (the Fig. 10 workload).
+
+Magnitude-pruned convolution layers become SpMM (sparse weights x dense
+im2col activations) and pruned fully-connected layers become SpMV. This
+example runs a slice of the pruned AlexNet pipeline from Table 4 on the
+simulated Tensaurus and compares against the Cambricon-X sparse-CNN
+accelerator model — the paper's head-to-head.
+
+Run:  python examples/sparse_cnn_inference.py
+"""
+
+import numpy as np
+
+from repro import Tensaurus, datasets
+from repro.baselines import CambriconXBaseline, matrix_workload
+from repro.energy import CAMBRICON_POWER, accelerator_energy
+from repro.util.rng import make_rng
+
+#: im2col output pixels for the conv layers (batch of one 227x227 image).
+CONV_PIXELS = 256
+
+
+def main() -> None:
+    acc = Tensaurus()
+    cambricon = CambriconXBaseline()
+    rng = make_rng(14)
+
+    total_tens = total_cam = 0.0
+    e_tens = e_cam = 0.0
+    for lname in datasets.list_cnn_layers("alexnet"):
+        spec = datasets.CNN_LAYERS[lname]
+        weights = spec.load()
+        if spec.is_fc:
+            activations = rng.random(weights.shape[1])
+            report = acc.run_spmv(weights, activations, compute_output=False)
+            stats = matrix_workload("spmv", weights)
+            kind = "SpMV"
+        else:
+            activations = rng.random((weights.shape[1], CONV_PIXELS))
+            report = acc.run_spmm(weights, activations, compute_output=False)
+            stats = matrix_workload("spmm", weights, CONV_PIXELS)
+            kind = "SpMM"
+        cam = cambricon.run(stats)
+        total_tens += report.time_s
+        total_cam += cam.time_s
+        e_tens += accelerator_energy(report, acc.config.peak_gops)
+        e_cam += cam.energy_j
+        print(
+            f"{spec.layer:>4} ({kind}, density {spec.density:.2f}): "
+            f"Tensaurus {report.time_s * 1e6:7.1f} us ({report.gops:5.0f} GOP/s)"
+            f"  Cambricon-X {cam.time_s * 1e6:7.1f} us"
+        )
+
+    print(
+        f"\npruned AlexNet total: Tensaurus {total_tens * 1e3:.2f} ms, "
+        f"Cambricon-X {total_cam * 1e3:.2f} ms "
+        f"({total_cam / total_tens:.2f}x)"
+    )
+    print(
+        f"energy: Tensaurus {e_tens * 1e3:.2f} mJ, "
+        f"Cambricon-X {e_cam * 1e3:.2f} mJ "
+        f"(Cambricon core power {CAMBRICON_POWER.compute_w * 1e3:.0f} mW)"
+    )
+
+
+if __name__ == "__main__":
+    main()

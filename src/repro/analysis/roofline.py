@@ -1,0 +1,53 @@
+"""Roofline model helpers (Williams et al., the Fig. 7 evaluation frame)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.report import SimReport
+
+
+def attainable_gops(op_intensity: float, peak_gops: float, peak_bw_gbs: float) -> float:
+    """The roofline: min(peak compute, intensity * peak bandwidth)."""
+    if op_intensity < 0:
+        raise ValueError("operation intensity must be non-negative")
+    return min(peak_gops, op_intensity * peak_bw_gbs)
+
+
+def classify_point(
+    op_intensity: float, peak_gops: float, peak_bw_gbs: float
+) -> str:
+    """"memory"- or "compute"-bound side of the ridge point."""
+    ridge = peak_gops / peak_bw_gbs
+    return "memory" if op_intensity < ridge else "compute"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel run placed under the roofline."""
+
+    label: str
+    op_intensity: float
+    gops: float
+    attainable: float
+    bound: str
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable (1.0 == sitting on the roofline)."""
+        if self.attainable <= 0:
+            return 0.0
+        return self.gops / self.attainable
+
+    @classmethod
+    def from_report(
+        cls, label: str, report: SimReport, peak_gops: float, peak_bw_gbs: float
+    ) -> "RooflinePoint":
+        oi = report.op_intensity
+        return cls(
+            label=label,
+            op_intensity=oi,
+            gops=report.gops,
+            attainable=attainable_gops(oi, peak_gops, peak_bw_gbs),
+            bound=classify_point(oi, peak_gops, peak_bw_gbs),
+        )

@@ -1,0 +1,76 @@
+"""Result-table assembly and plain-text rendering for the benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3g}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class SpeedupRow:
+    """One benchmark row: per-platform times and energies vs the CPU."""
+
+    label: str
+    times: Dict[str, float]  # platform -> seconds
+    energies: Dict[str, float]  # platform -> joules
+
+    def speedup(self, platform: str, over: str = "cpu") -> float:
+        if self.times.get(platform, 0) <= 0:
+            return 0.0
+        return self.times[over] / self.times[platform]
+
+    def energy_benefit(self, platform: str, over: str = "cpu") -> float:
+        if self.energies.get(platform, 0) <= 0:
+            return 0.0
+        return self.energies[over] / self.energies[platform]
+
+
+def speedup_table(
+    rows: List[SpeedupRow],
+    platforms: Sequence[str],
+    over: str = "cpu",
+    metric: str = "speedup",
+) -> str:
+    """Render the Fig. 8-12 style table: per-row factors plus the geomean."""
+    headers = ["benchmark"] + [f"{p} {metric}" for p in platforms]
+    body: List[List[object]] = []
+    per_platform: Dict[str, List[float]] = {p: [] for p in platforms}
+    for row in rows:
+        cells: List[object] = [row.label]
+        for p in platforms:
+            val = (
+                row.speedup(p, over)
+                if metric == "speedup"
+                else row.energy_benefit(p, over)
+            )
+            per_platform[p].append(val)
+            cells.append(val)
+        body.append(cells)
+    body.append(
+        ["geomean"] + [geomean(per_platform[p]) for p in platforms]
+    )
+    return format_table(headers, body)

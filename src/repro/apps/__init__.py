@@ -1,0 +1,29 @@
+"""Application-level workloads built on the accelerated kernels.
+
+The paper motivates Tensaurus with three application families
+(Section 1/2): recommender-system embeddings via tensor factorization,
+graph learning via SpMM, and pruned-CNN inference via SpMM/SpMV. This
+package implements each as a small, tested library component whose linear
+algebra runs through the simulated accelerator, so downstream users get
+working end-to-end pipelines rather than just kernels.
+"""
+
+from repro.apps.recommender import CPRecommender
+from repro.apps.graphsage import GraphSAGELayer, GraphSAGEModel, normalize_adjacency
+from repro.apps.cnn import (
+    SparseLinear,
+    SparseConvLayer,
+    SparseMLP,
+    prune_by_magnitude,
+)
+
+__all__ = [
+    "CPRecommender",
+    "GraphSAGELayer",
+    "GraphSAGEModel",
+    "normalize_adjacency",
+    "SparseLinear",
+    "SparseConvLayer",
+    "SparseMLP",
+    "prune_by_magnitude",
+]

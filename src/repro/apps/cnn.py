@@ -1,0 +1,140 @@
+"""Pruned-CNN inference layers on the accelerator (the Fig. 10 workload).
+
+Magnitude-pruned networks (Han et al., the paper's Table 4 source) leave
+sparse weight matrices; convolution becomes SpMM against im2col'd
+activations and fully-connected layers become SpMV. These classes wrap the
+simulated accelerator behind a layer API, including the pruning step
+itself, so a full sparse-inference pipeline is testable end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.sim.accelerator import Tensaurus
+from repro.sim.report import SimReport
+from repro.util.errors import ShapeError
+
+
+def prune_by_magnitude(weights: np.ndarray, density: float) -> COOMatrix:
+    """Keep the largest-magnitude fraction ``density`` of the weights."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ShapeError("weights must be 2-d")
+    if not 0.0 < density <= 1.0:
+        raise ShapeError("density must be in (0, 1]")
+    keep = max(1, int(round(weights.size * density)))
+    threshold = np.partition(np.abs(weights).ravel(), -keep)[-keep]
+    mask = np.abs(weights) >= threshold
+    return COOMatrix.from_dense(weights * mask)
+
+
+class SparseLinear:
+    """A pruned fully-connected layer: SpMV per input vector."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        density: float,
+        accelerator: Optional[Tensaurus] = None,
+    ) -> None:
+        self.weights = prune_by_magnitude(weights, density)
+        self.accelerator = accelerator or Tensaurus()
+        self.last_report: Optional[SimReport] = None
+
+    @property
+    def density(self) -> float:
+        return self.weights.density
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim != 1:
+            raise ShapeError("SparseLinear takes a vector of activations")
+        if activations.shape[0] != self.weights.shape[1]:
+            raise ShapeError("activation width mismatch")
+        report = self.accelerator.run_spmv(self.weights, activations)
+        self.last_report = report
+        return report.output
+
+    __call__ = forward
+
+
+class SparseConvLayer:
+    """A pruned convolution layer in im2col form: SpMM per batch.
+
+    ``weights`` is the (out_channels, in_channels*kh*kw) kernel matrix; the
+    caller supplies im2col'd activations (in_channels*kh*kw, pixels).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        density: float,
+        accelerator: Optional[Tensaurus] = None,
+    ) -> None:
+        self.weights = prune_by_magnitude(weights, density)
+        self.accelerator = accelerator or Tensaurus()
+        self.last_report: Optional[SimReport] = None
+
+    @property
+    def density(self) -> float:
+        return self.weights.density
+
+    def forward(self, columns: np.ndarray) -> np.ndarray:
+        columns = np.asarray(columns, dtype=np.float64)
+        if columns.ndim != 2:
+            raise ShapeError("SparseConvLayer takes an im2col matrix")
+        if columns.shape[0] != self.weights.shape[1]:
+            raise ShapeError("im2col height mismatch")
+        report = self.accelerator.run_spmm(self.weights, columns)
+        self.last_report = report
+        return np.maximum(report.output, 0.0)
+
+    __call__ = forward
+
+
+class SparseMLP:
+    """A stack of pruned fully-connected layers with ReLU between them."""
+
+    def __init__(
+        self,
+        weight_list: List[np.ndarray],
+        density: float,
+        accelerator: Optional[Tensaurus] = None,
+    ) -> None:
+        if not weight_list:
+            raise ShapeError("need at least one layer")
+        acc = accelerator or Tensaurus()
+        self.layers = [SparseLinear(w, density, acc) for w in weight_list]
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if nxt.weights.shape[1] != prev.weights.shape[0]:
+                raise ShapeError("layer widths do not chain")
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        h = np.asarray(activations, dtype=np.float64)
+        for i, layer in enumerate(self.layers):
+            h = layer(h)
+            if i < len(self.layers) - 1:
+                h = np.maximum(h, 0.0)
+        return h
+
+    __call__ = forward
+
+    @property
+    def accelerator_seconds(self) -> float:
+        return sum(
+            layer.last_report.time_s
+            for layer in self.layers
+            if layer.last_report is not None
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return sum(
+            layer.last_report.ops
+            for layer in self.layers
+            if layer.last_report is not None
+        )

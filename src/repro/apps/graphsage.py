@@ -1,0 +1,133 @@
+"""GraphSAGE-style graph learning layers on the accelerator.
+
+The paper evaluates SpMM on GraphSAGE matrices (Table 5): graph neural
+networks aggregate neighbor features with ``A_hat @ H`` — a sparse-dense
+matrix product — followed by a dense transform. This module provides the
+normalized-adjacency construction and a layer whose aggregation runs on
+the simulated Tensaurus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.sim.accelerator import Tensaurus
+from repro.sim.report import SimReport
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng
+
+
+def normalize_adjacency(
+    graph: COOMatrix, add_self_loops: bool = True
+) -> COOMatrix:
+    """Symmetric GCN normalization: ``D^-1/2 (A + I) D^-1/2``."""
+    if graph.shape[0] != graph.shape[1]:
+        raise ShapeError("adjacency must be square")
+    n = graph.shape[0]
+    rows = graph.rows
+    cols = graph.cols
+    vals = np.abs(graph.vals)  # edge weights must be non-negative
+    if add_self_loops:
+        rows = np.concatenate([rows, np.arange(n)])
+        cols = np.concatenate([cols, np.arange(n)])
+        vals = np.concatenate([vals, np.ones(n)])
+    # Separate out-/in-degree scaling so directed graphs normalize too
+    # (they coincide for symmetric adjacency, giving the usual GCN form).
+    out_deg = np.bincount(rows, weights=vals, minlength=n)
+    in_deg = np.bincount(cols, weights=vals, minlength=n)
+
+    def inv_sqrt(deg: np.ndarray) -> np.ndarray:
+        out = np.zeros(n)
+        positive = deg > 0
+        out[positive] = 1.0 / np.sqrt(deg[positive])
+        return out
+
+    normalized = inv_sqrt(out_deg)[rows] * vals * inv_sqrt(in_deg)[cols]
+    return COOMatrix((n, n), rows, cols, normalized)
+
+
+class GraphSAGELayer:
+    """One aggregation + transform layer: ``relu(A_hat @ H @ W)``.
+
+    The sparse aggregation executes on the simulated accelerator; the dense
+    ``W`` product stays on the host (as GNN frameworks do for the small
+    dense GEMM).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        seed: int = 0,
+        activation: str = "relu",
+        accelerator: Optional[Tensaurus] = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError("feature widths must be positive")
+        if activation not in ("relu", "none"):
+            raise ShapeError(f"unknown activation {activation!r}")
+        rng = make_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.standard_normal((in_features, out_features)) * scale
+        self.activation = activation
+        self.accelerator = accelerator or Tensaurus()
+        self.last_report: Optional[SimReport] = None
+
+    def forward(self, adjacency: COOMatrix, features: np.ndarray) -> np.ndarray:
+        """One layer pass; keeps the aggregation's SimReport."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ShapeError("features must be (nodes, in_features)")
+        if features.shape[0] != adjacency.shape[1]:
+            raise ShapeError("adjacency and features disagree on node count")
+        if features.shape[1] != self.weight.shape[0]:
+            raise ShapeError("features and weight disagree on width")
+        report = self.accelerator.run_spmm(adjacency, features)
+        self.last_report = report
+        out = report.output @ self.weight
+        if self.activation == "relu":
+            out = np.maximum(out, 0.0)
+        return out
+
+    __call__ = forward
+
+
+class GraphSAGEModel:
+    """A stack of GraphSAGE layers sharing one accelerator."""
+
+    def __init__(
+        self,
+        widths: List[int],
+        seed: int = 0,
+        accelerator: Optional[Tensaurus] = None,
+    ) -> None:
+        if len(widths) < 2:
+            raise ShapeError("need at least input and output widths")
+        acc = accelerator or Tensaurus()
+        self.layers = [
+            GraphSAGELayer(
+                widths[i], widths[i + 1], seed=seed + i,
+                activation="relu" if i < len(widths) - 2 else "none",
+                accelerator=acc,
+            )
+            for i in range(len(widths) - 1)
+        ]
+
+    def forward(self, adjacency: COOMatrix, features: np.ndarray) -> np.ndarray:
+        h = features
+        for layer in self.layers:
+            h = layer(adjacency, h)
+        return h
+
+    __call__ = forward
+
+    @property
+    def accelerator_seconds(self) -> float:
+        return sum(
+            layer.last_report.time_s
+            for layer in self.layers
+            if layer.last_report is not None
+        )

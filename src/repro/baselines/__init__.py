@@ -1,0 +1,36 @@
+"""Baseline platform cost models (Section 6, "Baselines").
+
+The paper compares Tensaurus against four platforms; we model each as a
+calibrated analytical machine that consumes the same workload statistics
+the simulator measures:
+
+- :class:`CPUBaseline` — single Xeon E7-8867 core running SPLATT (tensor
+  kernels) / Sparse BLAS (matrix kernels), with a 45 MB L3 cache model.
+- :class:`GPUBaseline` — Titan Xp running ParTI (tensor kernels) /
+  cuSPARSE (matrix kernels), with per-kernel efficiency factors.
+- :class:`CambriconXBaseline` — the Cambricon-X sparse-CNN accelerator
+  scaled to Tensaurus's MAC count and bandwidth, including its step-index
+  padding blow-up at high sparsity (the mechanism behind Fig. 11/13).
+- :class:`T2SBaseline` — T2S-Tensor's dense FPGA throughputs (Table 6).
+
+Every model returns a :class:`BaselineResult` with time, energy and op
+counts; calibration constants are class attributes documented in place and
+summarized in EXPERIMENTS.md.
+"""
+
+from repro.baselines.base import BaselineResult, WorkloadStats, tensor_workload, matrix_workload
+from repro.baselines.cpu import CPUBaseline
+from repro.baselines.gpu import GPUBaseline
+from repro.baselines.cambricon_x import CambriconXBaseline
+from repro.baselines.t2s import T2SBaseline
+
+__all__ = [
+    "BaselineResult",
+    "WorkloadStats",
+    "tensor_workload",
+    "matrix_workload",
+    "CPUBaseline",
+    "GPUBaseline",
+    "CambriconXBaseline",
+    "T2SBaseline",
+]

@@ -1,0 +1,171 @@
+"""Shared workload descriptors for the baseline cost models.
+
+A :class:`WorkloadStats` captures everything the analytical baselines need
+about one kernel invocation: operand shapes, nonzero structure (count,
+fibers, nonempty rows/slices) and the rank parameters. The builders extract
+these exactly from real operands so baseline estimates and simulator runs
+describe the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Structure statistics of one kernel invocation."""
+
+    kernel: str
+    dims: Tuple[int, ...]  # operand dims, output mode first for tensors
+    nnz: int  # nonzeros of the sparse operand (== volume when dense)
+    fibers: int  # nonempty (i, j) fibers (tensor kernels)
+    out_rows: int  # nonempty output rows/slices
+    rank: int  # F (MTTKRP/SpMM cols); F1 for TTMc
+    rank2: int  # F2 for TTMc, else 0
+    dense: bool
+
+    @property
+    def ops(self) -> int:
+        """Algorithmic operation count (operand-factored forms)."""
+        if self.kernel in ("mttkrp",):
+            return 2 * self.nnz * self.rank + 2 * self.fibers * self.rank
+        if self.kernel in ("ttmc",):
+            return 2 * self.nnz * self.rank2 + 2 * self.fibers * self.rank * self.rank2
+        if self.kernel in ("spmm", "gemm"):
+            return 2 * self.nnz * self.rank
+        if self.kernel in ("spmv", "gemv"):
+            return 2 * self.nnz
+        raise KernelError(f"unknown kernel {self.kernel!r}")
+
+    @property
+    def factor_bytes(self) -> int:
+        """Bytes of the dense operand matrices (one full read)."""
+        if self.kernel == "mttkrp":
+            return (self.dims[1] + self.dims[2]) * self.rank * 4
+        if self.kernel == "ttmc":
+            return (self.dims[1] * self.rank + self.dims[2] * self.rank2) * 4
+        if self.kernel in ("spmm", "gemm"):
+            return self.dims[1] * self.rank * 4
+        return self.dims[1] * 4
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of one full output write."""
+        if self.kernel == "ttmc":
+            return self.out_rows * self.rank * self.rank2 * 4
+        if self.kernel in ("spmv", "gemv"):
+            return self.out_rows * 4
+        return self.out_rows * self.rank * 4
+
+    @property
+    def sparse_bytes(self) -> int:
+        """Bytes of one streaming read of the sparse operand (CSR/CSF-like:
+        value plus ~1.5 index words per nonzero)."""
+        if self.dense:
+            return self.nnz * 4
+        return self.nnz * 10
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Time/energy estimate of one kernel on one baseline platform."""
+
+    platform: str
+    kernel: str
+    time_s: float
+    energy_j: float
+    ops: int
+    bytes_moved: int
+
+    @property
+    def gops(self) -> float:
+        if self.time_s <= 0:
+            return 0.0
+        return self.ops / self.time_s / 1.0e9
+
+
+def tensor_workload(
+    kernel: str,
+    tensor: Union[SparseTensor, np.ndarray],
+    rank: int,
+    rank2: int = 0,
+    mode: int = 0,
+) -> WorkloadStats:
+    """Build stats for MTTKRP (``rank``) or TTMc (``rank``, ``rank2``)."""
+    if kernel not in ("mttkrp", "ttmc"):
+        raise KernelError(f"tensor_workload got {kernel!r}")
+    if isinstance(tensor, SparseTensor):
+        rest = [m for m in range(3) if m != mode]
+        perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        coords = perm.coords
+        fibers = int(
+            np.unique(coords[:, 0] * perm.shape[1] + coords[:, 1]).shape[0]
+        )
+        out_rows = int(np.unique(coords[:, 0]).shape[0])
+        return WorkloadStats(
+            kernel=kernel,
+            dims=perm.shape,
+            nnz=perm.nnz,
+            fibers=fibers,
+            out_rows=out_rows,
+            rank=rank,
+            rank2=rank2,
+            dense=False,
+        )
+    shape = tensor.shape
+    rest = [m for m in range(3) if m != mode]
+    dims = (shape[mode], shape[rest[0]], shape[rest[1]])
+    volume = dims[0] * dims[1] * dims[2]
+    return WorkloadStats(
+        kernel=kernel,
+        dims=dims,
+        nnz=volume,
+        fibers=dims[0] * dims[1],
+        out_rows=dims[0],
+        rank=rank,
+        rank2=rank2,
+        dense=True,
+    )
+
+
+def matrix_workload(
+    kernel: str,
+    a: Union[CSRMatrix, COOMatrix, np.ndarray],
+    ncols: int = 1,
+) -> WorkloadStats:
+    """Build stats for SpMM/GEMM (``ncols``) or SpMV/GEMV."""
+    if kernel not in ("spmm", "gemm", "spmv", "gemv"):
+        raise KernelError(f"matrix_workload got {kernel!r}")
+    if isinstance(a, np.ndarray):
+        rows, cols = a.shape
+        return WorkloadStats(
+            kernel=kernel,
+            dims=(rows, cols),
+            nnz=rows * cols,
+            fibers=0,
+            out_rows=rows,
+            rank=ncols,
+            rank2=0,
+            dense=True,
+        )
+    coo = a.to_coo() if isinstance(a, CSRMatrix) else a
+    out_rows = int(np.unique(coo.rows).shape[0])
+    return WorkloadStats(
+        kernel=kernel,
+        dims=coo.shape,
+        nnz=coo.nnz,
+        fibers=0,
+        out_rows=out_rows,
+        rank=ncols,
+        rank2=0,
+        dense=False,
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered workloads (Tables 3/4/5) with published vs
+    generated sizes.
+``run``
+    Run one kernel on a registered dataset through the simulator and print
+    the report (plus CPU/GPU comparison).
+``roofline``
+    Run a kernel across datasets and draw the ASCII roofline.
+``info``
+    Print the accelerator design point and derived peaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import datasets
+from repro.analysis import RooflinePoint, ascii_roofline, format_table
+from repro.baselines import CPUBaseline, GPUBaseline, matrix_workload, tensor_workload
+from repro.energy import accelerator_energy
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.util.rng import make_rng
+
+TENSOR_KERNELS = ("spmttkrp", "spttmc")
+MATRIX_KERNELS = ("spmm", "spmv")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tensaurus (HPCA 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered workloads")
+    sub.add_parser("info", help="print the accelerator design point")
+
+    run = sub.add_parser("run", help="run one kernel on one dataset")
+    run.add_argument("kernel", choices=TENSOR_KERNELS + MATRIX_KERNELS)
+    run.add_argument("dataset", help="a registered dataset name")
+    run.add_argument("--mode", type=int, default=0, help="tensor target mode")
+    run.add_argument("--rank", type=int, default=32, help="F / F1=F2 / N")
+    run.add_argument(
+        "--msu-mode", choices=("auto", "buffered", "direct"), default="auto"
+    )
+
+    roof = sub.add_parser("roofline", help="ASCII roofline across datasets")
+    roof.add_argument("kernel", choices=TENSOR_KERNELS)
+    roof.add_argument("--rank", type=int, default=32)
+
+    conv = sub.add_parser(
+        "convert", help="convert a .tns/.mtx file between storage formats"
+    )
+    conv.add_argument("path", help="input .tns (tensor) or .mtx (matrix) file")
+    conv.add_argument("format", help="target format (see repro.formats)")
+    conv.add_argument("--lanes", type=int, default=8)
+    conv.add_argument("--block", type=int, default=128)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name, spec in datasets.TENSOR_DATASETS.items():
+        rows.append(
+            ["tensor", name, "x".join(map(str, spec.full_dims)),
+             "x".join(map(str, spec.dims)), f"{spec.density:.2e}", spec.domain]
+        )
+    for name, spec in datasets.SUITESPARSE_DATASETS.items():
+        rows.append(
+            ["matrix", name, "x".join(map(str, spec.full_dims)),
+             "x".join(map(str, spec.dims)), f"{spec.density:.2e}", spec.domain]
+        )
+    for name, spec in datasets.CNN_LAYERS.items():
+        rows.append(
+            ["cnn", name, f"{spec.rows}x{spec.cols}", f"{spec.rows}x{spec.cols}",
+             f"{spec.density:.2f}", "fc" if spec.is_fc else "conv"]
+        )
+    print(format_table(
+        ["kind", "name", "published", "generated", "density", "domain"], rows
+    ))
+    return 0
+
+
+def _cmd_info() -> int:
+    cfg = TensaurusConfig()
+    print(format_table(
+        ["parameter", "value"],
+        [
+            ["PE array", f"{cfg.rows}x{cfg.cols}"],
+            ["VLEN", cfg.vlen],
+            ["MAC units", cfg.mac_units],
+            ["clock", f"{cfg.clock_ghz} GHz"],
+            ["peak compute", f"{cfg.peak_gops:.0f} GOP/s"],
+            ["peak bandwidth", f"{cfg.peak_bw_gbs:.0f} GB/s"],
+            ["SPM (per column side)", f"{cfg.spm_kb} KB x {cfg.spm_banks} banks"],
+            ["MSU buffer side", f"{cfg.msu_kb} KB"],
+            ["CISS entry", f"{cfg.ciss_entry_bytes(2)} B"],
+        ],
+    ))
+    return 0
+
+
+def _load_any(name: str):
+    if name in datasets.TENSOR_DATASETS:
+        return "tensor", datasets.load_tensor(name)
+    if name in datasets.SUITESPARSE_DATASETS:
+        return "matrix", datasets.load_matrix(name)
+    if name in datasets.CNN_LAYERS:
+        return "matrix", datasets.load_cnn_layer(name)
+    raise SystemExit(
+        f"unknown dataset {name!r}; run `python -m repro datasets` for the list"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kind, data = _load_any(args.dataset)
+    rng = make_rng(0)
+    acc = Tensaurus()
+    if args.kernel in TENSOR_KERNELS:
+        if kind != "tensor":
+            raise SystemExit(f"{args.kernel} needs a tensor dataset")
+        rest = [m for m in range(3) if m != args.mode]
+        b = rng.random((data.shape[rest[0]], args.rank))
+        c = rng.random((data.shape[rest[1]], args.rank))
+        if args.kernel == "spmttkrp":
+            report = acc.run_mttkrp(
+                data, b, c, mode=args.mode, msu_mode=args.msu_mode,
+                compute_output=False,
+            )
+            stats = tensor_workload("mttkrp", data, args.rank, mode=args.mode)
+        else:
+            report = acc.run_ttmc(
+                data, b, c, mode=args.mode, msu_mode=args.msu_mode,
+                compute_output=False,
+            )
+            stats = tensor_workload("ttmc", data, args.rank, args.rank, mode=args.mode)
+    else:
+        if kind != "matrix":
+            raise SystemExit(f"{args.kernel} needs a matrix dataset")
+        if args.kernel == "spmm":
+            b = rng.random((data.shape[1], args.rank))
+            report = acc.run_spmm(data, b, msu_mode=args.msu_mode, compute_output=False)
+            stats = matrix_workload("spmm", data, args.rank)
+        else:
+            x = rng.random(data.shape[1])
+            report = acc.run_spmv(data, x, msu_mode=args.msu_mode, compute_output=False)
+            stats = matrix_workload("spmv", data)
+    cpu = CPUBaseline().run(stats)
+    gpu = GPUBaseline().run(stats)
+    energy = accelerator_energy(report, acc.config.peak_gops)
+    print(report.summary())
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["cycles", report.cycles],
+            ["time", f"{report.time_s * 1e6:.1f} us"],
+            ["throughput", f"{report.gops:.1f} GOP/s"],
+            ["bandwidth", f"{report.achieved_bw_gbs:.1f} GB/s"],
+            ["op intensity", f"{report.op_intensity:.2f} op/B"],
+            ["MSU mode", report.detail.get("msu_mode", "-")],
+            ["energy", f"{energy * 1e6:.1f} uJ"],
+            ["speedup vs CPU", f"{cpu.time_s / report.time_s:.1f}x"],
+            ["speedup vs GPU", f"{gpu.time_s / report.time_s:.2f}x"],
+        ],
+    ))
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    acc = Tensaurus()
+    rng = make_rng(0)
+    points = []
+    for name in datasets.list_tensors():
+        t = datasets.load_tensor(name)
+        b = rng.random((t.shape[1], args.rank))
+        c = rng.random((t.shape[2], args.rank))
+        if args.kernel == "spmttkrp":
+            report = acc.run_mttkrp(t, b, c, compute_output=False)
+        else:
+            report = acc.run_ttmc(t, b, c, compute_output=False)
+        points.append(
+            RooflinePoint.from_report(
+                name, report, acc.config.peak_gops, acc.config.peak_bw_gbs
+            )
+        )
+    print(ascii_roofline(points, acc.config.peak_gops, acc.config.peak_bw_gbs))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.formats import convert_matrix, convert_tensor
+    from repro.io import read_mtx, read_tns
+
+    if args.path.endswith(".tns"):
+        tensor = read_tns(args.path)
+        encoded = convert_tensor(
+            tensor, args.format, num_lanes=args.lanes, block=args.block
+        )
+        print(f"loaded {tensor}")
+    elif args.path.endswith(".mtx"):
+        matrix = read_mtx(args.path)
+        encoded = convert_matrix(matrix, args.format, num_lanes=args.lanes)
+        print(f"loaded {matrix}")
+    else:
+        raise SystemExit("input must be a .tns or .mtx file")
+    print(f"encoded: {encoded!r}")
+    for attr in ("num_entries", "entry_bytes", "padding_fraction",
+                 "storage_bytes", "nnz"):
+        value = getattr(encoded, attr, None)
+        if callable(value):
+            value = value()
+        if value is not None:
+            print(f"  {attr}: {value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "roofline":
+        return _cmd_roofline(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Synthetic dataset generators and the experiment dataset registry.
+
+No network access is available, so the paper's public datasets (FROSTT
+tensors, SuiteSparse matrices, pruned CNN weights) are replaced by
+generators that reproduce the published shape, nonzero count / density and
+the structural property that drives performance (slice-size skew for the
+web-scale tensors, banded structure for FEM/EM matrices, power-law degrees
+for graphs, uniform masks for pruned weights). The registry records both
+the paper's full-size numbers and the scaled size actually generated.
+"""
+
+from repro.datasets.generators import (
+    random_sparse_tensor,
+    random_sparse_tensor_nd,
+    poisson3d_tensor,
+    pruned_weight_matrix,
+    graph_matrix,
+    banded_matrix,
+    uniform_matrix,
+)
+from repro.datasets.registry import (
+    TensorSpec,
+    NDTensorSpec,
+    TENSOR4D_DATASETS,
+    list_tensors_4d,
+    load_tensor_4d,
+    MatrixSpec,
+    CNNLayerSpec,
+    TENSOR_DATASETS,
+    SUITESPARSE_DATASETS,
+    CNN_LAYERS,
+    load_tensor,
+    load_matrix,
+    load_cnn_layer,
+    list_tensors,
+    list_matrices,
+    list_cnn_layers,
+)
+
+__all__ = [
+    "random_sparse_tensor",
+    "random_sparse_tensor_nd",
+    "poisson3d_tensor",
+    "pruned_weight_matrix",
+    "graph_matrix",
+    "banded_matrix",
+    "uniform_matrix",
+    "TensorSpec",
+    "NDTensorSpec",
+    "TENSOR4D_DATASETS",
+    "list_tensors_4d",
+    "load_tensor_4d",
+    "MatrixSpec",
+    "CNNLayerSpec",
+    "TENSOR_DATASETS",
+    "SUITESPARSE_DATASETS",
+    "CNN_LAYERS",
+    "load_tensor",
+    "load_matrix",
+    "load_cnn_layer",
+    "list_tensors",
+    "list_matrices",
+    "list_cnn_layers",
+]

@@ -1,0 +1,101 @@
+"""Factorization quality metrics.
+
+Fit, factor congruence (the standard factor-recovery score) and
+normalization helpers used by the tests, examples and applications to
+judge decompositions beyond the raw ALS fit trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.factorization.cp import CPDecomposition
+from repro.tensor import SparseTensor
+from repro.tensor.ops import residual_norm
+from repro.util.errors import ShapeError
+
+TensorLike = Union[SparseTensor, np.ndarray]
+
+
+def fit_score(tensor: TensorLike, model_dense: np.ndarray) -> float:
+    """``1 - ||X - M|| / ||X||``; 1.0 is a perfect fit."""
+    if isinstance(tensor, SparseTensor):
+        norm_x = tensor.norm()
+        resid = residual_norm(tensor, model_dense)
+    else:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if tensor.shape != np.asarray(model_dense).shape:
+            raise ShapeError("tensor and model shapes differ")
+        norm_x = float(np.linalg.norm(tensor.ravel()))
+        resid = float(np.linalg.norm((tensor - model_dense).ravel()))
+    if norm_x == 0:
+        return 1.0 if resid == 0 else 0.0
+    return 1.0 - resid / norm_x
+
+
+def normalize_factors(
+    factors: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Pull column norms out of each factor: ``(weights, unit factors)``."""
+    weights = None
+    normalized = []
+    for f in factors:
+        f = np.asarray(f, dtype=np.float64)
+        norms = np.linalg.norm(f, axis=0)
+        norms = np.where(norms > 0, norms, 1.0)
+        normalized.append(f / norms)
+        weights = norms if weights is None else weights * norms
+    return weights, normalized
+
+
+def congruence(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Column-wise cosine similarity matrix between two factor matrices."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape[0] != b.shape[0]:
+        raise ShapeError("factor matrices must share the row dimension")
+    na = a / np.maximum(np.linalg.norm(a, axis=0), 1e-300)
+    nb = b / np.maximum(np.linalg.norm(b, axis=0), 1e-300)
+    return na.T @ nb
+
+
+def factor_match_score(
+    estimated: Sequence[np.ndarray], reference: Sequence[np.ndarray]
+) -> float:
+    """The factor match score (FMS) between two CP factor sets.
+
+    Greedily matches estimated components to reference components by the
+    product of per-mode congruences (absolute value: CP components have a
+    sign/permutation ambiguity) and averages the matched scores. 1.0 means
+    the decomposition recovered every planted component.
+    """
+    if len(estimated) != len(reference):
+        raise ShapeError("factor lists must cover the same modes")
+    rank = np.asarray(estimated[0]).shape[1]
+    score = np.ones((rank, np.asarray(reference[0]).shape[1]))
+    for est, ref in zip(estimated, reference):
+        score = score * np.abs(congruence(est, ref))
+    matched = []
+    used_rows: set = set()
+    used_cols: set = set()
+    flat = [
+        (float(score[r, c]), r, c)
+        for r in range(score.shape[0])
+        for c in range(score.shape[1])
+    ]
+    for s, r, c in sorted(flat, reverse=True):
+        if r in used_rows or c in used_cols:
+            continue
+        matched.append(s)
+        used_rows.add(r)
+        used_cols.add(c)
+        if len(matched) == min(score.shape):
+            break
+    return float(np.mean(matched)) if matched else 0.0
+
+
+def cp_factor_match(model: CPDecomposition, reference: Sequence[np.ndarray]) -> float:
+    """FMS of a fitted CP model against planted factors."""
+    return factor_match_score(model.factors, reference)

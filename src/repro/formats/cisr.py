@@ -1,0 +1,137 @@
+"""Compressed interleaved sparse row (CISR) — Fowers et al., FCCM 2014.
+
+CISR stores the nonzeros consumed by different PEs at the same cycle in
+adjacent memory slots, which fixes CSR's scattered accesses — but it needs a
+*centralized* row-length decoder (each lane only carries (value, column);
+row boundaries live in a separate row-length stream), forces lock-step lane
+consumption, and is defined only for matrices. CISS (``ciss.py``) removes
+all three limitations; this implementation exists as the prior-work
+comparison point and ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.util.errors import FormatError, ShapeError
+
+
+class CISRMatrix:
+    """CISR encoding of a sparse matrix for ``num_lanes`` parallel PEs.
+
+    Attributes
+    ----------
+    lane_cols / lane_vals:
+        ``(num_entries, num_lanes)`` interleaved column-index and value
+        arrays; entry ``t`` holds what every lane consumes at step ``t``.
+        Padding slots have column ``-1`` and value ``0``.
+    row_lengths:
+        The centralized decoder metadata: for each lane, the lengths of the
+        rows assigned to it, in assignment order.
+    lane_rows:
+        For each lane, the row indices assigned to it, in order.
+    """
+
+    __slots__ = (
+        "shape",
+        "num_lanes",
+        "lane_cols",
+        "lane_vals",
+        "row_lengths",
+        "lane_rows",
+    )
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        num_lanes: int,
+        lane_cols: np.ndarray,
+        lane_vals: np.ndarray,
+        row_lengths: List[List[int]],
+        lane_rows: List[List[int]],
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.num_lanes = int(num_lanes)
+        self.lane_cols = np.asarray(lane_cols, dtype=np.int64)
+        self.lane_vals = np.asarray(lane_vals, dtype=np.float64)
+        if self.lane_cols.shape != self.lane_vals.shape:
+            raise FormatError("lane_cols and lane_vals must align")
+        if self.lane_cols.ndim != 2 or self.lane_cols.shape[1] != self.num_lanes:
+            raise FormatError("lane arrays must be (entries, num_lanes)")
+        if len(row_lengths) != self.num_lanes or len(lane_rows) != self.num_lanes:
+            raise FormatError("per-lane metadata must have num_lanes entries")
+        self.row_lengths = [list(map(int, lens)) for lens in row_lengths]
+        self.lane_rows = [list(map(int, rows)) for rows in lane_rows]
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.lane_cols.shape[0])
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, num_lanes: int) -> "CISRMatrix":
+        """Encode with the least-loaded row scheduler of the CISR paper."""
+        if num_lanes <= 0:
+            raise ShapeError("num_lanes must be positive")
+        counts = coo.row_nnz_counts()
+        row_start = np.zeros(coo.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_start[1:])
+        lane_stream_cols: List[List[int]] = [[] for _ in range(num_lanes)]
+        lane_stream_vals: List[List[float]] = [[] for _ in range(num_lanes)]
+        row_lengths: List[List[int]] = [[] for _ in range(num_lanes)]
+        lane_rows: List[List[int]] = [[] for _ in range(num_lanes)]
+        for i in range(coo.shape[0]):
+            lo, hi = int(row_start[i]), int(row_start[i + 1])
+            if lo == hi:
+                continue
+            lane = min(range(num_lanes), key=lambda p: len(lane_stream_cols[p]))
+            lane_stream_cols[lane].extend(int(c) for c in coo.cols[lo:hi])
+            lane_stream_vals[lane].extend(float(v) for v in coo.vals[lo:hi])
+            row_lengths[lane].append(hi - lo)
+            lane_rows[lane].append(i)
+        depth = max((len(s) for s in lane_stream_cols), default=0)
+        cols = np.full((depth, num_lanes), -1, dtype=np.int64)
+        vals = np.zeros((depth, num_lanes), dtype=np.float64)
+        for lane in range(num_lanes):
+            n = len(lane_stream_cols[lane])
+            cols[:n, lane] = lane_stream_cols[lane]
+            vals[:n, lane] = lane_stream_vals[lane]
+        return cls(coo.shape, num_lanes, cols, vals, row_lengths, lane_rows)
+
+    def to_coo(self) -> COOMatrix:
+        """Decode back to triplets using the centralized row-length stream."""
+        rows_out: List[int] = []
+        cols_out: List[int] = []
+        vals_out: List[float] = []
+        for lane in range(self.num_lanes):
+            pos = 0
+            for row, length in zip(self.lane_rows[lane], self.row_lengths[lane]):
+                for _ in range(length):
+                    col = int(self.lane_cols[pos, lane])
+                    if col < 0:
+                        raise FormatError("row length walked into padding")
+                    rows_out.append(row)
+                    cols_out.append(col)
+                    vals_out.append(float(self.lane_vals[pos, lane]))
+                    pos += 1
+        return COOMatrix(
+            self.shape,
+            np.array(rows_out, dtype=np.int64),
+            np.array(cols_out, dtype=np.int64),
+            np.array(vals_out, dtype=np.float64),
+        )
+
+    def padding_fraction(self) -> float:
+        """Fraction of lane slots wasted on padding (load imbalance cost)."""
+        total = self.lane_cols.size
+        if total == 0:
+            return 0.0
+        return float(np.count_nonzero(self.lane_cols < 0)) / total
+
+    def __repr__(self) -> str:
+        return (
+            f"CISRMatrix(shape={self.shape}, lanes={self.num_lanes}, "
+            f"entries={self.num_entries})"
+        )

@@ -1,0 +1,376 @@
+"""Compressed interleaved sparse slice (CISS) — the paper's contribution.
+
+A CISS stream is an array of *entries*; each entry carries one record per PE
+lane, so the data all ``P`` PEs consume at one cycle occupies one contiguous
+memory block (Section 4, Fig. 3d). Each lane record is a triple
+``(nnz, i/j, k)``:
+
+- ``nnz == 0`` marks a **header**: ``i/j`` holds the index of the slice
+  (tensor) or row (matrix) now assigned to this lane.
+- ``nnz != 0`` marks a **nonzero**: ``i/j`` holds the mode-1 / column index
+  and ``k`` the mode-2 index (tensors only).
+
+Slices are dealt to lanes with a least-loaded greedy scheduler ("the next
+available slice ... to the PE with the least data"), which both balances
+work and determines the interleaving. Unlike CISR, every lane stream is
+self-describing (headers travel in-band), so no centralized row decoder or
+lock-step consumption is required, and the format extends to tensors.
+
+The hardware discriminates headers by ``nnz == 0``; this implementation also
+carries an explicit ``kind`` plane (header / nonzero / padding) so that the
+simulator and the decoders never rely on floating-point comparison, and so
+padding at the tail of short lanes is explicit and measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+KIND_HEADER = 0
+KIND_NNZ = 1
+KIND_PAD = 2
+
+
+@dataclass(frozen=True)
+class LaneRecord:
+    """One decoded lane record (mostly for tests and debugging)."""
+
+    kind: int
+    a: int  # slice/row index for headers; j / column index for nonzeros
+    k: int  # mode-2 index for tensor nonzeros; -1 otherwise
+    val: float
+
+
+class _CISSBase:
+    """Shared storage and lane mechanics for CISS matrices and tensors."""
+
+    __slots__ = ("shape", "num_lanes", "kinds", "a_idx", "k_idx", "vals")
+
+    #: number of index fields per record (2 for tensors: i/j and k; 1 for
+    #: matrices: i/j only). Subclasses override.
+    index_fields = 2
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        num_lanes: int,
+        kinds: np.ndarray,
+        a_idx: np.ndarray,
+        k_idx: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.num_lanes = int(num_lanes)
+        if self.num_lanes <= 0:
+            raise ShapeError("num_lanes must be positive")
+        self.kinds = np.asarray(kinds, dtype=np.uint8)
+        self.a_idx = np.asarray(a_idx, dtype=np.int64)
+        self.k_idx = np.asarray(k_idx, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        expected = self.kinds.shape
+        if len(expected) != 2 or expected[1] != self.num_lanes:
+            raise FormatError("record planes must be (entries, num_lanes)")
+        for plane in (self.a_idx, self.k_idx, self.vals):
+            if plane.shape != expected:
+                raise FormatError("record planes must all have the same shape")
+        header_vals = self.vals[self.kinds == KIND_HEADER]
+        if header_vals.size and np.any(header_vals != 0.0):
+            raise FormatError("header records must carry value 0 (nnz==0 sentinel)")
+        nnz_vals = self.vals[self.kinds == KIND_NNZ]
+        if nnz_vals.size and np.any(nnz_vals == 0.0):
+            raise FormatError("nonzero records must carry a nonzero value")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of CISS entries (the stream length in wide words)."""
+        return int(self.kinds.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.kinds == KIND_NNZ))
+
+    def entry_bytes(self, data_width: int = 4, index_width: int = 2) -> int:
+        """Bytes per CISS entry: ``(dw + index_fields*iw) * P`` bits, in bytes.
+
+        Matches the paper's ``(dw + 2*iw) * P`` for tensors.
+        """
+        bits = (8 * data_width + self.index_fields * 8 * index_width) * self.num_lanes
+        return bits // 8
+
+    def stream_bytes(self, data_width: int = 4, index_width: int = 2) -> int:
+        """Total bytes of the encoded stream."""
+        return self.num_entries * self.entry_bytes(data_width, index_width)
+
+    def padding_fraction(self) -> float:
+        """Fraction of lane slots that are padding (tail imbalance)."""
+        total = self.kinds.size
+        if total == 0:
+            return 0.0
+        return float(np.count_nonzero(self.kinds == KIND_PAD)) / total
+
+    def lane_nnz_counts(self) -> np.ndarray:
+        """Nonzero records per lane — the scheduler's balance target."""
+        return np.count_nonzero(self.kinds == KIND_NNZ, axis=0)
+
+    def lane_records(self, lane: int) -> List[LaneRecord]:
+        """Decoded record list for one lane (headers, nonzeros, pads)."""
+        if not 0 <= lane < self.num_lanes:
+            raise ShapeError(f"lane {lane} out of range")
+        return [
+            LaneRecord(
+                int(self.kinds[t, lane]),
+                int(self.a_idx[t, lane]),
+                int(self.k_idx[t, lane]),
+                float(self.vals[t, lane]),
+            )
+            for t in range(self.num_entries)
+        ]
+
+    def pe_address_trace(
+        self,
+        num_pes: int | None = None,
+        data_width: int = 4,
+        index_width: int = 2,
+        base_address: int = 0,
+    ) -> List[List[Tuple[int, int]]]:
+        """Per-cycle ``(address, size)`` requests when streaming the format.
+
+        All lanes' data for entry ``t`` is one contiguous block, so each
+        cycle issues a single wide request — the access pattern that lets
+        CISS saturate bandwidth in Fig. 3e.
+        """
+        if num_pes is not None and num_pes != self.num_lanes:
+            raise ShapeError(
+                f"stream encoded for {self.num_lanes} lanes, not {num_pes}"
+            )
+        size = self.entry_bytes(data_width, index_width)
+        return [
+            [(base_address + t * size, size)] for t in range(self.num_entries)
+        ]
+
+
+def _schedule_groups(
+    group_ids: np.ndarray,
+    group_start: np.ndarray,
+    num_lanes: int,
+) -> List[List[Tuple[int, int, int]]]:
+    """Deal groups (slices/rows) to lanes with the least-loaded policy.
+
+    Returns, per lane, a list of ``(group_id, lo, hi)`` record ranges in
+    assignment order. ``group_ids`` are the nonempty group indices in
+    increasing order; ``group_start`` brackets each group's records. A
+    group costs ``1 + (hi - lo)`` lane slots (header + nonzeros).
+    """
+    if num_lanes <= 0:
+        raise ShapeError("num_lanes must be positive")
+    loads = [0] * num_lanes
+    assignment: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_lanes)]
+    for gid, lo, hi in zip(group_ids, group_start[:-1], group_start[1:]):
+        lane = min(range(num_lanes), key=lambda p: loads[p])
+        loads[lane] += 1 + int(hi - lo)
+        assignment[lane].append((int(gid), int(lo), int(hi)))
+    return assignment
+
+
+def _build_planes(
+    num_lanes: int,
+    assignment: List[List[Tuple[int, int, int]]],
+    a_src: np.ndarray,
+    k_src: np.ndarray | None,
+    val_src: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize the record planes from a lane assignment (vectorized).
+
+    ``assignment[lane]`` lists ``(group_id, lo, hi)`` record ranges;
+    ``a_src``/``k_src``/``val_src`` are the source columns nonzero records
+    draw from (indexed by record position ``lo..hi``).
+    """
+    depth = max(
+        (sum(1 + hi - lo for _, lo, hi in asg) for asg in assignment),
+        default=0,
+    )
+    kinds = np.full((depth, num_lanes), KIND_PAD, dtype=np.uint8)
+    a_idx = np.full((depth, num_lanes), -1, dtype=np.int64)
+    k_idx = np.full((depth, num_lanes), -1, dtype=np.int64)
+    vals = np.zeros((depth, num_lanes), dtype=np.float64)
+    for lane, asg in enumerate(assignment):
+        if not asg:
+            continue
+        gids = np.array([g for g, _, _ in asg], dtype=np.int64)
+        los = np.array([lo for _, lo, _ in asg], dtype=np.int64)
+        his = np.array([hi for _, _, hi in asg], dtype=np.int64)
+        seg = 1 + his - los
+        ends = np.cumsum(seg)
+        starts = ends - seg  # header slot of each group
+        kinds[starts, lane] = KIND_HEADER
+        a_idx[starts, lane] = gids
+        total = int(ends[-1])
+        mask = np.ones(total, dtype=bool)
+        mask[starts] = False
+        pos = np.flatnonzero(mask)
+        if pos.size:
+            src = np.concatenate(
+                [np.arange(lo, hi, dtype=np.int64) for lo, hi in zip(los, his)]
+            )
+            kinds[pos, lane] = KIND_NNZ
+            a_idx[pos, lane] = a_src[src]
+            if k_src is not None:
+                k_idx[pos, lane] = k_src[src]
+            vals[pos, lane] = val_src[src]
+    return kinds, a_idx, k_idx, vals
+
+
+class CISSTensor(_CISSBase):
+    """CISS encoding of a 3-d sparse tensor, sliced along a chosen mode."""
+
+    index_fields = 2
+
+    def __init__(self, shape, num_lanes, kinds, a_idx, k_idx, vals, mode: int = 0):
+        if len(tuple(shape)) != 3:
+            raise ShapeError("CISSTensor stores 3-d tensors")
+        super().__init__(shape, num_lanes, kinds, a_idx, k_idx, vals)
+        if not 0 <= mode < 3:
+            raise ShapeError("slice mode must be 0, 1 or 2")
+        self.mode = int(mode)
+
+    __slots__ = ("mode",)
+
+    @classmethod
+    def from_sparse(
+        cls, tensor: SparseTensor, num_lanes: int, mode: int = 0
+    ) -> "CISSTensor":
+        """Encode a 3-d sparse tensor, slicing along ``mode``.
+
+        MTTKRP/TTMc along mode ``n`` iterate slices ``A(i, :, :)`` of that
+        mode; the encoder permutes the tensor so the slice mode leads, then
+        deals slices to lanes least-loaded-first.
+        """
+        if tensor.ndim != 3:
+            raise ShapeError("CISSTensor stores 3-d tensors")
+        if not 0 <= mode < 3:
+            raise ShapeError("slice mode must be 0, 1 or 2")
+        rest = [m for m in range(3) if m != mode]
+        perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        counts = perm.slice_nnz_counts(0)
+        nonempty = np.flatnonzero(counts)
+        starts = np.zeros(perm.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        group_start = (
+            np.append(starts[nonempty], perm.nnz)
+            if nonempty.size
+            else np.array([0], dtype=np.int64)
+        )
+        assignment = _schedule_groups(nonempty, group_start, num_lanes)
+        coords = perm.coords
+        planes = _build_planes(
+            num_lanes, assignment, coords[:, 1], coords[:, 2], perm.values
+        )
+        return cls(tensor.shape, num_lanes, *planes, mode=mode)
+
+    @classmethod
+    def from_dense(
+        cls, array: np.ndarray, num_lanes: int, mode: int = 0
+    ) -> "CISSTensor":
+        """On-the-fly CISS construction from dense data (TLU dense mode)."""
+        return cls.from_sparse(SparseTensor.from_dense(array), num_lanes, mode)
+
+    def to_sparse(self) -> SparseTensor:
+        """Decode every lane independently back to canonical COO form."""
+        coords: List[Tuple[int, int, int]] = []
+        vals: List[float] = []
+        for lane in range(self.num_lanes):
+            current = -1
+            for t in range(self.num_entries):
+                kind = self.kinds[t, lane]
+                if kind == KIND_PAD:
+                    continue
+                if kind == KIND_HEADER:
+                    current = int(self.a_idx[t, lane])
+                    continue
+                if current < 0:
+                    raise FormatError("nonzero record before any slice header")
+                coords.append(
+                    (current, int(self.a_idx[t, lane]), int(self.k_idx[t, lane]))
+                )
+                vals.append(float(self.vals[t, lane]))
+        rest = [m for m in range(3) if m != self.mode]
+        perm_shape = (self.shape[self.mode],) + tuple(self.shape[m] for m in rest)
+        coords_arr = (
+            np.array(coords, dtype=np.int64)
+            if coords
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        perm = SparseTensor(perm_shape, coords_arr, np.array(vals, dtype=np.float64))
+        inverse = np.argsort([self.mode] + rest)
+        return perm.permute_modes(inverse)
+
+    def __repr__(self) -> str:
+        return (
+            f"CISSTensor(shape={self.shape}, mode={self.mode}, "
+            f"lanes={self.num_lanes}, entries={self.num_entries})"
+        )
+
+
+class CISSMatrix(_CISSBase):
+    """CISS encoding of a sparse matrix (rows play the role of slices)."""
+
+    index_fields = 1
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, num_lanes: int) -> "CISSMatrix":
+        counts = coo.row_nnz_counts()
+        nonempty = np.flatnonzero(counts)
+        starts = np.zeros(coo.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        group_start = (
+            np.append(starts[nonempty], coo.nnz)
+            if nonempty.size
+            else np.array([0], dtype=np.int64)
+        )
+        assignment = _schedule_groups(nonempty, group_start, num_lanes)
+        planes = _build_planes(num_lanes, assignment, coo.cols, None, coo.vals)
+        return cls(coo.shape, num_lanes, *planes)
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, num_lanes: int) -> "CISSMatrix":
+        """On-the-fly CISS construction from a dense matrix (TLU dense mode)."""
+        return cls.from_coo(COOMatrix.from_dense(array), num_lanes)
+
+    def to_coo(self) -> COOMatrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for lane in range(self.num_lanes):
+            current = -1
+            for t in range(self.num_entries):
+                kind = self.kinds[t, lane]
+                if kind == KIND_PAD:
+                    continue
+                if kind == KIND_HEADER:
+                    current = int(self.a_idx[t, lane])
+                    continue
+                if current < 0:
+                    raise FormatError("nonzero record before any row header")
+                rows.append(current)
+                cols.append(int(self.a_idx[t, lane]))
+                vals.append(float(self.vals[t, lane]))
+        return COOMatrix(
+            self.shape,
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals, dtype=np.float64),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CISSMatrix(shape={self.shape}, lanes={self.num_lanes}, "
+            f"entries={self.num_entries})"
+        )

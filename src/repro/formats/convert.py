@@ -1,0 +1,114 @@
+"""Format conversion dispatcher.
+
+One entry point for moving tensors and matrices between the storage
+formats in this package, so callers (and the CLI) don't need to know each
+class's constructor conventions. All conversions route through the
+canonical COO substrate, which every format round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.formats.cisr import CISRMatrix
+from repro.formats.ciss import CISSMatrix, CISSTensor
+from repro.formats.ciss_nd import CISSTensorND
+from repro.formats.coo import COOMatrix
+from repro.formats.csf import CSFTensor
+from repro.formats.csr import CSCMatrix, CSRMatrix
+from repro.formats.extended_csr import ExtendedCSRTensor
+from repro.formats.hicoo import HiCOOTensor
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError
+
+TENSOR_FORMATS = ("coo", "ext_csr", "csf", "ciss", "ciss_nd", "hicoo")
+MATRIX_FORMATS = ("coo", "csr", "csc", "cisr", "ciss")
+
+TensorFormat = Union[
+    SparseTensor, ExtendedCSRTensor, CSFTensor, CISSTensor, CISSTensorND,
+    HiCOOTensor,
+]
+MatrixFormat = Union[COOMatrix, CSRMatrix, CSCMatrix, CISRMatrix, CISSMatrix]
+
+
+def tensor_to_coo(encoded: TensorFormat) -> SparseTensor:
+    """Decode any tensor format back to the canonical COO substrate."""
+    if isinstance(encoded, SparseTensor):
+        return encoded
+    if isinstance(encoded, (ExtendedCSRTensor, CSFTensor, CISSTensor,
+                            CISSTensorND, HiCOOTensor)):
+        return encoded.to_sparse()
+    raise FormatError(f"unknown tensor format {type(encoded).__name__}")
+
+
+def convert_tensor(
+    source: TensorFormat,
+    target: str,
+    *,
+    num_lanes: int = 8,
+    mode: int = 0,
+    mode_order=None,
+    block: int = 128,
+) -> TensorFormat:
+    """Convert a tensor between formats.
+
+    ``target`` is one of ``coo | ext_csr | csf | ciss | ciss_nd | hicoo``;
+    the keyword arguments parameterize the formats that need them (CISS
+    lanes/slice mode, CSF mode order, HiCOO block size).
+    """
+    tensor = tensor_to_coo(source)
+    target = target.lower()
+    if target == "coo":
+        return tensor
+    if target == "ext_csr":
+        return ExtendedCSRTensor.from_sparse(tensor)
+    if target == "csf":
+        return CSFTensor.from_sparse(tensor, mode_order)
+    if target == "ciss":
+        return CISSTensor.from_sparse(tensor, num_lanes, mode=mode)
+    if target == "ciss_nd":
+        return CISSTensorND.from_sparse(tensor, num_lanes, mode=mode)
+    if target == "hicoo":
+        return HiCOOTensor.from_sparse(tensor, block)
+    raise FormatError(
+        f"unknown tensor format {target!r}; expected one of {TENSOR_FORMATS}"
+    )
+
+
+def matrix_to_coo(encoded: Union[MatrixFormat, np.ndarray]) -> COOMatrix:
+    """Decode any matrix format (or a dense array) to COO."""
+    if isinstance(encoded, COOMatrix):
+        return encoded
+    if isinstance(encoded, np.ndarray):
+        return COOMatrix.from_dense(encoded)
+    if isinstance(encoded, (CSRMatrix, CISRMatrix, CISSMatrix)):
+        return encoded.to_coo()
+    if isinstance(encoded, CSCMatrix):
+        return COOMatrix.from_dense(encoded.to_dense())
+    raise FormatError(f"unknown matrix format {type(encoded).__name__}")
+
+
+def convert_matrix(
+    source: Union[MatrixFormat, np.ndarray],
+    target: str,
+    *,
+    num_lanes: int = 8,
+) -> MatrixFormat:
+    """Convert a matrix between formats (``coo | csr | csc | cisr | ciss``)."""
+    coo = matrix_to_coo(source)
+    target = target.lower()
+    if target == "coo":
+        return coo
+    if target == "csr":
+        return CSRMatrix.from_coo(coo)
+    if target == "csc":
+        return CSCMatrix.from_coo(coo)
+    if target == "cisr":
+        return CISRMatrix.from_coo(coo, num_lanes)
+    if target == "ciss":
+        return CISSMatrix.from_coo(coo, num_lanes)
+    raise FormatError(
+        f"unknown matrix format {target!r}; expected one of {MATRIX_FORMATS}"
+    )

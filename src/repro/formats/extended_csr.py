@@ -1,0 +1,137 @@
+"""Extended CSR for 3-d tensors — the strawman format of Fig. 3b.
+
+All nonzeros are stored contiguously as ``(value, j, k)`` records in slice
+order, and an array of slice pointers marks where each mode-0 slice begins.
+When multiple PEs each stream a different slice, their per-cycle accesses
+land at far-apart addresses — the bandwidth pathology CISS fixes (Fig. 3c/e).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+
+class ExtendedCSRTensor:
+    """Slice-pointer + record-stream layout for a 3-d sparse tensor.
+
+    Attributes
+    ----------
+    slice_ptr:
+        ``(I + 1,)`` pointers into the record stream; slice ``i`` owns records
+        ``[slice_ptr[i], slice_ptr[i+1])``.
+    j_idx, k_idx, vals:
+        Aligned record arrays for the mode-1 index, mode-2 index and value.
+    """
+
+    __slots__ = ("shape", "slice_ptr", "j_idx", "k_idx", "vals")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int],
+        slice_ptr: np.ndarray,
+        j_idx: np.ndarray,
+        k_idx: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        if len(shape) != 3:
+            raise ShapeError("ExtendedCSRTensor stores 3-d tensors")
+        self.shape = tuple(int(s) for s in shape)
+        self.slice_ptr = np.asarray(slice_ptr, dtype=np.int64)
+        self.j_idx = np.asarray(j_idx, dtype=np.int64)
+        self.k_idx = np.asarray(k_idx, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        if self.slice_ptr.shape != (self.shape[0] + 1,):
+            raise FormatError("slice_ptr must have length I+1")
+        if not (self.j_idx.shape == self.k_idx.shape == self.vals.shape):
+            raise FormatError("record arrays must align")
+        if self.slice_ptr[0] != 0 or self.slice_ptr[-1] != self.vals.shape[0]:
+            raise FormatError("slice_ptr endpoints inconsistent with records")
+        if np.any(np.diff(self.slice_ptr) < 0):
+            raise FormatError("slice_ptr must be non-decreasing")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.shape[0])
+
+    @classmethod
+    def from_sparse(cls, tensor: SparseTensor) -> "ExtendedCSRTensor":
+        if tensor.ndim != 3:
+            raise ShapeError("ExtendedCSRTensor stores 3-d tensors")
+        counts = tensor.slice_nnz_counts(0)
+        slice_ptr = np.zeros(tensor.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=slice_ptr[1:])
+        coords = tensor.coords  # canonical order is already slice-major
+        return cls(
+            tensor.shape, slice_ptr, coords[:, 1], coords[:, 2], tensor.values
+        )
+
+    def to_sparse(self) -> SparseTensor:
+        i_idx = np.repeat(np.arange(self.shape[0]), np.diff(self.slice_ptr))
+        coords = np.stack([i_idx, self.j_idx, self.k_idx], axis=1)
+        return SparseTensor(self.shape, coords, self.vals)
+
+    def slice_records(
+        self, i: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(j, k, value)`` records of slice ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"slice {i} out of range")
+        lo, hi = self.slice_ptr[i], self.slice_ptr[i + 1]
+        return self.j_idx[lo:hi], self.k_idx[lo:hi], self.vals[lo:hi]
+
+    def record_bytes(self, data_width: int = 4, index_width: int = 2) -> int:
+        """Bytes per ``(value, j, k)`` record at the given field widths."""
+        return data_width + 2 * index_width
+
+    def pe_address_trace(
+        self,
+        num_pes: int,
+        data_width: int = 4,
+        index_width: int = 2,
+        base_address: int = 0,
+    ) -> List[List[Tuple[int, int]]]:
+        """Per-cycle ``(address, size)`` requests for ``num_pes`` streaming PEs.
+
+        Slices are assigned to PEs with the same least-loaded policy CISS
+        uses, so the comparison in Fig. 3e isolates *layout* (where the bytes
+        live), not scheduling. Each inner list is the set of simultaneous
+        requests at one cycle; PE ``p``'s request at cycle ``t`` is its
+        ``t``-th record, located wherever the slice-major layout put it.
+        """
+        rec = self.record_bytes(data_width, index_width)
+        # Least-loaded assignment over nonempty slices, in slice order.
+        loads = [0] * num_pes
+        per_pe_offsets: List[List[int]] = [[] for _ in range(num_pes)]
+        for i in range(self.shape[0]):
+            lo, hi = int(self.slice_ptr[i]), int(self.slice_ptr[i + 1])
+            if lo == hi:
+                continue
+            pe = min(range(num_pes), key=lambda p: loads[p])
+            # One extra access for the slice pointer itself.
+            loads[pe] += 1 + (hi - lo)
+            per_pe_offsets[pe].append(-1 - i)  # pointer fetch marker
+            per_pe_offsets[pe].extend(range(lo, hi))
+        depth = max((len(seq) for seq in per_pe_offsets), default=0)
+        trace: List[List[Tuple[int, int]]] = []
+        ptr_base = base_address
+        rec_base = base_address + (self.shape[0] + 1) * 8
+        for t in range(depth):
+            cycle: List[Tuple[int, int]] = []
+            for p in range(num_pes):
+                if t >= len(per_pe_offsets[p]):
+                    continue
+                off = per_pe_offsets[p][t]
+                if off < 0:  # slice-pointer access
+                    cycle.append((ptr_base + (-off - 1) * 8, 8))
+                else:
+                    cycle.append((rec_base + off * rec, rec))
+            trace.append(cycle)
+        return trace
+
+    def __repr__(self) -> str:
+        return f"ExtendedCSRTensor(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,132 @@
+"""Storage-format statistics.
+
+One summary object per encoded tensor/matrix, used by the storage ablation
+benchmark and the CLI: bytes per nonzero, index overhead, lane balance and
+padding for the interleaved formats, clustering for HiCOO. Having these in
+the library (rather than ad hoc in benches) lets downstream users profile
+their own data before picking a format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.formats.cisr import CISRMatrix
+from repro.formats.ciss import CISSMatrix, CISSTensor, KIND_NNZ
+from repro.formats.ciss_nd import CISSTensorND
+from repro.formats.coo import COOMatrix
+from repro.formats.csf import CSFTensor
+from repro.formats.csr import CSRMatrix
+from repro.formats.extended_csr import ExtendedCSRTensor
+from repro.formats.hicoo import HiCOOTensor
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError
+
+
+@dataclass(frozen=True)
+class FormatStats:
+    """Storage/balance profile of one encoded object."""
+
+    format_name: str
+    nnz: int
+    total_bytes: int
+    value_bytes: int
+    lane_imbalance: Optional[float]  # max/mean nonzeros per lane, if laned
+    padding_fraction: Optional[float]  # wasted slots, if laned
+
+    @property
+    def bytes_per_nnz(self) -> float:
+        if self.nnz == 0:
+            return 0.0
+        return self.total_bytes / self.nnz
+
+    @property
+    def index_overhead(self) -> float:
+        """(total - values) / values: 0 means pure payload."""
+        if self.value_bytes == 0:
+            return 0.0
+        return (self.total_bytes - self.value_bytes) / self.value_bytes
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.format_name}: {self.bytes_per_nnz:.2f} B/nnz",
+            f"index overhead {self.index_overhead:.2f}x",
+        ]
+        if self.lane_imbalance is not None:
+            parts.append(f"lane max/mean {self.lane_imbalance:.2f}")
+        if self.padding_fraction is not None:
+            parts.append(f"padding {self.padding_fraction:.1%}")
+        return ", ".join(parts)
+
+
+def _lane_imbalance(kinds: np.ndarray) -> float:
+    counts = np.count_nonzero(kinds == KIND_NNZ, axis=0)
+    mean = counts.mean() if counts.size else 0.0
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)
+
+
+def format_stats(encoded, data_width: int = 4, index_width: int = 2) -> FormatStats:
+    """Profile any format object from this package."""
+    dw = data_width
+    if isinstance(encoded, SparseTensor):
+        return FormatStats(
+            "coo", encoded.nnz,
+            encoded.nnz * (dw + encoded.ndim * 4), encoded.nnz * dw,
+            None, None,
+        )
+    if isinstance(encoded, COOMatrix):
+        return FormatStats(
+            "coo", encoded.nnz, encoded.nnz * (dw + 8), encoded.nnz * dw,
+            None, None,
+        )
+    if isinstance(encoded, CSRMatrix):
+        return FormatStats(
+            "csr", encoded.nnz, encoded.storage_bytes(dw, 4),
+            encoded.nnz * dw, None, None,
+        )
+    if isinstance(encoded, ExtendedCSRTensor):
+        total = (encoded.slice_ptr.shape[0] * 8
+                 + encoded.nnz * encoded.record_bytes(dw, index_width))
+        return FormatStats(
+            "ext_csr", encoded.nnz, total, encoded.nnz * dw, None, None
+        )
+    if isinstance(encoded, CSFTensor):
+        return FormatStats(
+            "csf", encoded.nnz, encoded.traversal_word_count() * 4,
+            encoded.nnz * dw, None, None,
+        )
+    if isinstance(encoded, HiCOOTensor):
+        return FormatStats(
+            "hicoo", encoded.nnz, encoded.storage_bytes(dw),
+            encoded.nnz * dw, None, None,
+        )
+    if isinstance(encoded, (CISSTensor, CISSMatrix)):
+        return FormatStats(
+            "ciss", encoded.nnz,
+            encoded.stream_bytes(dw, index_width), encoded.nnz * dw,
+            _lane_imbalance(encoded.kinds), encoded.padding_fraction(),
+        )
+    if isinstance(encoded, CISSTensorND):
+        return FormatStats(
+            "ciss_nd", encoded.nnz,
+            encoded.stream_bytes(dw, index_width), encoded.nnz * dw,
+            _lane_imbalance(encoded.kinds), encoded.padding_fraction(),
+        )
+    if isinstance(encoded, CISRMatrix):
+        nnz = int(np.count_nonzero(encoded.lane_cols >= 0))
+        total = encoded.lane_cols.size * (dw + 4) + sum(
+            len(lens) * 4 for lens in encoded.row_lengths
+        )
+        counts = np.count_nonzero(encoded.lane_cols >= 0, axis=0)
+        mean = counts.mean() if counts.size else 0.0
+        return FormatStats(
+            "cisr", nnz, total, nnz * dw,
+            float(counts.max() / mean) if mean else 1.0,
+            encoded.padding_fraction(),
+        )
+    raise FormatError(f"cannot profile {type(encoded).__name__}")

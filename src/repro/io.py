@@ -1,0 +1,196 @@
+"""Dataset file I/O: FROSTT ``.tns`` tensors and MatrixMarket ``.mtx``
+matrices.
+
+The paper's tensors come from FROSTT (ref. [50]) and its matrices from
+SuiteSparse (ref. [49]); both collections distribute plain-text formats.
+This module reads and writes them so a user with network access can drop
+the real files in place of the synthetic generators:
+
+- **FROSTT .tns** — whitespace-separated lines of ``i_1 ... i_N value``
+  with 1-based indices; ``#`` comment lines allowed.
+- **MatrixMarket coordinate** — a ``%%MatrixMarket matrix coordinate ...``
+  header, ``%`` comments, a ``rows cols nnz`` size line, then 1-based
+  ``row col [value]`` entries. ``pattern`` matrices get unit values;
+  ``symmetric`` matrices are expanded.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import List, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError
+
+PathLike = Union[str, Path]
+
+
+def _open_for_read(source: Union[PathLike, TextIO]) -> Tuple[TextIO, bool]:
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: Union[PathLike, TextIO]) -> Tuple[TextIO, bool]:
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+# ----------------------------------------------------------------------
+# FROSTT .tns
+# ----------------------------------------------------------------------
+def read_tns(
+    source: Union[PathLike, TextIO],
+    shape: Sequence[int] | None = None,
+) -> SparseTensor:
+    """Read a FROSTT ``.tns`` tensor (1-based indices).
+
+    ``shape`` overrides the inferred dimensions (the max index per mode)
+    when the true extent exceeds the occupied extent.
+    """
+    handle, owned = _open_for_read(source)
+    try:
+        coords: List[List[int]] = []
+        values: List[float] = []
+        ndim = None
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if ndim is None:
+                ndim = len(parts) - 1
+                if ndim < 1:
+                    raise FormatError(f"line {lineno}: too few fields")
+            if len(parts) != ndim + 1:
+                raise FormatError(
+                    f"line {lineno}: expected {ndim + 1} fields, got {len(parts)}"
+                )
+            try:
+                idx = [int(p) - 1 for p in parts[:-1]]
+                val = float(parts[-1])
+            except ValueError as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+            if any(i < 0 for i in idx):
+                raise FormatError(f"line {lineno}: indices are 1-based")
+            coords.append(idx)
+            values.append(val)
+    finally:
+        if owned:
+            handle.close()
+    if ndim is None:
+        raise FormatError("empty .tns input")
+    coords_arr = np.array(coords, dtype=np.int64)
+    if shape is None:
+        shape = tuple(int(coords_arr[:, m].max()) + 1 for m in range(ndim))
+    return SparseTensor(shape, coords_arr, np.array(values))
+
+
+def write_tns(
+    tensor: SparseTensor, target: Union[PathLike, TextIO]
+) -> None:
+    """Write a tensor as FROSTT ``.tns`` (1-based indices)."""
+    handle, owned = _open_for_write(target)
+    try:
+        handle.write(f"# shape: {' '.join(map(str, tensor.shape))}\n")
+        for idx, val in tensor.iter_entries():
+            fields = " ".join(str(i + 1) for i in idx)
+            handle.write(f"{fields} {val:.17g}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket coordinate
+# ----------------------------------------------------------------------
+def read_mtx(source: Union[PathLike, TextIO]) -> COOMatrix:
+    """Read a MatrixMarket coordinate matrix (real/integer/pattern;
+    general or symmetric)."""
+    handle, owned = _open_for_read(source)
+    try:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError("missing MatrixMarket header")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise FormatError(f"unsupported MatrixMarket header: {header!r}")
+        field = tokens[3]
+        symmetry = tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+        size_line = None
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("%"):
+                continue
+            size_line = text
+            break
+        if size_line is None:
+            raise FormatError("missing size line")
+        try:
+            nrows, ncols, nnz = (int(x) for x in size_line.split())
+        except ValueError as exc:
+            raise FormatError(f"bad size line {size_line!r}") from exc
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        stored = 0
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("%"):
+                continue
+            parts = text.split()
+            r, c = int(parts[0]) - 1, int(parts[1]) - 1
+            v = 1.0 if field == "pattern" else float(parts[2])
+            stored += 1
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+            if symmetry == "symmetric" and r != c:
+                rows.append(c)
+                cols.append(r)
+                vals.append(v)
+        if stored != nnz:
+            raise FormatError(f"expected {nnz} stored entries, found {stored}")
+    finally:
+        if owned:
+            handle.close()
+    return COOMatrix(
+        (nrows, ncols),
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals),
+    )
+
+
+def write_mtx(matrix: COOMatrix, target: Union[PathLike, TextIO]) -> None:
+    """Write a matrix in MatrixMarket coordinate/real/general form."""
+    handle, owned = _open_for_write(target)
+    try:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write(f"{matrix.shape[0]} {matrix.shape[1]} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+            handle.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def tns_dumps(tensor: SparseTensor) -> str:
+    """Serialize a tensor to a ``.tns`` string."""
+    buf = _io.StringIO()
+    write_tns(tensor, buf)
+    return buf.getvalue()
+
+
+def tns_loads(text: str, shape: Sequence[int] | None = None) -> SparseTensor:
+    """Parse a ``.tns`` string."""
+    return read_tns(_io.StringIO(text), shape=shape)

@@ -1,0 +1,62 @@
+"""Vector/matrix products underlying the tensor kernels.
+
+The paper builds MTTKRP on the Hadamard product (element-wise, Eq. 2) and
+TTMc on the Kronecker product (outer, Eq. 5); the Khatri-Rao product is the
+column-wise Kronecker that matricized MTTKRP multiplies by.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def hadamard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise product of two arrays of identical shape (the paper's ◦)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(f"hadamard operands differ in shape: {a.shape} vs {b.shape}")
+    return a * b
+
+
+def kron_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kronecker (outer) product of two vectors, shaped ``(len(a), len(b))``.
+
+    This is the paper's ⊗ as used in TTMc: ``fiber1 ⊗ fiber0`` produces the
+    ``F1 x F2`` output slice contribution.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ShapeError("kron_vec expects 1-d operands")
+    return np.outer(a, b)
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Khatri-Rao product with first-matrix-fastest row order.
+
+    For matrices ``M_0 (I0 x F), ..., M_{p-1} (I_{p-1} x F)`` the result has
+    ``I0 * ... * I_{p-1}`` rows and ``F`` columns, where row
+    ``i0 + I0*i1 + I0*I1*i2 + ...`` equals ``M_0(i0,:) ◦ M_1(i1,:) ◦ ...``.
+
+    This row order matches :meth:`repro.tensor.SparseTensor.unfold` (earliest
+    remaining mode varies fastest), so ``mttkrp(A, n) == unfold(A, n) @
+    khatri_rao(factors except n)`` holds directly.
+    """
+    mats = [np.asarray(m, dtype=np.float64) for m in matrices]
+    if not mats:
+        raise ShapeError("khatri_rao needs at least one matrix")
+    ncols = mats[0].shape[1]
+    for m in mats:
+        if m.ndim != 2 or m.shape[1] != ncols:
+            raise ShapeError("khatri_rao operands must share the column count")
+    out = mats[0]
+    for m in mats[1:]:
+        # New rows: existing index varies fastest -> repeat new matrix rows,
+        # tile the accumulated block.
+        out = np.repeat(m, out.shape[0], axis=0) * np.tile(out, (m.shape[0], 1))
+    return out

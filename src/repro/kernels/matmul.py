@@ -1,0 +1,63 @@
+"""Matrix-matrix and matrix-vector kernels (Sections 2.4, 2.5).
+
+GEMM/GEMV take dense operands; SpMM/SpMV take the sparse operand as a
+:class:`repro.formats.CSRMatrix` (the software-side format) and compute
+row-by-row exactly as the SF3 mapping in Table 1 prescribes: ``Y(i,:) =
+sum_{j in row i} A(i,j) * B(j,:)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.util.errors import KernelError
+from repro.util.validation import check_shape_match
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matrix-matrix product ``Y = A @ B``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise KernelError("gemm expects 2-d operands")
+    check_shape_match("A columns", a.shape[1], "B rows", b.shape[0])
+    return a @ b
+
+
+def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Dense matrix-vector product ``y = A @ x``."""
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if a.ndim != 2 or x.ndim != 1:
+        raise KernelError("gemv expects a matrix and a vector")
+    check_shape_match("A columns", a.shape[1], "x length", x.shape[0])
+    return a @ x
+
+
+def spmm(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Sparse × dense matrix product, accumulated row-wise (SF3 order)."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2:
+        raise KernelError("spmm expects a dense 2-d right operand")
+    check_shape_match("A columns", a.shape[1], "B rows", b.shape[0])
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float64)
+    if a.nnz == 0:
+        return out
+    rows = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
+    np.add.at(out, rows, a.data[:, None] * b[a.indices, :])
+    return out
+
+
+def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix × dense vector product."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise KernelError("spmv expects a dense vector right operand")
+    check_shape_match("A columns", a.shape[1], "x length", x.shape[0])
+    out = np.zeros(a.shape[0], dtype=np.float64)
+    if a.nnz == 0:
+        return out
+    rows = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
+    np.add.at(out, rows, a.data * x[a.indices])
+    return out

@@ -1,0 +1,196 @@
+"""The SF3 compute pattern (Section 3, Eq. 9) as an executable abstraction.
+
+    fibers_out = sum_{D1} fiber1  op  sum_{D0} (scalar * fiber0)
+
+:class:`SF3Spec` captures one kernel instance as the hardware sees it: an
+iteration space of output groups (slices/rows), each a set of D1 points, each
+of which owns a set of D0 points carrying a scalar; plus the two fiber
+sources and the combining ``op`` (Hadamard, Kronecker, or none). Table 1's
+eight kernels are produced by the ``sf3_spec_*`` builders, and
+:func:`execute_sf3` evaluates any spec in exactly the accelerator's
+TSR-then-OSR order. Tests assert the generic executor matches every direct
+kernel, which is the paper's central claim: one pattern covers them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.kernels.linalg import hadamard, kron_vec
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+from repro.util.validation import check_mode
+
+#: D0 point: (fiber0 index, scalar value)
+D0Point = Tuple[int, float]
+#: D1 point: (fiber1 index or -1 when fiber1 is not applicable, D0 set)
+D1Point = Tuple[int, List[D0Point]]
+
+
+@dataclass
+class SF3Spec:
+    """One kernel instance expressed in the SF3 pattern.
+
+    Attributes
+    ----------
+    kernel:
+        Human-readable kernel name (``"spmttkrp"`` etc.), for reporting.
+    groups:
+        ``{output index i: [(d1_index, [(d0_index, scalar), ...]), ...]}``.
+        For kernels without ``fiber1`` (SpMM/SpMV/GEMM/GEMV) ``d1_index`` is
+        ``-1`` and there is exactly one D1 point per group.
+    fiber0 / fiber1:
+        Dense fiber sources: ``fiber0[d0]`` and ``fiber1[d1]`` are the fibers
+        of Eq. (9). ``fiber1`` is ``None`` when not applicable.
+    op:
+        ``"hadamard"``, ``"kron"`` or ``None`` (Table 1's op column).
+    out_shape:
+        Shape of the full output (first axis indexes the output groups).
+    """
+
+    kernel: str
+    groups: Dict[int, List[D1Point]]
+    fiber0: np.ndarray
+    fiber1: Optional[np.ndarray]
+    op: Optional[str]
+    out_shape: Tuple[int, ...]
+    flop_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.op not in (None, "hadamard", "kron"):
+            raise KernelError(f"unknown op {self.op!r}")
+        if (self.op is None) != (self.fiber1 is None):
+            raise KernelError("fiber1 must be present exactly when op is set")
+
+
+def execute_sf3(spec: SF3Spec) -> np.ndarray:
+    """Evaluate an :class:`SF3Spec` in the accelerator's dataflow order.
+
+    Per output group: for each D1 point, the inner sum over D0 accumulates
+    ``scalar * fiber0`` (the TSR contents), then ``fiber1 op TSR`` (or TSR
+    itself when op is None) accumulates into the group's output (the OSR).
+    """
+    out = np.zeros(spec.out_shape, dtype=np.float64)
+    f0 = np.asarray(spec.fiber0, dtype=np.float64)
+    f1 = None if spec.fiber1 is None else np.asarray(spec.fiber1, dtype=np.float64)
+    for i, d1_points in spec.groups.items():
+        acc = np.zeros(spec.out_shape[1:], dtype=np.float64)
+        for d1_index, d0_points in d1_points:
+            tsr = np.zeros(f0.shape[1:] if f0.ndim > 1 else (), dtype=np.float64)
+            for d0_index, scalar in d0_points:
+                tsr = tsr + scalar * f0[d0_index]
+            if spec.op is None:
+                acc = acc + tsr
+            elif spec.op == "hadamard":
+                acc = acc + hadamard(f1[d1_index], tsr)
+            else:  # kron
+                acc = acc + kron_vec(f1[d1_index], tsr)
+        out[i] = acc
+    return out
+
+
+def _tensor_groups(tensor: SparseTensor, mode: int) -> Dict[int, List[D1Point]]:
+    """Group a 3-d tensor's nonzeros as {i: [(j, [(k, val), ...]), ...]}."""
+    rest = [m for m in range(3) if m != mode]
+    perm = tensor.permute_modes([mode] + rest)
+    groups: Dict[int, List[D1Point]] = {}
+    coords, vals = perm.coords, perm.values
+    for (i, j, k), v in zip(coords, vals):
+        i, j, k = int(i), int(j), int(k)
+        d1_points = groups.setdefault(i, [])
+        if not d1_points or d1_points[-1][0] != j:
+            d1_points.append((j, []))
+        d1_points[-1][1].append((k, float(v)))
+    return groups
+
+
+def sf3_spec_mttkrp(
+    tensor: SparseTensor, mat_b: np.ndarray, mat_c: np.ndarray, mode: int = 0
+) -> SF3Spec:
+    """Table 1 row (Sp/D)MTTKRP: fiber1=B rows, op=◦, fiber0=C rows.
+
+    ``mat_b`` / ``mat_c`` are the factors for the first / second remaining
+    mode in increasing mode order (matching :func:`repro.kernels.mttkrp`).
+    """
+    if tensor.ndim != 3:
+        raise KernelError("SF3 MTTKRP spec is defined for 3-d tensors")
+    check_mode(mode, 3)
+    mat_b = np.asarray(mat_b, dtype=np.float64)
+    mat_c = np.asarray(mat_c, dtype=np.float64)
+    groups = _tensor_groups(tensor, mode)
+    rank = mat_b.shape[1]
+    fibers = sum(len(v) for v in groups.values())
+    return SF3Spec(
+        kernel="mttkrp",
+        groups=groups,
+        fiber0=mat_c,
+        fiber1=mat_b,
+        op="hadamard",
+        out_shape=(tensor.shape[mode], rank),
+        flop_count=2 * tensor.nnz * rank + 2 * fibers * rank,
+    )
+
+
+def sf3_spec_ttmc(
+    tensor: SparseTensor, mat_b: np.ndarray, mat_c: np.ndarray, mode: int = 0
+) -> SF3Spec:
+    """Table 1 row (Sp/D)TTMc: same domains as MTTKRP but op=⊗."""
+    if tensor.ndim != 3:
+        raise KernelError("SF3 TTMc spec is defined for 3-d tensors")
+    check_mode(mode, 3)
+    mat_b = np.asarray(mat_b, dtype=np.float64)
+    mat_c = np.asarray(mat_c, dtype=np.float64)
+    groups = _tensor_groups(tensor, mode)
+    f1, f2 = mat_b.shape[1], mat_c.shape[1]
+    fibers = sum(len(v) for v in groups.values())
+    return SF3Spec(
+        kernel="ttmc",
+        groups=groups,
+        fiber0=mat_c,
+        fiber1=mat_b,
+        op="kron",
+        out_shape=(tensor.shape[mode], f1, f2),
+        flop_count=2 * tensor.nnz * f2 + 2 * fibers * f1 * f2,
+    )
+
+
+def sf3_spec_spmm(a: CSRMatrix, mat_b: np.ndarray) -> SF3Spec:
+    """Table 1 row SpMM/GEMM: no fiber1/op; D0 = nonzeros of row i."""
+    mat_b = np.asarray(mat_b, dtype=np.float64)
+    groups: Dict[int, List[D1Point]] = {}
+    for i, cols, vals in a.iter_rows():
+        if cols.size == 0:
+            continue
+        groups[i] = [(-1, [(int(j), float(v)) for j, v in zip(cols, vals)])]
+    return SF3Spec(
+        kernel="spmm",
+        groups=groups,
+        fiber0=mat_b,
+        fiber1=None,
+        op=None,
+        out_shape=(a.shape[0], mat_b.shape[1]),
+        flop_count=2 * a.nnz * mat_b.shape[1],
+    )
+
+
+def sf3_spec_spmv(a: CSRMatrix, vec: np.ndarray) -> SF3Spec:
+    """Table 1 row SpMV/GEMV: fiber0 degenerates to vector elements."""
+    vec = np.asarray(vec, dtype=np.float64)
+    groups: Dict[int, List[D1Point]] = {}
+    for i, cols, vals in a.iter_rows():
+        if cols.size == 0:
+            continue
+        groups[i] = [(-1, [(int(j), float(v)) for j, v in zip(cols, vals)])]
+    return SF3Spec(
+        kernel="spmv",
+        groups=groups,
+        fiber0=vec,
+        fiber1=None,
+        op=None,
+        out_shape=(a.shape[0],),
+        flop_count=2 * a.nnz,
+    )

@@ -1,0 +1,67 @@
+"""Cycle-level simulator of the Tensaurus accelerator (Section 5).
+
+The simulator reproduces the architecture of Fig. 5: a tensor load unit
+streaming CISS entries, a matrix load unit filling banked double-buffered
+scratchpads, an ``r x c`` PE array executing the SF3 dataflow with TSR/OSR
+shift registers, and a matrix store unit accumulating output tiles — all
+against an HBM bandwidth model, with the tiling and reuse policies of
+Sections 5.2.3-5.2.5.
+
+Two execution engines share one timing model:
+
+- :class:`repro.sim.pe.PELane` — a per-record Python interpreter of one PE
+  row's lane stream; exact and functional, used by tests.
+- :class:`repro.sim.accelerator.Tensaurus` — the vectorized engine used by
+  the benchmarks; cycle counts match the lane interpreter exactly (asserted
+  in the test suite) and outputs are checked against the reference kernels.
+"""
+
+from repro.sim.config import TensaurusConfig, HBM_PRESET, DDR4_PRESET, MemoryConfig
+from repro.sim.report import SimReport
+from repro.sim.memory import StreamMemory
+from repro.sim.accelerator import Tensaurus
+from repro.sim.perfmodel import FastModel
+from repro.sim.event import EventDrivenTensaurus, EventSimResult
+from repro.sim.timeline import Timeline, TimelineEntry
+from repro.sim.multichip import MultiChipTensaurus, MultiChipResult, partition_slices
+from repro.sim.sweep import DesignPoint, pareto_front, render_sweep, sweep_configs
+from repro.sim.driver import (
+    Instruction,
+    Opcode,
+    ProgramError,
+    TensaurusDevice,
+    assemble_mttkrp,
+    assemble_spmm,
+    assemble_spmv,
+    assemble_ttmc,
+)
+
+__all__ = [
+    "TensaurusConfig",
+    "MemoryConfig",
+    "HBM_PRESET",
+    "DDR4_PRESET",
+    "SimReport",
+    "StreamMemory",
+    "Tensaurus",
+    "FastModel",
+    "EventDrivenTensaurus",
+    "EventSimResult",
+    "Timeline",
+    "TimelineEntry",
+    "MultiChipTensaurus",
+    "MultiChipResult",
+    "partition_slices",
+    "DesignPoint",
+    "pareto_front",
+    "render_sweep",
+    "sweep_configs",
+    "Instruction",
+    "Opcode",
+    "ProgramError",
+    "TensaurusDevice",
+    "assemble_mttkrp",
+    "assemble_spmm",
+    "assemble_spmv",
+    "assemble_ttmc",
+]

@@ -1,0 +1,658 @@
+"""Top-level Tensaurus simulator (Fig. 5).
+
+:class:`Tensaurus` executes any of the eight supported kernels against the
+configured design point and returns a :class:`~repro.sim.report.SimReport`
+with cycles, operation counts and per-stream byte traffic.
+
+Execution model
+---------------
+The operands are tiled per :mod:`repro.sim.tiling`. Each sparse tile is
+CISS-encoded with the real encoder (so load balance, headers and padding are
+the actual format's), then analyzed by :mod:`repro.sim.lanes` for per-lane
+cycles, SPM bank conflicts and op counts. Per tile, compute and the three
+memory streams (TLU tensor stream, MLU matrix tiles, MSU output) overlap
+through the double buffers, so a tile costs ``max(compute, memory)`` plus a
+fixed swap/fill overhead; tiles execute back to back. Rank ranges wider
+than one PE-array pass multiply the whole schedule (the tensor is
+re-streamed per pass, Section 5.2.4).
+
+Dense kernels use the same cost model in closed form: a dense tile's record
+stream is perfectly uniform, so its lane statistics are exact without
+materializing a CISS encoding (the TLU builds entries on the fly and the
+crossbar broadcasts, Section 5.2.4), and the tensor stream carries raw
+values with no index overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.formats.ciss import CISSMatrix, CISSTensor
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.matmul import gemm as gemm_ref
+from repro.kernels.matmul import gemv as gemv_ref
+from repro.kernels.matmul import spmm as spmm_ref
+from repro.kernels.matmul import spmv as spmv_ref
+from repro.kernels.mttkrp import mttkrp_dense_factored, mttkrp_sparse_factored
+from repro.kernels.ttmc import ttmc_dense_factored, ttmc_sparse_factored
+from repro.sim.config import TensaurusConfig
+from repro.sim.costs import kernel_costs
+from repro.sim.lanes import LaneStats, analyze_lanes
+from repro.sim.report import SimReport
+from repro.sim.tiling import TilingPlan, make_plan, tile_count
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+
+MatrixLike = Union[CSRMatrix, COOMatrix, np.ndarray]
+
+
+class Tensaurus:
+    """The simulated accelerator."""
+
+    def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
+        self.config = config or TensaurusConfig()
+
+    # ------------------------------------------------------------------
+    # Public kernel entry points
+    # ------------------------------------------------------------------
+    def run_mttkrp(
+        self,
+        tensor: Union[SparseTensor, np.ndarray],
+        mat_b: np.ndarray,
+        mat_c: np.ndarray,
+        mode: int = 0,
+        msu_mode: str = "auto",
+        compute_output: bool = True,
+    ) -> SimReport:
+        """MTTKRP along ``mode``; sparse or dense by operand type.
+
+        ``mat_b`` / ``mat_c`` are the factors of the first / second
+        remaining mode in increasing mode order (as in
+        :mod:`repro.kernels.mttkrp`).
+        """
+        mat_b = np.asarray(mat_b, dtype=np.float64)
+        mat_c = np.asarray(mat_c, dtype=np.float64)
+        rank = mat_b.shape[1]
+        if isinstance(tensor, SparseTensor):
+            return self._run_sparse_tensor(
+                "spmttkrp", tensor, mat_b, mat_c, mode, rank, 0,
+                msu_mode, compute_output,
+            )
+        return self._run_dense_tensor(
+            "dmttkrp", np.asarray(tensor, dtype=np.float64), mat_b, mat_c,
+            mode, rank, 0, msu_mode, compute_output,
+        )
+
+    def run_ttmc(
+        self,
+        tensor: Union[SparseTensor, np.ndarray],
+        mat_b: np.ndarray,
+        mat_c: np.ndarray,
+        mode: int = 0,
+        msu_mode: str = "auto",
+        compute_output: bool = True,
+    ) -> SimReport:
+        """TTMc along ``mode``; output is the dense (I x F1 x F2) tensor."""
+        mat_b = np.asarray(mat_b, dtype=np.float64)
+        mat_c = np.asarray(mat_c, dtype=np.float64)
+        if isinstance(tensor, SparseTensor):
+            return self._run_sparse_tensor(
+                "spttmc", tensor, mat_b, mat_c, mode,
+                mat_b.shape[1], mat_c.shape[1], msu_mode, compute_output,
+            )
+        return self._run_dense_tensor(
+            "dttmc", np.asarray(tensor, dtype=np.float64), mat_b, mat_c,
+            mode, mat_b.shape[1], mat_c.shape[1], msu_mode, compute_output,
+        )
+
+    def run_spmm(
+        self,
+        a: MatrixLike,
+        mat_b: np.ndarray,
+        msu_mode: str = "auto",
+        compute_output: bool = True,
+    ) -> SimReport:
+        """Sparse (CSR/COO operand) or dense (ndarray operand) matrix-matrix."""
+        mat_b = np.asarray(mat_b, dtype=np.float64)
+        if isinstance(a, np.ndarray):
+            return self._run_dense_matrix(
+                "gemm", a, mat_b, msu_mode, compute_output
+            )
+        coo = a.to_coo() if isinstance(a, CSRMatrix) else a
+        return self._run_sparse_matrix(
+            "spmm", coo, mat_b, msu_mode, compute_output
+        )
+
+    def run_spmv(
+        self,
+        a: MatrixLike,
+        vec: np.ndarray,
+        msu_mode: str = "auto",
+        compute_output: bool = True,
+    ) -> SimReport:
+        """Sparse or dense matrix-vector."""
+        vec = np.asarray(vec, dtype=np.float64)
+        if isinstance(a, np.ndarray):
+            return self._run_dense_matrix(
+                "gemv", a, vec, msu_mode, compute_output
+            )
+        coo = a.to_coo() if isinstance(a, CSRMatrix) else a
+        return self._run_sparse_matrix(
+            "spmv", coo, vec, msu_mode, compute_output
+        )
+
+    # ------------------------------------------------------------------
+    # Shared mechanics
+    # ------------------------------------------------------------------
+    @property
+    def _bpc(self) -> float:
+        """Off-chip bytes deliverable per accelerator cycle."""
+        return self.config.hbm_bytes_per_cycle
+
+    @property
+    def _tile_overhead(self) -> int:
+        """Buffer-swap plus systolic fill cycles charged per tile."""
+        return self.config.rows + self.config.cols + 16
+
+    def _out_elems(self, plan: TilingPlan) -> int:
+        """Output elements per slice/row per pass."""
+        if plan.kernel == "ttmc":
+            return plan.f1_tile * plan.fiber_elems
+        return plan.fiber_elems
+
+    def _resolve_msu_mode(
+        self,
+        kernel: str,
+        dims: tuple,
+        msu_mode: str,
+        rank: int,
+        rank2: int,
+        estimate,
+    ) -> str:
+        """Pick buffered vs direct reduction by estimated traffic."""
+        if msu_mode != "auto":
+            return msu_mode
+        best_mode, best_bytes = None, None
+        for mode in ("buffered", "direct"):
+            plan = make_plan(kernel, self.config, dims, mode, rank, rank2)
+            total = estimate(plan)
+            if best_bytes is None or total < best_bytes:
+                best_mode, best_bytes = mode, total
+        return best_mode
+
+    # ------------------------------------------------------------------
+    # Sparse 3-d tensor kernels (SpMTTKRP / SpTTMc)
+    # ------------------------------------------------------------------
+    def _run_sparse_tensor(
+        self,
+        kernel: str,
+        tensor: SparseTensor,
+        mat_b: np.ndarray,
+        mat_c: np.ndarray,
+        mode: int,
+        rank: int,
+        rank2: int,
+        msu_mode: str,
+        compute_output: bool,
+    ) -> SimReport:
+        if tensor.ndim != 3:
+            raise KernelError("the accelerator's tensor kernels are 3-d")
+        cfg = self.config
+        rest = [m for m in range(3) if m != mode]
+        perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        dims = perm.shape
+        coords, vals = perm.coords, perm.values
+        base = "mttkrp" if kernel == "spmttkrp" else "ttmc"
+
+        def estimate(plan: TilingPlan) -> float:
+            return self._estimate_tensor_traffic(plan, coords, dims)
+
+        resolved = self._resolve_msu_mode(base, dims, msu_mode, rank, rank2, estimate)
+        plan = make_plan(base, cfg, dims, resolved, rank, rank2)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems, plan.f1_tile)
+        entry_bytes = cfg.ciss_entry_bytes(index_fields=2)
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+
+        nj = tile_count(dims[1], plan.j_tile)
+        nk = tile_count(dims[2], plan.k_tile)
+        ib = coords[:, 0] // plan.i_tile
+        jb = coords[:, 1] // plan.j_tile
+        kb = coords[:, 2] // plan.k_tile
+        tid = (ib * nj + jb) * nk + kb
+        order = np.lexsort((coords[:, 2], coords[:, 1], coords[:, 0], tid))
+        coords_s = coords[order]
+        vals_s = vals[order]
+        tid_s = tid[order]
+        uniq, first = np.unique(tid_s, return_index=True)
+        bounds = np.append(first, perm.nnz)
+
+        cycles = 0
+        ops = 0
+        tensor_bytes = 0
+        matrix_bytes = 0
+        output_bytes = 0
+        total_entries = 0
+        total_fibers = 0
+        total_headers = 0
+        total_conflicts = 0
+        nonempty_slices = int(np.unique(coords[:, 0]).shape[0])
+
+        for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            sub = SparseTensor(
+                dims, coords_s[lo:hi], vals_s[lo:hi], canonical=True
+            )
+            ciss = CISSTensor.from_sparse(sub, cfg.rows, mode=0)
+            stats = analyze_lanes(
+                ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
+            )
+            g_tid = int(uniq[g])
+            g_jb = (g_tid // nk) % nj
+            g_kb = g_tid % nk
+            jx = min(plan.j_tile, dims[1] - g_jb * plan.j_tile)
+            kx = min(plan.k_tile, dims[2] - g_kb * plan.k_tile)
+            t_bytes = ciss.num_entries * entry_bytes
+            if kernel == "spttmc":
+                m_bytes = (jx * plan.f1_tile + kx * plan.fiber_elems) * dw
+            else:
+                m_bytes = (jx + kx) * plan.fiber_elems * dw
+            o_bytes = 0
+            if plan.msu_mode == "direct":
+                o_bytes = stats.num_headers * out_elems * dw * 2
+            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
+            cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
+            ops += stats.ops
+            tensor_bytes += t_bytes
+            matrix_bytes += m_bytes
+            output_bytes += o_bytes
+            total_entries += stats.num_entries
+            total_fibers += stats.num_fibers
+            total_headers += stats.num_headers
+            total_conflicts += stats.conflict_stalls
+
+        if plan.msu_mode == "buffered":
+            write_bytes = nonempty_slices * out_elems * dw
+            output_bytes += write_bytes
+            cycles += math.ceil(write_bytes / self._bpc)
+
+        cycles *= plan.passes
+        ops *= plan.passes
+        tensor_bytes *= plan.passes
+        matrix_bytes *= plan.passes
+        output_bytes *= plan.passes
+
+        output = None
+        if compute_output:
+            factors = [mat_b, mat_c]
+            if kernel == "spmttkrp":
+                output = mttkrp_sparse_factored(tensor, factors, mode)
+            else:
+                output = ttmc_sparse_factored(tensor, factors, mode)
+        return SimReport(
+            kernel=kernel,
+            cycles=int(cycles),
+            ops=int(ops),
+            tensor_bytes=int(tensor_bytes),
+            matrix_bytes=int(matrix_bytes),
+            output_bytes=int(output_bytes),
+            clock_ghz=cfg.clock_ghz,
+            output=output,
+            detail={
+                "msu_mode": plan.msu_mode,
+                "passes": plan.passes,
+                "entries": total_entries,
+                "fibers": total_fibers,
+                "headers": total_headers,
+                "conflict_stalls": total_conflicts,
+                "nnz": perm.nnz,
+            },
+        )
+
+    def _estimate_tensor_traffic(
+        self, plan: TilingPlan, coords: np.ndarray, dims: tuple
+    ) -> float:
+        """Cheap traffic estimate for MSU-mode selection (no encoding)."""
+        cfg = self.config
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+        nj = tile_count(dims[1], plan.j_tile)
+        nk = tile_count(dims[2], plan.k_tile)
+        ib = coords[:, 0] // plan.i_tile
+        jb = coords[:, 1] // plan.j_tile
+        kb = coords[:, 2] // plan.k_tile
+        tid = (ib * nj + jb) * nk + kb
+        groups = np.unique(tid)
+        # Matrix traffic: each nonempty group loads its j and k tiles.
+        if plan.kernel == "ttmc":
+            per_group = (plan.j_tile * plan.f1_tile + plan.k_tile * plan.fiber_elems)
+        else:
+            per_group = (plan.j_tile + plan.k_tile) * plan.fiber_elems
+        matrix = groups.shape[0] * per_group * dw
+        entry_bytes = cfg.ciss_entry_bytes(2)
+        tensor = (coords.shape[0] / cfg.rows + groups.shape[0]) * entry_bytes
+        if plan.msu_mode == "direct":
+            slice_visits = np.unique(tid * (dims[0] + 1) + coords[:, 0]).shape[0]
+            output = slice_visits * out_elems * dw * 2
+        else:
+            output = np.unique(coords[:, 0]).shape[0] * out_elems * dw
+        return float((matrix + tensor + output) * plan.passes)
+
+    # ------------------------------------------------------------------
+    # Sparse matrix kernels (SpMM / SpMV)
+    # ------------------------------------------------------------------
+    def _run_sparse_matrix(
+        self,
+        kernel: str,
+        coo: COOMatrix,
+        dense_operand: np.ndarray,
+        msu_mode: str,
+        compute_output: bool,
+    ) -> SimReport:
+        cfg = self.config
+        dims = coo.shape
+        ncols = dense_operand.shape[1] if kernel == "spmm" else 1
+
+        def estimate(plan: TilingPlan) -> float:
+            return self._estimate_matrix_traffic(plan, coo, dims)
+
+        resolved = self._resolve_msu_mode(kernel, dims, msu_mode, ncols, 0, estimate)
+        plan = make_plan(kernel, cfg, dims, resolved, ncols)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems)
+        entry_bytes = cfg.ciss_entry_bytes(index_fields=1)
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+
+        nj = tile_count(dims[1], plan.j_tile)
+        ib = coo.rows // plan.i_tile
+        jb = coo.cols // plan.j_tile
+        tid = ib * nj + jb
+        order = np.lexsort((coo.cols, coo.rows, tid))
+        rows_s = coo.rows[order]
+        cols_s = coo.cols[order]
+        vals_s = vals_sorted = coo.vals[order]
+        uniq, first = np.unique(tid[order], return_index=True)
+        bounds = np.append(first, coo.nnz)
+
+        cycles = 0
+        ops = 0
+        tensor_bytes = 0
+        matrix_bytes = 0
+        output_bytes = 0
+        total_entries = 0
+        total_headers = 0
+        total_conflicts = 0
+        nonempty_rows = int(np.unique(coo.rows).shape[0])
+
+        for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            sub = COOMatrix(dims, rows_s[lo:hi], cols_s[lo:hi], vals_s[lo:hi])
+            ciss = CISSMatrix.from_coo(sub, cfg.rows)
+            stats = analyze_lanes(
+                ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
+            )
+            g_jb = int(uniq[g]) % nj
+            jx = min(plan.j_tile, dims[1] - g_jb * plan.j_tile)
+            t_bytes = ciss.num_entries * entry_bytes
+            m_bytes = jx * plan.fiber_elems * dw
+            o_bytes = 0
+            if plan.msu_mode == "direct":
+                o_bytes = stats.num_headers * out_elems * dw * 2
+            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
+            cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
+            ops += stats.ops
+            tensor_bytes += t_bytes
+            matrix_bytes += m_bytes
+            output_bytes += o_bytes
+            total_entries += stats.num_entries
+            total_headers += stats.num_headers
+            total_conflicts += stats.conflict_stalls
+
+        if plan.msu_mode == "buffered":
+            write_bytes = nonempty_rows * out_elems * dw
+            output_bytes += write_bytes
+            cycles += math.ceil(write_bytes / self._bpc)
+
+        cycles *= plan.passes
+        ops *= plan.passes
+        tensor_bytes *= plan.passes
+        matrix_bytes *= plan.passes
+        output_bytes *= plan.passes
+
+        output = None
+        if compute_output:
+            csr = CSRMatrix.from_coo(coo)
+            if kernel == "spmm":
+                output = spmm_ref(csr, dense_operand)
+            else:
+                output = spmv_ref(csr, dense_operand)
+        return SimReport(
+            kernel=kernel,
+            cycles=int(cycles),
+            ops=int(ops),
+            tensor_bytes=int(tensor_bytes),
+            matrix_bytes=int(matrix_bytes),
+            output_bytes=int(output_bytes),
+            clock_ghz=cfg.clock_ghz,
+            output=output,
+            detail={
+                "msu_mode": plan.msu_mode,
+                "passes": plan.passes,
+                "entries": total_entries,
+                "headers": total_headers,
+                "conflict_stalls": total_conflicts,
+                "nnz": coo.nnz,
+            },
+        )
+
+    def _estimate_matrix_traffic(
+        self, plan: TilingPlan, coo: COOMatrix, dims: tuple
+    ) -> float:
+        cfg = self.config
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+        nj = tile_count(dims[1], plan.j_tile)
+        tid = (coo.rows // plan.i_tile) * nj + (coo.cols // plan.j_tile)
+        groups = np.unique(tid)
+        matrix = groups.shape[0] * plan.j_tile * plan.fiber_elems * dw
+        tensor = (coo.nnz / cfg.rows + groups.shape[0]) * cfg.ciss_entry_bytes(1)
+        if plan.msu_mode == "direct":
+            visits = np.unique(tid * (dims[0] + 1) + coo.rows).shape[0]
+            output = visits * out_elems * dw * 2
+        else:
+            output = np.unique(coo.rows).shape[0] * out_elems * dw
+        return float((matrix + tensor + output) * plan.passes)
+
+    # ------------------------------------------------------------------
+    # Dense kernels (closed-form uniform tiles)
+    # ------------------------------------------------------------------
+    def _dense_tile_stats(
+        self,
+        costs,
+        records: int,
+        headers: int,
+        fibers: int,
+    ) -> Tuple[int, int]:
+        """(compute_cycles, ops) of a uniform dense tile.
+
+        Records distribute evenly across lanes (the on-the-fly CISS builder
+        deals equal slices), so the slowest lane carries ``ceil`` shares.
+        Dense mode broadcasts SPM reads — no bank conflicts.
+        """
+        rows = self.config.rows
+        lane_records = math.ceil(records / rows)
+        lane_headers = math.ceil(headers / rows)
+        lane_fibers = math.ceil(fibers / rows) if costs.uses_fibers else 0
+        lane_slices = lane_headers  # one drain per slice per lane
+        lane_cycles = (
+            costs.nnz_cycles * lane_records
+            + costs.header_cycles * lane_headers
+            + costs.fold_cycles * lane_fibers
+            + costs.drain_cycles * lane_slices
+        )
+        ops = costs.ops_per_nnz * records
+        if costs.uses_fibers:
+            ops += costs.ops_per_fold * fibers
+        return int(lane_cycles), int(ops)
+
+    def _run_dense_tensor(
+        self,
+        kernel: str,
+        tensor: np.ndarray,
+        mat_b: np.ndarray,
+        mat_c: np.ndarray,
+        mode: int,
+        rank: int,
+        rank2: int,
+        msu_mode: str,
+        compute_output: bool,
+    ) -> SimReport:
+        if tensor.ndim != 3:
+            raise KernelError("the accelerator's tensor kernels are 3-d")
+        cfg = self.config
+        rest = [m for m in range(3) if m != mode]
+        dims = tuple(tensor.shape[m] for m in [mode] + rest)
+        base = "mttkrp" if kernel == "dmttkrp" else "ttmc"
+        resolved = "buffered" if msu_mode == "auto" else msu_mode
+        plan = make_plan(base, cfg, dims, resolved, rank, rank2)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems, plan.f1_tile)
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+
+        cycles = 0
+        ops = 0
+        tensor_bytes = 0
+        matrix_bytes = 0
+        output_bytes = 0
+        i_dim, j_dim, k_dim = dims
+        for i_lo in range(0, i_dim, plan.i_tile):
+            ix = min(plan.i_tile, i_dim - i_lo)
+            for j_lo in range(0, j_dim, plan.j_tile):
+                jx = min(plan.j_tile, j_dim - j_lo)
+                for k_lo in range(0, k_dim, plan.k_tile):
+                    kx = min(plan.k_tile, k_dim - k_lo)
+                    records = ix * jx * kx
+                    headers = ix
+                    fibers = ix * jx
+                    compute, tile_ops = self._dense_tile_stats(
+                        costs, records, headers, fibers
+                    )
+                    t_bytes = records * dw
+                    if kernel == "dttmc":
+                        m_bytes = (jx * plan.f1_tile + kx * plan.fiber_elems) * dw
+                    else:
+                        m_bytes = (jx + kx) * plan.fiber_elems * dw
+                    o_bytes = 0
+                    if plan.msu_mode == "direct":
+                        o_bytes = ix * out_elems * dw * 2
+                    mem = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
+                    cycles += max(compute, mem) + self._tile_overhead
+                    ops += tile_ops
+                    tensor_bytes += t_bytes
+                    matrix_bytes += m_bytes
+                    output_bytes += o_bytes
+            if plan.msu_mode == "buffered":
+                write = ix * out_elems * dw
+                output_bytes += write
+                cycles += math.ceil(write / self._bpc)
+
+        cycles *= plan.passes
+        ops *= plan.passes
+        tensor_bytes *= plan.passes
+        matrix_bytes *= plan.passes
+        output_bytes *= plan.passes
+
+        output = None
+        if compute_output:
+            factors = [mat_b, mat_c]
+            if kernel == "dmttkrp":
+                output = mttkrp_dense_factored(tensor, factors, mode)
+            else:
+                output = ttmc_dense_factored(tensor, factors, mode)
+        return SimReport(
+            kernel=kernel,
+            cycles=int(cycles),
+            ops=int(ops),
+            tensor_bytes=int(tensor_bytes),
+            matrix_bytes=int(matrix_bytes),
+            output_bytes=int(output_bytes),
+            clock_ghz=cfg.clock_ghz,
+            output=output,
+            detail={"msu_mode": plan.msu_mode, "passes": plan.passes},
+        )
+
+    def _run_dense_matrix(
+        self,
+        kernel: str,
+        a: np.ndarray,
+        dense_operand: np.ndarray,
+        msu_mode: str,
+        compute_output: bool,
+    ) -> SimReport:
+        cfg = self.config
+        a = np.asarray(a, dtype=np.float64)
+        dims = a.shape
+        ncols = dense_operand.shape[1] if kernel == "gemm" else 1
+        base = "spmm" if kernel == "gemm" else "spmv"
+        resolved = "buffered" if msu_mode == "auto" else msu_mode
+        plan = make_plan(base, cfg, dims, resolved, ncols)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems)
+        dw = cfg.data_width
+        out_elems = self._out_elems(plan)
+
+        cycles = 0
+        ops = 0
+        tensor_bytes = 0
+        matrix_bytes = 0
+        output_bytes = 0
+        i_dim, j_dim = dims
+        for i_lo in range(0, i_dim, plan.i_tile):
+            ix = min(plan.i_tile, i_dim - i_lo)
+            for j_lo in range(0, j_dim, plan.j_tile):
+                jx = min(plan.j_tile, j_dim - j_lo)
+                records = ix * jx
+                headers = ix
+                compute, tile_ops = self._dense_tile_stats(
+                    costs, records, headers, 0
+                )
+                t_bytes = records * dw
+                m_bytes = jx * plan.fiber_elems * dw
+                o_bytes = 0
+                if plan.msu_mode == "direct":
+                    o_bytes = ix * out_elems * dw * 2
+                mem = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
+                cycles += max(compute, mem) + self._tile_overhead
+                ops += tile_ops
+                tensor_bytes += t_bytes
+                matrix_bytes += m_bytes
+                output_bytes += o_bytes
+            if plan.msu_mode == "buffered":
+                write = ix * out_elems * dw
+                output_bytes += write
+                cycles += math.ceil(write / self._bpc)
+
+        cycles *= plan.passes
+        ops *= plan.passes
+        tensor_bytes *= plan.passes
+        matrix_bytes *= plan.passes
+        output_bytes *= plan.passes
+
+        output = None
+        if compute_output:
+            if kernel == "gemm":
+                output = gemm_ref(a, dense_operand)
+            else:
+                output = gemv_ref(a, dense_operand)
+        return SimReport(
+            kernel=kernel,
+            cycles=int(cycles),
+            ops=int(ops),
+            tensor_bytes=int(tensor_bytes),
+            matrix_bytes=int(matrix_bytes),
+            output_bytes=int(output_bytes),
+            clock_ghz=cfg.clock_ghz,
+            output=output,
+            detail={"msu_mode": plan.msu_mode, "passes": plan.passes},
+        )

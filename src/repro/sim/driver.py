@@ -1,0 +1,314 @@
+"""Co-processor driver: the configuration-instruction interface.
+
+Section 6: "Tensaurus is attached to a CPU as a co-processor, where the
+CPU executes instructions to configure Tensaurus to run a specific tensor
+kernel. The configuration instructions configure Tensaurus for: (1) mode
+of operation like SpMTTKRP, SpMM, etc. and (2) size of tensors and
+matrices."
+
+This module models that boundary: a small register-level instruction set
+(:class:`Instruction` / :class:`Opcode`), a :class:`TensaurusDevice` that
+validates and executes instruction programs against the simulator, and
+assembler helpers that emit the canonical program for each kernel. The
+device checks what real driver code would have to get right — operands
+bound before launch, declared sizes matching the bound operands, a
+configured mode — and surfaces violations as :class:`ProgramError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.sim.accelerator import Tensaurus
+from repro.sim.config import TensaurusConfig
+from repro.sim.costs import ALL_KERNELS
+from repro.sim.report import SimReport
+from repro.tensor import SparseTensor
+from repro.util.errors import ReproError
+
+
+class ProgramError(ReproError, ValueError):
+    """An instruction program is malformed or inconsistent."""
+
+
+class Opcode(enum.Enum):
+    """The configuration instruction set."""
+
+    SET_MODE = "set_mode"  # operand: kernel name (Table 1)
+    SET_DIMS = "set_dims"  # operand: tensor/matrix dimensions
+    SET_RANKS = "set_ranks"  # operand: (F,) or (F1, F2) or (N,)
+    SET_TARGET_MODE = "set_target_mode"  # operand: MTTKRP/TTMc mode index
+    SET_MSU_MODE = "set_msu_mode"  # operand: buffered | direct | auto
+    BIND_OPERAND = "bind_operand"  # operand: (slot, data)
+    LAUNCH = "launch"  # no operand
+    RESET = "reset"  # no operand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One configuration instruction."""
+
+    opcode: Opcode
+    operand: object = None
+
+    def __repr__(self) -> str:
+        return f"Instruction({self.opcode.value}, {self.operand!r})"
+
+
+#: Operand slots the MLU/TLU read from.
+SLOT_SPARSE = "sparse"  # the first (possibly sparse) operand
+SLOT_DENSE_B = "dense_b"  # fiber1 source / SpMM right operand
+SLOT_DENSE_C = "dense_c"  # fiber0 source (tensor kernels)
+SLOT_VECTOR = "vector"  # SpMV/GEMV right operand
+
+OperandData = Union[SparseTensor, CSRMatrix, COOMatrix, np.ndarray]
+
+
+@dataclass
+class DeviceState:
+    """The device's architectural registers (what SET_* writes)."""
+
+    kernel: Optional[str] = None
+    dims: Optional[Tuple[int, ...]] = None
+    ranks: Optional[Tuple[int, ...]] = None
+    target_mode: int = 0
+    msu_mode: str = "auto"
+    operands: Dict[str, OperandData] = field(default_factory=dict)
+
+
+class TensaurusDevice:
+    """The accelerator behind its driver-visible instruction interface."""
+
+    def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
+        self._accelerator = Tensaurus(config)
+        self._state = DeviceState()
+        self._launch_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> DeviceState:
+        return self._state
+
+    @property
+    def launches(self) -> int:
+        return self._launch_count
+
+    def reset(self) -> None:
+        self._state = DeviceState()
+
+    # ------------------------------------------------------------------
+    def execute(self, program: List[Instruction]) -> List[SimReport]:
+        """Run a program; every LAUNCH appends a report."""
+        reports: List[SimReport] = []
+        for position, inst in enumerate(program):
+            try:
+                result = self._step(inst)
+            except ProgramError as exc:
+                raise ProgramError(f"at instruction {position}: {exc}") from exc
+            if result is not None:
+                reports.append(result)
+        return reports
+
+    def _step(self, inst: Instruction) -> Optional[SimReport]:
+        op = inst.opcode
+        if op is Opcode.RESET:
+            self.reset()
+            return None
+        if op is Opcode.SET_MODE:
+            kernel = str(inst.operand).lower()
+            if kernel not in ALL_KERNELS:
+                raise ProgramError(f"unknown kernel {inst.operand!r}")
+            self._state.kernel = kernel
+            return None
+        if op is Opcode.SET_DIMS:
+            dims = tuple(int(d) for d in inst.operand)
+            if any(d <= 0 for d in dims):
+                raise ProgramError(f"dimensions must be positive, got {dims}")
+            self._state.dims = dims
+            return None
+        if op is Opcode.SET_RANKS:
+            ranks = tuple(int(r) for r in inst.operand)
+            if any(r <= 0 for r in ranks):
+                raise ProgramError(f"ranks must be positive, got {ranks}")
+            self._state.ranks = ranks
+            return None
+        if op is Opcode.SET_TARGET_MODE:
+            mode = int(inst.operand)
+            if not 0 <= mode < 3:
+                raise ProgramError(f"target mode {mode} out of range")
+            self._state.target_mode = mode
+            return None
+        if op is Opcode.SET_MSU_MODE:
+            mode = str(inst.operand)
+            if mode not in ("buffered", "direct", "auto"):
+                raise ProgramError(f"unknown MSU mode {inst.operand!r}")
+            self._state.msu_mode = mode
+            return None
+        if op is Opcode.BIND_OPERAND:
+            slot, data = inst.operand
+            if slot not in (SLOT_SPARSE, SLOT_DENSE_B, SLOT_DENSE_C, SLOT_VECTOR):
+                raise ProgramError(f"unknown operand slot {slot!r}")
+            self._state.operands[slot] = data
+            return None
+        if op is Opcode.LAUNCH:
+            return self._launch()
+        raise ProgramError(f"unknown opcode {op!r}")
+
+    # ------------------------------------------------------------------
+    def _launch(self) -> SimReport:
+        st = self._state
+        if st.kernel is None:
+            raise ProgramError("LAUNCH before SET_MODE")
+        if st.dims is None:
+            raise ProgramError("LAUNCH before SET_DIMS")
+        sparse = st.operands.get(SLOT_SPARSE)
+        if sparse is None:
+            raise ProgramError("no operand bound to the sparse/tensor slot")
+        self._check_dims(sparse, st.dims)
+        self._launch_count += 1
+        kernel = st.kernel
+        if kernel in ("spmttkrp", "dmttkrp", "spttmc", "dttmc"):
+            b = st.operands.get(SLOT_DENSE_B)
+            c = st.operands.get(SLOT_DENSE_C)
+            if b is None or c is None:
+                raise ProgramError(f"{kernel} needs dense operands B and C")
+            if st.ranks is None:
+                raise ProgramError(f"{kernel} needs SET_RANKS")
+            self._check_ranks(kernel, st.ranks, b, c)
+            runner = (
+                self._accelerator.run_mttkrp
+                if kernel.endswith("mttkrp")
+                else self._accelerator.run_ttmc
+            )
+            return runner(
+                sparse, b, c, mode=st.target_mode, msu_mode=st.msu_mode
+            )
+        if kernel in ("spmm", "gemm"):
+            b = st.operands.get(SLOT_DENSE_B)
+            if b is None:
+                raise ProgramError(f"{kernel} needs a dense operand B")
+            return self._accelerator.run_spmm(sparse, b, msu_mode=st.msu_mode)
+        # spmv / gemv
+        x = st.operands.get(SLOT_VECTOR)
+        if x is None:
+            raise ProgramError(f"{kernel} needs a vector operand")
+        return self._accelerator.run_spmv(sparse, x, msu_mode=st.msu_mode)
+
+    @staticmethod
+    def _check_dims(operand: OperandData, dims: Tuple[int, ...]) -> None:
+        actual = tuple(operand.shape)
+        if actual != dims:
+            raise ProgramError(
+                f"declared dims {dims} do not match bound operand {actual}"
+            )
+
+    @staticmethod
+    def _check_ranks(
+        kernel: str, ranks: Tuple[int, ...], b: np.ndarray, c: np.ndarray
+    ) -> None:
+        if kernel.endswith("mttkrp"):
+            if len(ranks) != 1:
+                raise ProgramError("MTTKRP takes a single rank F")
+            if b.shape[1] != ranks[0] or c.shape[1] != ranks[0]:
+                raise ProgramError(
+                    f"rank {ranks[0]} does not match factor widths "
+                    f"{b.shape[1]}/{c.shape[1]}"
+                )
+        else:
+            if len(ranks) != 2:
+                raise ProgramError("TTMc takes ranks (F1, F2)")
+            if b.shape[1] != ranks[0] or c.shape[1] != ranks[1]:
+                raise ProgramError(
+                    f"ranks {ranks} do not match factor widths "
+                    f"({b.shape[1]}, {c.shape[1]})"
+                )
+
+
+# ----------------------------------------------------------------------
+# Assembler helpers: the canonical program for each kernel.
+# ----------------------------------------------------------------------
+def assemble_mttkrp(
+    tensor: Union[SparseTensor, np.ndarray],
+    mat_b: np.ndarray,
+    mat_c: np.ndarray,
+    mode: int = 0,
+    msu_mode: str = "auto",
+) -> List[Instruction]:
+    """The driver program for one (Sp/D)MTTKRP launch."""
+    kernel = "spmttkrp" if isinstance(tensor, SparseTensor) else "dmttkrp"
+    return [
+        Instruction(Opcode.SET_MODE, kernel),
+        Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
+        Instruction(Opcode.SET_RANKS, (np.asarray(mat_b).shape[1],)),
+        Instruction(Opcode.SET_TARGET_MODE, mode),
+        Instruction(Opcode.SET_MSU_MODE, msu_mode),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_SPARSE, tensor)),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_B, np.asarray(mat_b))),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_C, np.asarray(mat_c))),
+        Instruction(Opcode.LAUNCH),
+    ]
+
+
+def assemble_ttmc(
+    tensor: Union[SparseTensor, np.ndarray],
+    mat_b: np.ndarray,
+    mat_c: np.ndarray,
+    mode: int = 0,
+    msu_mode: str = "auto",
+) -> List[Instruction]:
+    """The driver program for one (Sp/D)TTMc launch."""
+    kernel = "spttmc" if isinstance(tensor, SparseTensor) else "dttmc"
+    return [
+        Instruction(Opcode.SET_MODE, kernel),
+        Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
+        Instruction(
+            Opcode.SET_RANKS,
+            (np.asarray(mat_b).shape[1], np.asarray(mat_c).shape[1]),
+        ),
+        Instruction(Opcode.SET_TARGET_MODE, mode),
+        Instruction(Opcode.SET_MSU_MODE, msu_mode),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_SPARSE, tensor)),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_B, np.asarray(mat_b))),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_C, np.asarray(mat_c))),
+        Instruction(Opcode.LAUNCH),
+    ]
+
+
+def assemble_spmm(
+    a: Union[CSRMatrix, COOMatrix, np.ndarray],
+    mat_b: np.ndarray,
+    msu_mode: str = "auto",
+) -> List[Instruction]:
+    """The driver program for one SpMM/GEMM launch."""
+    kernel = "gemm" if isinstance(a, np.ndarray) else "spmm"
+    return [
+        Instruction(Opcode.SET_MODE, kernel),
+        Instruction(Opcode.SET_DIMS, tuple(a.shape)),
+        Instruction(Opcode.SET_MSU_MODE, msu_mode),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_SPARSE, a)),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_B, np.asarray(mat_b))),
+        Instruction(Opcode.LAUNCH),
+    ]
+
+
+def assemble_spmv(
+    a: Union[CSRMatrix, COOMatrix, np.ndarray],
+    vec: np.ndarray,
+    msu_mode: str = "auto",
+) -> List[Instruction]:
+    """The driver program for one SpMV/GEMV launch."""
+    kernel = "gemv" if isinstance(a, np.ndarray) else "spmv"
+    return [
+        Instruction(Opcode.SET_MODE, kernel),
+        Instruction(Opcode.SET_DIMS, tuple(a.shape)),
+        Instruction(Opcode.SET_MSU_MODE, msu_mode),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_SPARSE, a)),
+        Instruction(Opcode.BIND_OPERAND, (SLOT_VECTOR, np.asarray(vec))),
+        Instruction(Opcode.LAUNCH),
+    ]

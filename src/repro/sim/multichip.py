@@ -1,0 +1,155 @@
+"""Multi-chip scaling model: partitioned tensor kernels across accelerators.
+
+A natural extension beyond the paper's single-chip evaluation: the output
+mode of MTTKRP/TTMc partitions cleanly (different output slices never
+interact), so C chips can each run the kernel over a subset of slices.
+This module partitions slices with the same least-loaded heuristic CISS
+uses for lanes, simulates every chip independently, and reports makespan
+and scaling efficiency — quantifying how load skew and the per-chip tiling
+overheads erode ideal linear scaling.
+
+The dense operand matrices are replicated to every chip (each holds its
+own SPM-tiled copy stream), matching how slice-parallel SPLATT distributes
+MTTKRP; no inter-chip communication is needed until the factor update,
+which is the host's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.accelerator import Tensaurus
+from repro.sim.config import TensaurusConfig
+from repro.sim.report import SimReport
+from repro.tensor import SparseTensor
+from repro.util.errors import ConfigError, KernelError
+
+
+@dataclass
+class ChipAssignment:
+    """The slices one chip owns and its simulated execution."""
+
+    chip: int
+    slices: np.ndarray  # global slice indices along the target mode
+    nnz: int
+    report: Optional[SimReport] = None
+
+
+@dataclass
+class MultiChipResult:
+    """Outcome of a partitioned kernel execution."""
+
+    assignments: List[ChipAssignment]
+    mode: int
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def makespan_s(self) -> float:
+        """Parallel completion time: the slowest chip."""
+        return max(
+            (a.report.time_s for a in self.assignments if a.report), default=0.0
+        )
+
+    @property
+    def total_chip_seconds(self) -> float:
+        return sum(a.report.time_s for a in self.assignments if a.report)
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """(sum of chip work) / (chips * makespan): 1.0 is perfect balance."""
+        span = self.makespan_s
+        if span <= 0:
+            return 1.0
+        return self.total_chip_seconds / (self.num_chips * span)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(a.report.ops for a in self.assignments if a.report)
+
+    def combined_output(self, out_shape) -> np.ndarray:
+        """Assemble the global output from the per-chip partial outputs."""
+        out = np.zeros(out_shape, dtype=np.float64)
+        for a in self.assignments:
+            if a.report is None or a.report.output is None:
+                raise KernelError("run with compute_output=True to combine")
+            out[a.slices] = a.report.output[a.slices]
+        return out
+
+
+def partition_slices(
+    tensor: SparseTensor, mode: int, num_chips: int
+) -> List[np.ndarray]:
+    """Deal nonempty slices to chips, least-loaded-first (by nonzeros)."""
+    if num_chips <= 0:
+        raise ConfigError("num_chips must be positive")
+    counts = tensor.slice_nnz_counts(mode)
+    nonempty = np.flatnonzero(counts)
+    # Heaviest first gives the classic LPT bound on imbalance.
+    order = nonempty[np.argsort(counts[nonempty])[::-1]]
+    loads = np.zeros(num_chips, dtype=np.int64)
+    owner = {}
+    for s in order:
+        chip = int(np.argmin(loads))
+        loads[chip] += counts[s]
+        owner[int(s)] = chip
+    return [
+        np.array(sorted(s for s, c in owner.items() if c == chip), dtype=np.int64)
+        for chip in range(num_chips)
+    ]
+
+
+class MultiChipTensaurus:
+    """A farm of identical Tensaurus chips running one partitioned kernel."""
+
+    def __init__(
+        self, num_chips: int, config: Optional[TensaurusConfig] = None
+    ) -> None:
+        if num_chips <= 0:
+            raise ConfigError("num_chips must be positive")
+        self.num_chips = num_chips
+        self.config = config or TensaurusConfig()
+
+    def run_mttkrp(
+        self,
+        tensor: SparseTensor,
+        mat_b: np.ndarray,
+        mat_c: np.ndarray,
+        mode: int = 0,
+        msu_mode: str = "auto",
+        compute_output: bool = False,
+    ) -> MultiChipResult:
+        """Partitioned SpMTTKRP: each chip runs its slice subset."""
+        if tensor.ndim != 3:
+            raise KernelError("multi-chip tensor kernels are 3-d")
+        partitions = partition_slices(tensor, mode, self.num_chips)
+        assignments: List[ChipAssignment] = []
+        for chip, slices in enumerate(partitions):
+            sub = _restrict_to_slices(tensor, mode, slices)
+            assignment = ChipAssignment(chip, slices, sub.nnz)
+            if sub.nnz:
+                acc = Tensaurus(self.config)
+                assignment.report = acc.run_mttkrp(
+                    sub, mat_b, mat_c, mode=mode, msu_mode=msu_mode,
+                    compute_output=compute_output,
+                )
+            assignments.append(assignment)
+        return MultiChipResult(assignments=assignments, mode=mode)
+
+
+def _restrict_to_slices(
+    tensor: SparseTensor, mode: int, slices: np.ndarray
+) -> SparseTensor:
+    """The sub-tensor holding only the given slices (global indexing kept,
+    so per-chip outputs line up with the global output)."""
+    if slices.size == 0:
+        return SparseTensor.empty(tensor.shape)
+    mask = np.isin(tensor.coords[:, mode], slices)
+    return SparseTensor(
+        tensor.shape, tensor.coords[mask], tensor.values[mask], canonical=True
+    )

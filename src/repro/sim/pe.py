@@ -1,0 +1,164 @@
+"""Exact per-record PE lane interpreter (Section 5.2.4, Fig. 5b).
+
+:class:`PELane` walks one lane's CISS record stream exactly as one PE row
+does: the TSR accumulates ``sum_D0 scalar * fiber0``, the fiber fold applies
+``fiber1 op TSR`` into the OSR, and slice/row boundaries drain the OSR to
+the MSU. It produces both the *functional* result (accumulated into a dense
+output array) and the exact cycle count under the same
+:class:`~repro.sim.costs.KernelCosts` table the vectorized engine uses.
+
+This is the ground truth the vectorized engine is validated against, and
+the component that demonstrates the CISS stream alone carries everything a
+PE needs (no centralized decode — the limitation of CISR that CISS lifts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.formats.ciss import KIND_HEADER, KIND_NNZ, KIND_PAD, LaneRecord
+from repro.sim.costs import KernelCosts
+from repro.util.errors import SimulationError
+
+
+@dataclass
+class LaneRunResult:
+    """Timing and activity of one lane's execution."""
+
+    cycles: int
+    ops: int
+    nnz_records: int
+    headers: int
+    fibers: int
+    drains: int
+
+
+class PELane:
+    """One PE row executing a CISS lane stream.
+
+    Parameters
+    ----------
+    costs:
+        Cost table from :func:`repro.sim.costs.kernel_costs`.
+    fiber0:
+        The SPM-resident fiber0 source (rows of C for MTTKRP/TTMc, rows of
+        B for SpMM, the dense vector for SpMV).
+    fiber1:
+        The SPM-resident fiber1 source (rows of B) for MTTKRP/TTMc; None
+        otherwise.
+    f1_tile:
+        TTMc only: how many fiber1 elements the OSR can hold (OLEN).
+    """
+
+    def __init__(
+        self,
+        costs: KernelCosts,
+        fiber0: np.ndarray,
+        fiber1: Optional[np.ndarray] = None,
+        f1_tile: int = 0,
+    ) -> None:
+        self.costs = costs
+        self.fiber0 = np.asarray(fiber0, dtype=np.float64)
+        self.fiber1 = None if fiber1 is None else np.asarray(fiber1, dtype=np.float64)
+        self.f1_tile = f1_tile
+        if costs.uses_fibers and self.fiber1 is None:
+            raise SimulationError(f"{costs.kernel} needs a fiber1 source")
+
+    def run(
+        self,
+        records: Sequence[LaneRecord],
+        out: np.ndarray,
+        trace: Optional[list] = None,
+    ) -> LaneRunResult:
+        """Execute the lane stream, accumulating results into ``out``.
+
+        ``out`` is indexed by slice/row id along axis 0 and must already
+        have the output-tile shape (F for MTTKRP/SpMM, (F1, F2) for TTMc,
+        scalar per row for SpMV). When ``trace`` is a list, one
+        ``(cycle, event, detail)`` tuple is appended per micro-event
+        (``header`` / ``mac`` / ``fold`` / ``drain``), giving a
+        cycle-by-cycle view of the PE for debugging and the trace tests.
+        """
+        costs = self.costs
+        cycles = 0
+        ops = 0
+        nnz_records = headers = fibers = drains = 0
+        cur_slice = -1
+        cur_j = -1
+        tsr = None
+        osr = None
+
+        def emit(event: str, detail: int) -> None:
+            if trace is not None:
+                trace.append((cycles, event, detail))
+
+        def fold() -> None:
+            nonlocal osr, tsr, fibers, cycles, ops
+            if tsr is None:
+                return
+            fibers += 1
+            cycles += costs.fold_cycles
+            ops += costs.ops_per_fold
+            emit("fold", cur_j)
+            if costs.kernel in ("spttmc", "dttmc"):
+                contrib = np.outer(self.fiber1[cur_j][: self.f1_tile], tsr)
+            else:
+                contrib = self.fiber1[cur_j] * tsr
+            osr = contrib if osr is None else osr + contrib
+            tsr = None
+
+        def drain() -> None:
+            nonlocal osr, drains, cycles
+            if osr is None:
+                return
+            drains += 1
+            cycles += costs.drain_cycles
+            emit("drain", cur_slice)
+            out[cur_slice] = out[cur_slice] + osr
+            osr = None
+
+        for rec in records:
+            if rec.kind == KIND_PAD:
+                continue
+            if rec.kind == KIND_HEADER:
+                if costs.uses_fibers:
+                    fold()
+                drain()
+                cur_slice = rec.a
+                cur_j = -1
+                cycles += costs.header_cycles
+                headers += 1
+                emit("header", cur_slice)
+                continue
+            if rec.kind != KIND_NNZ:
+                raise SimulationError(f"unknown record kind {rec.kind}")
+            if cur_slice < 0:
+                raise SimulationError("nonzero record before any header")
+            if costs.uses_fibers and rec.a != cur_j:
+                fold()  # close the previous fiber before this record
+                cur_j = rec.a
+            nnz_records += 1
+            cycles += costs.nnz_cycles
+            ops += costs.ops_per_nnz
+            emit("mac", rec.a)
+            if costs.uses_fibers:
+                scaled = rec.val * self.fiber0[rec.k]
+                tsr = scaled if tsr is None else tsr + scaled
+            else:
+                # SpMM/SpMV: scalar * fiber0 accumulates straight into OSR.
+                contrib = rec.val * self.fiber0[rec.a]
+                osr = contrib if osr is None else osr + contrib
+        if costs.uses_fibers:
+            fold()
+        drain()
+        return LaneRunResult(
+            cycles=cycles,
+            ops=ops,
+            nnz_records=nnz_records,
+            headers=headers,
+            fibers=fibers,
+            drains=drains,
+        )

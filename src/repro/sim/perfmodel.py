@@ -1,0 +1,235 @@
+"""Closed-form performance model of the accelerator.
+
+:class:`FastModel` predicts cycles and traffic from aggregate structure
+statistics (nonzeros, nonempty fibers/slices, occupied tiles) without
+CISS-encoding every tile, using the same cost constants as the cycle
+simulator. It exists for two reasons:
+
+1. Wide parameter sweeps (e.g. the Fig. 13 density sweep at many points)
+   where re-encoding every tile would dominate runtime.
+2. A cross-check: ``tests/test_perfmodel_agreement.py`` asserts the fast
+   model tracks the cycle simulator within a tolerance band across kernels
+   and densities, which guards both models against drift.
+
+The deliberate approximations (documented inline): per-entry bank-conflict
+stalls use the expected maximum of a multinomial instead of the actual
+index distribution; lane imbalance and tail padding are ignored (the CISS
+scheduler keeps them small); and compute/memory overlap is applied at the
+workload level rather than per tile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.sim.config import TensaurusConfig
+from repro.sim.costs import kernel_costs
+from repro.sim.report import SimReport
+from repro.sim.tiling import make_plan, tile_count
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+
+
+def _expected_max_occupancy(balls: int, bins: int) -> float:
+    """Monte-Carlo-free estimate of E[max bin load] for random banking.
+
+    Uses the standard balls-in-bins asymptotic for the balanced case
+    (``balls == bins``: about ``ln n / ln ln n``) blended with the mean
+    load; exactness is unnecessary — the cycle simulator measures the true
+    value and the agreement test bounds the error.
+    """
+    if balls <= 1 or bins <= 1:
+        return float(balls)
+    mean = balls / bins
+    if mean >= 4:
+        return mean + math.sqrt(2 * mean * math.log(bins))
+    # Light-load regime: max is a small constant above the mean.
+    return mean + 1.3
+
+
+class FastModel:
+    """Analytical timing model sharing the cycle simulator's constants."""
+
+    def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
+        self.config = config or TensaurusConfig()
+
+    # ------------------------------------------------------------------
+    def mttkrp(
+        self,
+        tensor: SparseTensor,
+        rank: int,
+        mode: int = 0,
+        msu_mode: str = "direct",
+    ) -> SimReport:
+        return self._tensor_kernel("spmttkrp", tensor, rank, 0, mode, msu_mode)
+
+    def ttmc(
+        self,
+        tensor: SparseTensor,
+        rank1: int,
+        rank2: int,
+        mode: int = 0,
+        msu_mode: str = "direct",
+    ) -> SimReport:
+        return self._tensor_kernel("spttmc", tensor, rank1, rank2, mode, msu_mode)
+
+    def spmm(
+        self,
+        a: Union[CSRMatrix, COOMatrix],
+        ncols: int,
+        msu_mode: str = "direct",
+    ) -> SimReport:
+        return self._matrix_kernel("spmm", a, ncols, msu_mode)
+
+    def spmv(
+        self, a: Union[CSRMatrix, COOMatrix], msu_mode: str = "direct"
+    ) -> SimReport:
+        return self._matrix_kernel("spmv", a, 1, msu_mode)
+
+    # ------------------------------------------------------------------
+    def _tensor_kernel(
+        self,
+        kernel: str,
+        tensor: SparseTensor,
+        rank: int,
+        rank2: int,
+        mode: int,
+        msu_mode: str,
+    ) -> SimReport:
+        if tensor.ndim != 3:
+            raise KernelError("tensor kernels are 3-d")
+        cfg = self.config
+        rest = [m for m in range(3) if m != mode]
+        perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        dims = perm.shape
+        coords = perm.coords
+        base = "mttkrp" if kernel == "spmttkrp" else "ttmc"
+        plan = make_plan(base, cfg, dims, msu_mode, rank, rank2)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems, plan.f1_tile)
+        nnz = perm.nnz
+        # Structure statistics (exact, vectorized).
+        nj = tile_count(dims[1], plan.j_tile)
+        nk = tile_count(dims[2], plan.k_tile)
+        tid = (
+            (coords[:, 0] // plan.i_tile) * nj + coords[:, 1] // plan.j_tile
+        ) * nk + coords[:, 2] // plan.k_tile
+        n_groups = int(np.unique(tid).shape[0])
+        fiber_key = tid * (dims[0] * dims[1] + 1) + (
+            coords[:, 0] * dims[1] + coords[:, 1]
+        )
+        n_fibers = int(np.unique(fiber_key).shape[0])
+        slice_key = tid * (dims[0] + 1) + coords[:, 0]
+        n_slice_visits = int(np.unique(slice_key).shape[0])
+        n_slices = int(np.unique(coords[:, 0]).shape[0])
+        out_elems = (
+            plan.f1_tile * plan.fiber_elems if base == "ttmc" else plan.fiber_elems
+        )
+        return self._assemble(
+            kernel, plan, costs, nnz,
+            headers=n_slice_visits,
+            fibers=n_fibers,
+            groups=n_groups,
+            out_rows=n_slices,
+            out_visits=n_slice_visits,
+            out_elems=out_elems,
+            matrix_rows_per_group=(
+                plan.j_tile * plan.f1_tile + plan.k_tile * plan.fiber_elems
+                if base == "ttmc"
+                else (plan.j_tile + plan.k_tile) * plan.fiber_elems
+            ),
+            index_fields=2,
+        )
+
+    def _matrix_kernel(
+        self,
+        kernel: str,
+        a: Union[CSRMatrix, COOMatrix],
+        ncols: int,
+        msu_mode: str,
+    ) -> SimReport:
+        cfg = self.config
+        coo = a.to_coo() if isinstance(a, CSRMatrix) else a
+        dims = coo.shape
+        plan = make_plan(kernel, cfg, dims, msu_mode, ncols)
+        costs = kernel_costs(kernel, cfg, plan.fiber_elems)
+        nj = tile_count(dims[1], plan.j_tile)
+        tid = (coo.rows // plan.i_tile) * nj + coo.cols // plan.j_tile
+        n_groups = int(np.unique(tid).shape[0])
+        visit_key = tid * (dims[0] + 1) + coo.rows
+        n_visits = int(np.unique(visit_key).shape[0])
+        n_rows = int(np.unique(coo.rows).shape[0])
+        return self._assemble(
+            kernel, plan, costs, coo.nnz,
+            headers=n_visits,
+            fibers=0,
+            groups=n_groups,
+            out_rows=n_rows,
+            out_visits=n_visits,
+            out_elems=plan.fiber_elems,
+            matrix_rows_per_group=plan.j_tile * plan.fiber_elems,
+            index_fields=1,
+        )
+
+    def _assemble(
+        self,
+        kernel: str,
+        plan,
+        costs,
+        nnz: int,
+        headers: int,
+        fibers: int,
+        groups: int,
+        out_rows: int,
+        out_visits: int,
+        out_elems: int,
+        matrix_rows_per_group: int,
+        index_fields: int,
+    ) -> SimReport:
+        cfg = self.config
+        dw = cfg.data_width
+        lanes = cfg.rows
+        # Compute cycles: per-lane shares plus expected bank-conflict stalls.
+        lane_cycles = (
+            costs.nnz_cycles * nnz
+            + costs.header_cycles * headers
+            + (costs.fold_cycles * fibers if costs.uses_fibers else 0)
+            + costs.drain_cycles * headers
+        ) / lanes
+        entries = (nnz + headers) / lanes
+        if not costs.dense and cfg.spm_banks >= 1 and lanes > 1:
+            stall_per_entry = max(
+                0.0, _expected_max_occupancy(lanes, cfg.spm_banks) - 1.0
+            )
+            lane_cycles += stall_per_entry * entries
+        compute = lane_cycles + groups * (cfg.rows + cfg.cols + 16)
+        # Traffic.
+        entry_bytes = cfg.ciss_entry_bytes(index_fields)
+        tensor_bytes = entries * entry_bytes
+        matrix_bytes = groups * matrix_rows_per_group * dw
+        if plan.msu_mode == "direct":
+            output_bytes = out_visits * out_elems * dw * 2
+        else:
+            output_bytes = out_rows * out_elems * dw
+        mem = (tensor_bytes + matrix_bytes + output_bytes) / cfg.hbm_bytes_per_cycle
+        cycles = int(max(compute, mem) * plan.passes)
+        ops = costs.ops_per_nnz * nnz
+        if costs.uses_fibers:
+            ops += costs.ops_per_fold * fibers
+        ops *= plan.passes
+        return SimReport(
+            kernel=kernel,
+            cycles=max(cycles, 1),
+            ops=int(ops),
+            tensor_bytes=int(tensor_bytes * plan.passes),
+            matrix_bytes=int(matrix_bytes * plan.passes),
+            output_bytes=int(output_bytes * plan.passes),
+            clock_ghz=cfg.clock_ghz,
+            output=None,
+            detail={"msu_mode": plan.msu_mode, "passes": plan.passes,
+                    "model": "fast"},
+        )

@@ -1,0 +1,61 @@
+"""Simulation result record shared by the cycle simulator and fast model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class SimReport:
+    """Outcome of one kernel execution on the simulated accelerator.
+
+    The per-stream byte counts let the rooflines and the energy model work
+    from the same numbers the timing used.
+    """
+
+    kernel: str
+    cycles: int
+    ops: int
+    tensor_bytes: int
+    matrix_bytes: int
+    output_bytes: int
+    clock_ghz: float
+    output: Optional[np.ndarray] = None
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tensor_bytes + self.matrix_bytes + self.output_bytes
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1.0e9)
+
+    @property
+    def gops(self) -> float:
+        """Achieved throughput in GOP/s (1 op = 1 multiply or 1 add)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.ops / self.time_s / 1.0e9
+
+    @property
+    def achieved_bw_gbs(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.total_bytes / self.time_s / 1.0e9
+
+    @property
+    def op_intensity(self) -> float:
+        """Operations per byte of off-chip traffic (roofline x-axis)."""
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.ops / self.total_bytes
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel}: {self.cycles} cycles, {self.gops:.1f} GOP/s, "
+            f"{self.achieved_bw_gbs:.1f} GB/s, OI={self.op_intensity:.2f}"
+        )

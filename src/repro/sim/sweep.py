@@ -1,0 +1,98 @@
+"""Design-space exploration: sweep configuration knobs over one workload.
+
+The paper evaluates one design point (8x8, VLEN=4, 8 banks); this helper
+re-simulates a workload across a grid of config variations so the scaling
+ablations (and downstream users sizing their own deployment) get a uniform
+interface: give it a base config, a dict of parameter lists, and a runner,
+and it returns one record per design point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.sim.accelerator import Tensaurus
+from repro.sim.config import TensaurusConfig
+from repro.sim.report import SimReport
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    params: Dict[str, object]
+    config: TensaurusConfig
+    report: SimReport
+
+    @property
+    def gops(self) -> float:
+        return self.report.gops
+
+    @property
+    def gops_per_watt_proxy(self) -> float:
+        """Throughput per MAC — a technology-free efficiency proxy."""
+        return self.report.gops / max(self.config.mac_units, 1)
+
+
+def sweep_configs(
+    base: TensaurusConfig,
+    grid: Dict[str, Sequence],
+    runner: Callable[[Tensaurus], SimReport],
+) -> List[DesignPoint]:
+    """Evaluate ``runner`` at every point of the parameter grid.
+
+    ``grid`` maps :class:`TensaurusConfig` field names to value lists; the
+    sweep takes their Cartesian product. ``runner`` receives a fresh
+    :class:`Tensaurus` per point and returns its :class:`SimReport`.
+    """
+    if not grid:
+        raise ConfigError("empty parameter grid")
+    for name in grid:
+        if not hasattr(base, name):
+            raise ConfigError(f"unknown config field {name!r}")
+    names = sorted(grid)
+    points: List[DesignPoint] = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        config = base.scaled(**params)
+        report = runner(Tensaurus(config))
+        points.append(DesignPoint(params=params, config=config, report=report))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated on (throughput up, MAC count down).
+
+    A point dominates another when it is at least as fast with no more
+    MACs, and strictly better on one axis — the basic cost/performance
+    frontier for sizing the PE array.
+    """
+    front = []
+    for p in points:
+        dominated = any(
+            (q.gops >= p.gops and q.config.mac_units <= p.config.mac_units)
+            and (q.gops > p.gops or q.config.mac_units < p.config.mac_units)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.config.mac_units)
+
+
+def render_sweep(points: Sequence[DesignPoint]) -> str:
+    """A table of the sweep results."""
+    if not points:
+        return "(no design points)"
+    names = sorted(points[0].params)
+    rows = [
+        [*(p.params[n] for n in names), p.config.mac_units,
+         p.report.cycles, p.gops, p.gops_per_watt_proxy]
+        for p in points
+    ]
+    return format_table(
+        names + ["MACs", "cycles", "GOP/s", "GOP/s/MAC"], rows
+    )

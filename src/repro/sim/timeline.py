@@ -1,0 +1,118 @@
+"""Execution timelines: aggregate many kernel launches into one summary.
+
+An application (CP-ALS sweep, CNN inference pass, GNN forward) is a
+sequence of kernel launches; :class:`Timeline` accumulates their
+:class:`~repro.sim.report.SimReport` records and answers the questions a
+performance engineer asks of the whole run: total time/ops/bytes, energy,
+per-kernel breakdowns, the bottleneck launch, and average utilization —
+plus a rendered table for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.energy.model import accelerator_energy
+from repro.sim.report import SimReport
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class TimelineEntry:
+    """One launch on the timeline."""
+
+    label: str
+    report: SimReport
+    start_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.report.time_s
+
+
+@dataclass
+class Timeline:
+    """An ordered record of kernel launches on one accelerator."""
+
+    peak_gops: float = 512.0
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    def add(self, label: str, report: SimReport) -> TimelineEntry:
+        """Append a launch (runs back-to-back after the previous one)."""
+        start = self.entries[-1].end_s if self.entries else 0.0
+        entry = TimelineEntry(label=label, report=report, start_s=start)
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return self.entries[-1].end_s if self.entries else 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(e.report.ops for e in self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.report.total_bytes for e in self.entries)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(
+            accelerator_energy(e.report, self.peak_gops) for e in self.entries
+        )
+
+    @property
+    def average_gops(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_ops / self.total_seconds / 1.0e9
+
+    @property
+    def average_utilization(self) -> float:
+        """Time-weighted fraction of peak compute sustained."""
+        if self.peak_gops <= 0:
+            raise ConfigError("peak_gops must be positive")
+        return self.average_gops / self.peak_gops
+
+    def bottleneck(self) -> Optional[TimelineEntry]:
+        """The single longest launch."""
+        if not self.entries:
+            return None
+        return max(self.entries, key=lambda e: e.report.time_s)
+
+    def by_kernel(self) -> Dict[str, float]:
+        """Seconds spent per kernel type."""
+        out: Dict[str, float] = {}
+        for e in self.entries:
+            out[e.report.kernel] = out.get(e.report.kernel, 0.0) + e.report.time_s
+        return out
+
+    def render(self) -> str:
+        """A per-launch table followed by the aggregate line."""
+        rows = [
+            [
+                e.label,
+                e.report.kernel,
+                f"{e.start_s * 1e6:.1f}",
+                f"{e.report.time_s * 1e6:.1f}",
+                f"{e.report.gops:.0f}",
+                f"{e.report.achieved_bw_gbs:.0f}",
+            ]
+            for e in self.entries
+        ]
+        table = format_table(
+            ["launch", "kernel", "start us", "time us", "GOP/s", "GB/s"], rows
+        )
+        summary = (
+            f"total: {self.total_seconds * 1e3:.3f} ms, "
+            f"{self.total_ops / 1e9:.2f} GOP, "
+            f"{self.total_bytes / 1e6:.1f} MB, "
+            f"{self.total_energy_j * 1e3:.3f} mJ, "
+            f"avg {self.average_gops:.0f} GOP/s "
+            f"({self.average_utilization:.0%} of peak)"
+        )
+        return table + "\n" + summary

@@ -1,0 +1,19 @@
+"""Sparse tensor substrate.
+
+:class:`SparseTensor` is the N-dimensional coordinate-format tensor every
+storage format (extended CSR, CSF, CISS) and kernel in this repository is
+built from. It mirrors the role FROSTT ``.tns`` files play for SPLATT: a
+canonical, format-neutral carrier of the nonzero structure.
+"""
+
+from repro.tensor.sparse import SparseTensor
+from repro.tensor.dense import dense_frobenius_norm, unfold_dense, fold_dense
+from repro.tensor import ops
+
+__all__ = [
+    "SparseTensor",
+    "dense_frobenius_norm",
+    "unfold_dense",
+    "fold_dense",
+    "ops",
+]

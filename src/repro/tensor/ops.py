@@ -1,0 +1,139 @@
+"""Element-wise and contraction operations on sparse tensors.
+
+The factorization algorithms and applications need a handful of tensor
+operations beyond the accelerated kernels: sparse addition/subtraction,
+Hadamard products, inner products, single-mode tensor-times-matrix (TTM),
+and residual norms computed without materializing dense tensors. All
+operate on the canonical COO substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.sparse import SparseTensor, _linearize
+from repro.util.errors import ShapeError
+from repro.util.validation import check_mode, check_shape_match
+
+
+def _check_same_shape(a: SparseTensor, b: SparseTensor) -> None:
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def add(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Sparse tensor addition (duplicate coordinates sum, zeros vanish)."""
+    _check_same_shape(a, b)
+    coords = np.concatenate([a.coords, b.coords], axis=0)
+    values = np.concatenate([a.values, b.values])
+    return SparseTensor(a.shape, coords, values)
+
+
+def subtract(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Sparse tensor subtraction ``a - b``."""
+    return add(a, b.scale(-1.0))
+
+
+def hadamard(a: SparseTensor, b: SparseTensor) -> SparseTensor:
+    """Element-wise product; the result's support is the intersection."""
+    _check_same_shape(a, b)
+    key_a = _linearize(a.coords, a.shape)
+    key_b = _linearize(b.coords, b.shape)
+    # Canonical order makes both key arrays sorted: intersect by merge.
+    common, idx_a, idx_b = np.intersect1d(
+        key_a, key_b, assume_unique=True, return_indices=True
+    )
+    if common.size == 0:
+        return SparseTensor.empty(a.shape)
+    return SparseTensor(
+        a.shape,
+        a.coords[idx_a],
+        a.values[idx_a] * b.values[idx_b],
+    )
+
+
+def inner(a: SparseTensor, b: SparseTensor) -> float:
+    """Inner product ``<a, b> = sum_ij a_ij * b_ij``."""
+    _check_same_shape(a, b)
+    key_a = _linearize(a.coords, a.shape)
+    key_b = _linearize(b.coords, b.shape)
+    _common, idx_a, idx_b = np.intersect1d(
+        key_a, key_b, assume_unique=True, return_indices=True
+    )
+    return float(np.dot(a.values[idx_a], b.values[idx_b]))
+
+
+def residual_norm(tensor: SparseTensor, model_dense: np.ndarray) -> float:
+    """``||tensor - model||_F`` without densifying ``tensor``.
+
+    Uses ``||X - M||^2 = ||X||^2 - 2<X, M> + ||M||^2`` with the cross term
+    evaluated only at the sparse support.
+    """
+    model_dense = np.asarray(model_dense, dtype=np.float64)
+    if model_dense.shape != tensor.shape:
+        raise ShapeError(
+            f"model shape {model_dense.shape} != tensor shape {tensor.shape}"
+        )
+    cross = float(
+        np.dot(tensor.values, model_dense[tuple(tensor.coords.T)])
+    )
+    sq = tensor.norm() ** 2 - 2.0 * cross + float(np.sum(model_dense**2))
+    return float(np.sqrt(max(sq, 0.0)))
+
+
+def ttm(tensor: SparseTensor, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Single tensor-times-matrix product along ``mode``.
+
+    ``Y = X x_mode M^T`` with ``M`` of shape ``(shape[mode], rank)``:
+    the output is dense with ``shape[mode]`` replaced by ``rank``. (TTMc is
+    a chain of these with all-but-one mode contracted.)
+    """
+    check_mode(mode, tensor.ndim)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ShapeError("ttm expects a 2-d matrix")
+    check_shape_match(
+        f"tensor mode {mode}", tensor.shape[mode], "matrix rows", matrix.shape[0]
+    )
+    rank = matrix.shape[1]
+    out_shape = tuple(
+        rank if m == mode else s for m, s in enumerate(tensor.shape)
+    )
+    out = np.zeros(out_shape, dtype=np.float64)
+    if tensor.nnz == 0:
+        return out
+    rest = [m for m in range(tensor.ndim) if m != mode]
+    # Scatter-add each nonzero's contribution row into the output.
+    contrib = tensor.values[:, None] * matrix[tensor.coords[:, mode], :]
+    index = tuple(
+        tensor.coords[:, m] for m in range(tensor.ndim) if m != mode
+    )
+    # Build an indexing tuple with a slice at `mode`.
+    moved = np.moveaxis(out, mode, -1)  # view: rest modes first, rank last
+    np.add.at(moved, index, contrib)
+    return out
+
+
+def mode_sum(tensor: SparseTensor, mode: int) -> np.ndarray:
+    """Marginal sums along one mode (collapses it)."""
+    check_mode(mode, tensor.ndim)
+    rest = [m for m in range(tensor.ndim) if m != mode]
+    out_shape = tuple(tensor.shape[m] for m in rest)
+    out = np.zeros(out_shape, dtype=np.float64)
+    if tensor.nnz:
+        np.add.at(out, tuple(tensor.coords[:, m] for m in rest), tensor.values)
+    return out
+
+
+def extract_slice(tensor: SparseTensor, mode: int, index: int) -> SparseTensor:
+    """The (N-1)-d sparse slice at ``index`` along ``mode``."""
+    check_mode(mode, tensor.ndim)
+    if not 0 <= index < tensor.shape[mode]:
+        raise ShapeError(f"slice index {index} out of range")
+    mask = tensor.coords[:, mode] == index
+    rest = [m for m in range(tensor.ndim) if m != mode]
+    coords = tensor.coords[mask][:, rest]
+    shape = tuple(tensor.shape[m] for m in rest)
+    return SparseTensor(shape, coords, tensor.values[mask], canonical=True)

@@ -1,0 +1,35 @@
+"""Shared utilities: errors, validation helpers, deterministic RNG.
+
+These are deliberately small and dependency-free so every other subpackage
+(tensor substrate, formats, simulator, baselines) can rely on them without
+import cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    FormatError,
+    ConfigError,
+    KernelError,
+)
+from repro.util.rng import make_rng, derive_seed
+from repro.util.validation import (
+    check_index,
+    check_mode,
+    check_positive,
+    check_shape_match,
+)
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ConfigError",
+    "KernelError",
+    "make_rng",
+    "derive_seed",
+    "check_index",
+    "check_mode",
+    "check_positive",
+    "check_shape_match",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor/matrix shape or index is inconsistent with an operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse storage format was constructed or decoded inconsistently."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A hardware or experiment configuration value is invalid."""
+
+
+class KernelError(ReproError, ValueError):
+    """A kernel was invoked with unsupported operands or parameters."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an inconsistent internal state."""

@@ -1,0 +1,37 @@
+"""Deterministic random number generation helpers.
+
+Every synthetic dataset and randomized test in this repository derives its
+randomness from an explicit seed through these helpers so experiments are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 0x7E25
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically.
+
+    ``None`` maps to the library-wide default seed (not OS entropy): the
+    reproduction must be deterministic by default.
+    """
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base: int, *labels: object) -> int:
+    """Derive a stable child seed from a base seed and a label path.
+
+    Used by dataset generators so that e.g. ``("nell-2", "values")`` and
+    ``("nell-2", "coords")`` draw from independent streams that do not shift
+    when unrelated generators are added.
+    """
+    text = ":".join([str(base)] + [str(label) for label in labels])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")

@@ -1,0 +1,40 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ConfigError, ShapeError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_index(name: str, value: int, bound: int) -> None:
+    """Raise :class:`ShapeError` unless ``0 <= value < bound``."""
+    if not 0 <= value < bound:
+        raise ShapeError(f"{name}={value} out of range [0, {bound})")
+
+
+def check_mode(mode: int, ndim: int) -> None:
+    """Validate a tensor mode index against the tensor dimensionality."""
+    if not 0 <= mode < ndim:
+        raise ShapeError(f"mode {mode} invalid for a {ndim}-dimensional tensor")
+
+
+def check_shape_match(name_a: str, dim_a: int, name_b: str, dim_b: int) -> None:
+    """Raise :class:`ShapeError` unless two contracted dimensions agree."""
+    if dim_a != dim_b:
+        raise ShapeError(
+            f"dimension mismatch: {name_a} has size {dim_a} but {name_b} has size {dim_b}"
+        )
+
+
+def check_sorted_unique(name: str, values: Sequence[int]) -> None:
+    """Raise :class:`ShapeError` unless ``values`` is strictly increasing."""
+    for prev, cur in zip(values, list(values)[1:]):
+        if cur <= prev:
+            raise ShapeError(f"{name} must be strictly increasing, got {list(values)!r}")

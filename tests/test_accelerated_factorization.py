@@ -1,0 +1,64 @@
+"""End-to-end: factorizations whose kernels execute on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.factorization import (
+    accelerated_cp_als,
+    accelerated_tucker_hooi,
+    cp_als,
+    tucker_hooi,
+)
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+
+from tests.conftest import random_tensor
+
+
+class TestAcceleratedCP:
+    def test_matches_software_cp(self, rng):
+        facs = [rng.standard_normal((s, 2)) for s in (10, 8, 6)]
+        x = np.einsum("if,jf,kf->ijk", *facs)
+        t = SparseTensor.from_dense(x)
+        sw = cp_als(t, rank=2, num_iters=5, seed=0)
+        hw = accelerated_cp_als(t, rank=2, num_iters=5, seed=0)
+        # Accelerator MTTKRP is exact, so the trajectories are identical.
+        assert hw.decomposition.fit == pytest.approx(sw.fit, abs=1e-12)
+        for a, b in zip(hw.decomposition.factors, sw.factors):
+            assert np.allclose(a, b)
+
+    def test_reports_collected(self):
+        t = random_tensor(shape=(12, 10, 8), density=0.2, seed=4)
+        run = accelerated_cp_als(t, rank=4, num_iters=3, tol=0)
+        # One MTTKRP per mode per sweep.
+        assert len(run.reports) == 3 * 3
+        assert run.accelerator_seconds > 0
+        assert run.total_ops > 0
+        assert run.total_bytes > 0
+
+    def test_requires_3d(self, rng):
+        with pytest.raises(KernelError):
+            accelerated_cp_als(rng.random((4, 4)), rank=2)
+
+
+class TestAcceleratedTucker:
+    def test_matches_software_tucker(self, rng):
+        core = rng.standard_normal((2, 2, 2))
+        facs = [
+            np.linalg.qr(rng.standard_normal((s, 2)))[0] for s in (10, 8, 6)
+        ]
+        x = np.einsum("abc,ia,jb,kc->ijk", core, *facs)
+        sw = tucker_hooi(x, (2, 2, 2), num_iters=5)
+        hw = accelerated_tucker_hooi(x, (2, 2, 2), num_iters=5)
+        assert hw.decomposition.fit == pytest.approx(sw.fit, abs=1e-9)
+        assert np.allclose(hw.decomposition.to_dense(), sw.to_dense())
+
+    def test_sparse_input(self):
+        t = random_tensor(shape=(12, 10, 8), density=0.3, seed=5)
+        run = accelerated_tucker_hooi(t, (3, 3, 3), num_iters=2, tol=0)
+        assert len(run.reports) == 2 * 3
+        assert run.decomposition.core.shape == (3, 3, 3)
+
+    def test_requires_3d(self, rng):
+        with pytest.raises(KernelError):
+            accelerated_tucker_hooi(rng.random((4, 4, 4, 4)), (2, 2, 2, 2))

@@ -1,0 +1,88 @@
+"""Tests for roofline math and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RooflinePoint,
+    SpeedupRow,
+    attainable_gops,
+    classify_point,
+    format_table,
+    geomean,
+    speedup_table,
+)
+from repro.sim.report import SimReport
+
+
+class TestRoofline:
+    def test_memory_side(self):
+        assert attainable_gops(1.0, 512, 128) == pytest.approx(128.0)
+        assert classify_point(1.0, 512, 128) == "memory"
+
+    def test_compute_side(self):
+        assert attainable_gops(100.0, 512, 128) == pytest.approx(512.0)
+        assert classify_point(100.0, 512, 128) == "compute"
+
+    def test_ridge_point(self):
+        ridge = 512 / 128
+        assert attainable_gops(ridge, 512, 128) == pytest.approx(512.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            attainable_gops(-1, 512, 128)
+
+    def test_from_report(self):
+        rep = SimReport(
+            kernel="spmm", cycles=2000, ops=256_000,
+            tensor_bytes=100_000, matrix_bytes=20_000, output_bytes=8_000,
+            clock_ghz=2.0,
+        )
+        pt = RooflinePoint.from_report("x", rep, 512, 128)
+        assert pt.op_intensity == pytest.approx(256_000 / 128_000)
+        assert pt.bound == "memory"
+        assert 0 < pt.efficiency <= 1.5
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, -3.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(["name", "val"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_speedup_row(self):
+        row = SpeedupRow(
+            "bench",
+            times={"cpu": 10.0, "tensaurus": 1.0, "gpu": 5.0},
+            energies={"cpu": 100.0, "tensaurus": 2.0, "gpu": 50.0},
+        )
+        assert row.speedup("tensaurus") == pytest.approx(10.0)
+        assert row.speedup("gpu") == pytest.approx(2.0)
+        assert row.energy_benefit("tensaurus") == pytest.approx(50.0)
+        assert row.speedup("missing") == 0.0
+
+    def test_speedup_table_has_geomean(self):
+        rows = [
+            SpeedupRow("a", {"cpu": 4.0, "x": 1.0}, {"cpu": 4.0, "x": 1.0}),
+            SpeedupRow("b", {"cpu": 16.0, "x": 1.0}, {"cpu": 16.0, "x": 1.0}),
+        ]
+        text = speedup_table(rows, ["x"])
+        assert "geomean" in text
+        assert "8" in text  # geomean of 4x and 16x
+
+    def test_energy_metric(self):
+        rows = [SpeedupRow("a", {"cpu": 1.0, "x": 1.0}, {"cpu": 9.0, "x": 1.0})]
+        text = speedup_table(rows, ["x"], metric="energy")
+        assert "9" in text

@@ -1,0 +1,194 @@
+"""Tests for the application layer (recommender, GraphSAGE, sparse CNN)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CPRecommender,
+    GraphSAGELayer,
+    GraphSAGEModel,
+    SparseConvLayer,
+    SparseLinear,
+    SparseMLP,
+    normalize_adjacency,
+    prune_by_magnitude,
+)
+from repro.formats import COOMatrix
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError, ShapeError
+from repro.util.rng import make_rng
+
+from tests.conftest import random_tensor
+
+
+def planted_ratings(users=60, items=40, contexts=6, rank=3, per_user=12, seed=2):
+    """Observed ratings from a planted low-rank preference model."""
+    rng = make_rng(seed)
+    u = rng.standard_normal((users, rank))
+    v = rng.standard_normal((items, rank))
+    w = 1.0 + 0.05 * rng.standard_normal((contexts, rank))
+    rows = np.repeat(np.arange(users), per_user)
+    cols = rng.integers(0, items, size=rows.shape[0])
+    ctx = rng.integers(0, contexts, size=rows.shape[0])
+    vals = np.einsum("nf,nf,nf->n", u[rows], v[cols], w[ctx])
+    vals[vals == 0] = 0.1
+    coords = np.stack([rows, cols, ctx], axis=1)
+    return SparseTensor((users, items, contexts), coords, vals)
+
+
+class TestCPRecommender:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CPRecommender(rank=3, num_iters=6, seed=1).fit(planted_ratings())
+
+    def test_requires_fit(self):
+        fresh = CPRecommender(rank=2)
+        with pytest.raises(KernelError):
+            fresh.recommend(0)
+        assert not fresh.is_fitted
+
+    def test_fit_collects_reports(self, model):
+        assert model.is_fitted
+        assert len(model.kernel_reports()) == 6 * 3
+        assert model.accelerator_seconds > 0
+        assert 0 < model.fit_quality <= 1
+
+    def test_predict_matches_model(self, model):
+        cp = model._run.decomposition
+        direct = float(
+            np.sum(cp.weights * cp.factors[0][3] * cp.factors[1][7] * cp.factors[2][1])
+        )
+        assert model.predict(3, 7, 1) == pytest.approx(direct)
+
+    def test_recommend_excludes_rated(self, model):
+        rated = set(
+            int(c[1])
+            for c in model._rated.coords
+            if c[0] == 5
+        )
+        recs = model.recommend(5, k=10)
+        assert len(recs) <= 10
+        assert all(item not in rated for item, _s in recs)
+
+    def test_recommend_scores_descending(self, model):
+        recs = model.recommend(2, k=8, exclude_rated=False)
+        scores = [s for _i, s in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_user_embedding(self, model):
+        emb = model.user_embedding(0)
+        assert emb.shape == (3,)
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            CPRecommender(rank=0)
+        with pytest.raises(ShapeError):
+            CPRecommender(rank=2).fit(
+                SparseTensor.from_entries((2, 2), [((0, 0), 1.0)])
+            )
+
+
+class TestGraphSAGE:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        rng = make_rng(3)
+        n = 50
+        dense = (rng.random((n, n)) < 0.08).astype(float)
+        return COOMatrix.from_dense(dense)
+
+    def test_normalize_adjacency(self, graph):
+        norm = normalize_adjacency(graph)
+        dense = norm.to_dense()
+        # Self loops present; spectral radius bounded by 1.
+        assert np.all(np.diag(dense) > 0)
+        eigs = np.linalg.eigvalsh((dense + dense.T) / 2)
+        assert eigs.max() <= 1.0 + 1e-6
+
+    def test_normalize_requires_square(self):
+        with pytest.raises(ShapeError):
+            normalize_adjacency(COOMatrix((2, 3), [0], [1], [1.0]))
+
+    def test_layer_matches_numpy(self, graph):
+        rng = make_rng(4)
+        norm = normalize_adjacency(graph)
+        h = rng.random((50, 16))
+        layer = GraphSAGELayer(16, 8, seed=0)
+        out = layer(norm, h)
+        expected = np.maximum(norm.to_dense() @ h @ layer.weight, 0.0)
+        assert np.allclose(out, expected)
+        assert layer.last_report is not None
+        assert layer.last_report.cycles > 0
+
+    def test_layer_validation(self, graph):
+        norm = normalize_adjacency(graph)
+        layer = GraphSAGELayer(16, 8)
+        with pytest.raises(ShapeError):
+            layer(norm, np.ones((50, 9)))  # wrong width
+        with pytest.raises(ShapeError):
+            layer(norm, np.ones(50))
+        with pytest.raises(ShapeError):
+            GraphSAGELayer(0, 8)
+        with pytest.raises(ShapeError):
+            GraphSAGELayer(8, 8, activation="tanh")
+
+    def test_model_stack(self, graph):
+        rng = make_rng(5)
+        norm = normalize_adjacency(graph)
+        model = GraphSAGEModel([16, 12, 4], seed=0)
+        out = model(norm, rng.random((50, 16)))
+        assert out.shape == (50, 4)
+        assert model.accelerator_seconds > 0
+        # Final layer has no ReLU: negatives allowed.
+        assert out.min() < 0
+
+    def test_model_validation(self):
+        with pytest.raises(ShapeError):
+            GraphSAGEModel([16])
+
+
+class TestSparseCNN:
+    def test_prune_by_magnitude(self, rng):
+        w = rng.standard_normal((20, 30))
+        pruned = prune_by_magnitude(w, 0.25)
+        assert pruned.nnz == round(20 * 30 * 0.25)
+        # The kept entries are the largest in magnitude.
+        kept_min = np.abs(pruned.vals).min()
+        dropped = np.abs(w)[pruned.to_dense() == 0]
+        assert kept_min >= dropped.max() - 1e-12
+
+    def test_prune_validation(self, rng):
+        with pytest.raises(ShapeError):
+            prune_by_magnitude(rng.random(5), 0.5)
+        with pytest.raises(ShapeError):
+            prune_by_magnitude(rng.random((4, 4)), 0.0)
+
+    def test_sparse_linear_matches_numpy(self, rng):
+        w = rng.standard_normal((24, 32))
+        layer = SparseLinear(w, density=0.3)
+        x = rng.random(32)
+        assert np.allclose(layer(x), layer.weights.to_dense() @ x)
+        with pytest.raises(ShapeError):
+            layer(rng.random(31))
+
+    def test_sparse_conv_matches_numpy(self, rng):
+        w = rng.standard_normal((16, 27))
+        layer = SparseConvLayer(w, density=0.4)
+        cols = rng.random((27, 10))
+        out = layer(cols)
+        assert np.allclose(out, np.maximum(layer.weights.to_dense() @ cols, 0))
+        assert layer.density == pytest.approx(0.4, abs=0.05)
+
+    def test_mlp_pipeline(self, rng):
+        widths = [(16, 32), (8, 16), (4, 8)]
+        weights = [rng.standard_normal(s) for s in widths]
+        mlp = SparseMLP(weights, density=0.5)
+        out = mlp(rng.random(32))
+        assert out.shape == (4,)
+        assert mlp.accelerator_seconds > 0
+        assert mlp.total_ops > 0
+
+    def test_mlp_width_chaining(self, rng):
+        with pytest.raises(ShapeError):
+            SparseMLP([rng.random((4, 8)), rng.random((4, 5))], density=0.5)
+        with pytest.raises(ShapeError):
+            SparseMLP([], density=0.5)

@@ -1,0 +1,169 @@
+"""Tests for the CPU/GPU/Cambricon-X/T2S baseline cost models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CambriconXBaseline,
+    CPUBaseline,
+    GPUBaseline,
+    T2SBaseline,
+    matrix_workload,
+    tensor_workload,
+)
+from repro.formats import COOMatrix, CSRMatrix
+from repro.util.errors import KernelError
+
+from tests.conftest import random_tensor
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_tensor(shape=(60, 40, 30), density=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(4)
+    dense = (rng.random((200, 150)) < 0.05) * (rng.random((200, 150)) + 0.1)
+    return COOMatrix.from_dense(dense)
+
+
+class TestWorkloadStats:
+    def test_tensor_stats(self, tensor):
+        st = tensor_workload("mttkrp", tensor, 16, mode=1)
+        assert st.nnz == tensor.nnz
+        assert st.dims[0] == tensor.shape[1]
+        assert st.ops == 2 * st.nnz * 16 + 2 * st.fibers * 16
+        assert st.factor_bytes == (st.dims[1] + st.dims[2]) * 16 * 4
+
+    def test_ttmc_ops(self, tensor):
+        st = tensor_workload("ttmc", tensor, 8, 4)
+        assert st.ops == 2 * st.nnz * 4 + 2 * st.fibers * 8 * 4
+        assert st.output_bytes == st.out_rows * 8 * 4 * 4
+
+    def test_dense_tensor_stats(self, rng):
+        dense = rng.random((10, 8, 6))
+        st = tensor_workload("mttkrp", dense, 16, mode=2)
+        assert st.dense
+        assert st.nnz == 10 * 8 * 6
+        assert st.dims == (6, 10, 8)
+
+    def test_matrix_stats(self, matrix):
+        st = matrix_workload("spmm", matrix, 32)
+        assert st.nnz == matrix.nnz
+        assert st.ops == 2 * matrix.nnz * 32
+
+    def test_csr_accepted(self, matrix):
+        st = matrix_workload("spmv", CSRMatrix.from_coo(matrix))
+        assert st.ops == 2 * matrix.nnz
+
+    def test_kernel_validation(self, tensor):
+        with pytest.raises(KernelError):
+            tensor_workload("spmm", tensor, 8)
+        with pytest.raises(KernelError):
+            matrix_workload("mttkrp", np.ones((2, 2)), 4)
+
+
+class TestCPU:
+    def test_positive_time_energy(self, tensor):
+        res = CPUBaseline().run(tensor_workload("mttkrp", tensor, 16))
+        assert res.time_s > 0 and res.energy_j > 0
+        assert res.platform == "cpu"
+        assert res.gops > 0
+
+    def test_time_scales_with_work(self, tensor):
+        cpu = CPUBaseline()
+        small = cpu.run(tensor_workload("mttkrp", tensor, 8))
+        big = cpu.run(tensor_workload("mttkrp", tensor, 64))
+        assert big.time_s > small.time_s
+
+    def test_cache_model_kicks_in(self):
+        cpu = CPUBaseline(l3_bytes=1024)  # tiny cache: everything misses
+        big_cache = CPUBaseline()
+        t = random_tensor(shape=(60, 40, 30), density=0.05, seed=5)
+        st = tensor_workload("mttkrp", t, 64)
+        assert cpu._traffic(st) > big_cache._traffic(st)
+
+    def test_dense_kernels_use_dense_efficiency(self, rng):
+        cpu = CPUBaseline()
+        dense = rng.random((64, 64))
+        res = cpu.run(matrix_workload("gemm", dense, 64))
+        # Dense GEMM sustains near peak: time close to ops/peak.
+        lower = res.ops / (cpu.peak_gflops * 1e9)
+        assert res.time_s < 2 * lower
+
+
+class TestGPU:
+    def test_launch_overhead_floor(self):
+        gpu = GPUBaseline()
+        tiny = random_tensor(shape=(8, 6, 5), density=0.1, seed=6)
+        res = gpu.run(tensor_workload("mttkrp", tiny, 4))
+        assert res.time_s >= gpu.launch_overhead_s
+
+    def test_ttmc_faster_than_mttkrp_per_op(self, tensor):
+        # ParTI kernel-only SpTTMc runs near GPU peak; SpMTTKRP does not.
+        gpu = GPUBaseline()
+        r_m = gpu.run(tensor_workload("mttkrp", tensor, 16))
+        r_t = gpu.run(tensor_workload("ttmc", tensor, 16, 16))
+        assert r_t.gops > r_m.gops
+
+    def test_energy_uses_tdp(self, tensor):
+        gpu = GPUBaseline()
+        res = gpu.run(tensor_workload("mttkrp", tensor, 16))
+        assert res.energy_j == pytest.approx(250.0 * res.time_s, rel=1e-6)
+
+
+class TestCambriconX:
+    def test_matrix_kernels_only(self, tensor):
+        with pytest.raises(KernelError):
+            CambriconXBaseline().run(tensor_workload("mttkrp", tensor, 8))
+
+    def test_step_padding_explodes_at_high_sparsity(self):
+        cam = CambriconXBaseline()
+        rng = np.random.default_rng(7)
+        n = 4096
+        sparse = COOMatrix.from_dense(
+            (rng.random((n, n)) < 0.001) * (rng.random((n, n)) + 0.1)
+        )
+        denseish = COOMatrix.from_dense(
+            (rng.random((256, 256)) < 0.4) * (rng.random((256, 256)) + 0.1)
+        )
+        pad_sparse = cam._padded_nnz(matrix_workload("spmm", sparse, 32))
+        pad_dense = cam._padded_nnz(matrix_workload("spmm", denseish, 32))
+        assert pad_sparse > 3 * sparse.nnz  # fillers dominate
+        assert pad_dense == denseish.nnz  # no fillers needed
+
+    def test_time_reflects_padding(self, matrix):
+        cam = CambriconXBaseline()
+        st = matrix_workload("spmm", matrix, 32)
+        res = cam.run(st)
+        assert res.time_s > 0
+        # With 16x wider step indices the padding vanishes and time drops.
+        wide = CambriconXBaseline(step_bits=16)
+        assert wide.run(st).time_s <= res.time_s
+
+    def test_dense_passthrough(self, rng):
+        cam = CambriconXBaseline()
+        res = cam.run(matrix_workload("gemm", rng.random((128, 128)), 64))
+        assert res.time_s > 0
+
+
+class TestT2S:
+    def test_dense_only(self, tensor):
+        with pytest.raises(KernelError):
+            T2SBaseline().run(tensor_workload("mttkrp", tensor, 8))
+
+    def test_table6_throughputs(self, rng):
+        t2s = T2SBaseline()
+        dense = rng.random((32, 32, 32))
+        res = t2s.run(tensor_workload("mttkrp", dense, 32))
+        assert res.gops == pytest.approx(986.3, rel=1e-6)
+        res = t2s.run(tensor_workload("ttmc", dense, 4, 32))
+        assert res.gops == pytest.approx(926.6, rel=1e-6)
+        res = t2s.run(matrix_workload("gemm", rng.random((64, 64)), 64))
+        assert res.gops == pytest.approx(1019.8, rel=1e-6)
+
+    def test_unsupported_kernel(self, rng):
+        with pytest.raises(KernelError):
+            T2SBaseline().run(matrix_workload("gemv", rng.random((8, 8))))

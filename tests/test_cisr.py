@@ -1,0 +1,70 @@
+"""Tests for the CISR prior-work format (Fowers et al.)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CISRMatrix, COOMatrix
+from repro.util.errors import ShapeError
+
+
+def random_coo(seed, shape=(12, 10), density=0.3):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density) * rng.standard_normal(shape)
+    return COOMatrix.from_dense(dense), dense
+
+
+class TestCISR:
+    @pytest.mark.parametrize("lanes", [1, 2, 4, 7])
+    def test_roundtrip(self, lanes):
+        coo, dense = random_coo(3)
+        cisr = CISRMatrix.from_coo(coo, lanes)
+        assert np.allclose(cisr.to_coo().to_dense(), dense)
+
+    def test_lane_assignment_is_balanced(self):
+        coo, _ = random_coo(4, shape=(64, 32), density=0.3)
+        cisr = CISRMatrix.from_coo(coo, 4)
+        lengths = [
+            sum(lens) for lens in cisr.row_lengths
+        ]
+        assert max(lengths) - min(lengths) <= max(np.bincount(coo.rows).max(), 1)
+
+    def test_metadata_is_centralized(self):
+        # CISR's defining limitation: lane streams carry no row boundaries;
+        # decode requires the separate row-length lists.
+        coo, _ = random_coo(5)
+        cisr = CISRMatrix.from_coo(coo, 3)
+        total_rows = sum(len(r) for r in cisr.lane_rows)
+        assert total_rows == len(np.unique(coo.rows))
+        # lane planes contain only column indices and values
+        assert cisr.lane_cols.shape == cisr.lane_vals.shape
+
+    def test_padding_fraction(self):
+        # One long row and many empty ones force tail padding.
+        coo = COOMatrix(
+            (4, 8),
+            np.zeros(8, dtype=int),
+            np.arange(8),
+            np.ones(8),
+        )
+        cisr = CISRMatrix.from_coo(coo, 4)
+        assert cisr.padding_fraction() == pytest.approx(3 / 4)
+
+    def test_zero_lanes_rejected(self):
+        coo, _ = random_coo(6)
+        with pytest.raises(ShapeError):
+            CISRMatrix.from_coo(coo, 0)
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((3, 3), [], [], [])
+        cisr = CISRMatrix.from_coo(coo, 2)
+        assert cisr.num_entries == 0
+        assert cisr.to_coo().nnz == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 500), lanes=st.integers(1, 8))
+def test_property_cisr_roundtrip(seed, lanes):
+    coo, dense = random_coo(seed)
+    assert np.allclose(CISRMatrix.from_coo(coo, lanes).to_coo().to_dense(), dense)

@@ -1,0 +1,216 @@
+"""Tests for CISS — the paper's compressed interleaved sparse slice format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    CISSMatrix,
+    CISSTensor,
+    COOMatrix,
+    KIND_HEADER,
+    KIND_NNZ,
+    KIND_PAD,
+)
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+from tests.conftest import random_tensor
+
+
+class TestPaperExample:
+    """Fig. 3d: the 4x2x2 tensor encoded for two PEs."""
+
+    def test_lane_streams_match_figure(self, paper_tensor):
+        ciss = CISSTensor.from_sparse(paper_tensor, 2)
+        lane0 = [r for r in ciss.lane_records(0) if r.kind != KIND_PAD]
+        lane1 = [r for r in ciss.lane_records(1) if r.kind != KIND_PAD]
+        # PE0: slice 0 (a000, a011) then slice 3 (a310).
+        assert [(r.kind, r.a) for r in lane0] == [
+            (KIND_HEADER, 0), (KIND_NNZ, 0), (KIND_NNZ, 1),
+            (KIND_HEADER, 3), (KIND_NNZ, 1),
+        ]
+        assert [r.val for r in lane0 if r.kind == KIND_NNZ] == [1.0, 2.0, 6.0]
+        # PE1: slice 1 (a111) then slice 2 (a200 at j=0,k=0; a201 at j=0,k=1).
+        assert [(r.kind, r.a) for r in lane1] == [
+            (KIND_HEADER, 1), (KIND_NNZ, 1),
+            (KIND_HEADER, 2), (KIND_NNZ, 0), (KIND_NNZ, 0),
+        ]
+        assert [r.k for r in lane1 if r.kind == KIND_NNZ] == [1, 0, 1]
+        assert [r.val for r in lane1 if r.kind == KIND_NNZ] == [3.0, 4.0, 5.0]
+
+    def test_entry_count_matches_figure(self, paper_tensor):
+        # Fig. 3d shows 5 CISS entries for 2 PEs.
+        assert CISSTensor.from_sparse(paper_tensor, 2).num_entries == 5
+
+    def test_header_sentinel_semantics(self, paper_tensor):
+        ciss = CISSTensor.from_sparse(paper_tensor, 2)
+        # Headers carry value 0 ("a 0 in nnz indicates i/j holds i").
+        assert np.all(ciss.vals[ciss.kinds == KIND_HEADER] == 0.0)
+        assert np.all(ciss.vals[ciss.kinds == KIND_NNZ] != 0.0)
+
+    def test_entry_bytes_formula(self, paper_tensor):
+        ciss = CISSTensor.from_sparse(paper_tensor, 2)
+        # (dw + 2*iw) * P bits per the paper.
+        assert ciss.entry_bytes(4, 2) == (4 + 2 * 2) * 2
+        cissm = CISSMatrix.from_coo(
+            COOMatrix((2, 2), [0], [1], [1.0]), 8
+        )
+        assert cissm.entry_bytes(4, 2) == (4 + 2) * 8
+
+
+class TestTensorRoundTrip:
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 8])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_roundtrip(self, small_tensor, lanes, mode):
+        ciss = CISSTensor.from_sparse(small_tensor, lanes, mode=mode)
+        assert ciss.to_sparse() == small_tensor
+
+    def test_nnz_preserved(self, small_tensor):
+        ciss = CISSTensor.from_sparse(small_tensor, 4)
+        assert ciss.nnz == small_tensor.nnz
+
+    def test_empty_tensor(self):
+        t = SparseTensor.empty((4, 4, 4))
+        ciss = CISSTensor.from_sparse(t, 4)
+        assert ciss.num_entries == 0
+        assert ciss.to_sparse() == t
+
+    def test_requires_3d_and_valid_mode(self, small_tensor):
+        with pytest.raises(ShapeError):
+            CISSTensor.from_sparse(
+                SparseTensor.from_entries((2, 2), [((0, 0), 1.0)]), 2
+            )
+        with pytest.raises(ShapeError):
+            CISSTensor.from_sparse(small_tensor, 2, mode=3)
+        with pytest.raises(ShapeError):
+            CISSTensor.from_sparse(small_tensor, 0)
+
+    def test_from_dense(self, rng):
+        dense = rng.random((6, 5, 4)) + 0.5  # strictly nonzero
+        ciss = CISSTensor.from_dense(dense, 4)
+        assert np.allclose(ciss.to_sparse().to_dense(), dense)
+
+
+class TestScheduling:
+    def test_load_balance_beats_worst_lane(self):
+        # Heavy slice-size skew: least-loaded dealing keeps lanes within the
+        # largest slice's size of each other.
+        t = random_tensor(shape=(50, 12, 12), density=0.15, seed=9)
+        ciss = CISSTensor.from_sparse(t, 8)
+        counts = ciss.lane_nnz_counts()
+        max_slice = t.slice_nnz_counts(0).max()
+        assert counts.max() - counts.min() <= max_slice + 1
+
+    def test_padding_small_for_balanced_input(self):
+        t = random_tensor(shape=(64, 10, 10), density=0.3, seed=2)
+        ciss = CISSTensor.from_sparse(t, 8)
+        assert ciss.padding_fraction() < 0.1
+
+    def test_stream_bytes(self, small_tensor):
+        ciss = CISSTensor.from_sparse(small_tensor, 4)
+        assert ciss.stream_bytes() == ciss.num_entries * ciss.entry_bytes()
+
+
+class TestAddressTrace:
+    def test_one_contiguous_request_per_entry(self, small_tensor):
+        ciss = CISSTensor.from_sparse(small_tensor, 4)
+        trace = ciss.pe_address_trace()
+        size = ciss.entry_bytes()
+        assert len(trace) == ciss.num_entries
+        prev_end = None
+        for cycle in trace:
+            assert len(cycle) == 1
+            addr, sz = cycle[0]
+            assert sz == size
+            if prev_end is not None:
+                assert addr == prev_end  # perfectly sequential
+            prev_end = addr + sz
+
+    def test_trace_lane_mismatch(self, small_tensor):
+        ciss = CISSTensor.from_sparse(small_tensor, 4)
+        with pytest.raises(ShapeError):
+            ciss.pe_address_trace(num_pes=8)
+
+
+class TestMatrixCISS:
+    @pytest.mark.parametrize("lanes", [1, 2, 5])
+    def test_roundtrip(self, rng, lanes):
+        dense = (rng.random((11, 9)) < 0.4) * rng.standard_normal((11, 9))
+        coo = COOMatrix.from_dense(dense)
+        ciss = CISSMatrix.from_coo(coo, lanes)
+        assert np.allclose(ciss.to_coo().to_dense(), dense)
+
+    def test_from_dense(self, rng):
+        dense = rng.random((7, 6)) + 0.5
+        ciss = CISSMatrix.from_dense(dense, 3)
+        assert np.allclose(ciss.to_coo().to_dense(), dense)
+
+    def test_self_describing_lanes(self, rng):
+        # Unlike CISR, each lane stream decodes independently: row headers
+        # travel in-band.
+        dense = (rng.random((10, 8)) < 0.5) * rng.standard_normal((10, 8))
+        coo = COOMatrix.from_dense(dense)
+        ciss = CISSMatrix.from_coo(coo, 4)
+        recovered = np.zeros(dense.shape)
+        for lane in range(4):
+            current = None
+            for rec in ciss.lane_records(lane):
+                if rec.kind == KIND_HEADER:
+                    current = rec.a
+                elif rec.kind == KIND_NNZ:
+                    recovered[current, rec.a] = rec.val
+        assert np.allclose(recovered, dense)
+
+    def test_header_value_invariant_enforced(self):
+        kinds = np.array([[KIND_HEADER]], dtype=np.uint8)
+        a = np.array([[0]])
+        k = np.array([[-1]])
+        vals = np.array([[5.0]])  # header with nonzero value: invalid
+        with pytest.raises(FormatError):
+            CISSMatrix((2, 2), 1, kinds, a, k, vals)
+
+    def test_nnz_zero_value_rejected(self):
+        kinds = np.array([[KIND_HEADER], [KIND_NNZ]], dtype=np.uint8)
+        a = np.array([[0], [1]])
+        k = np.array([[-1], [-1]])
+        vals = np.array([[0.0], [0.0]])  # nonzero record with value 0
+        with pytest.raises(FormatError):
+            CISSMatrix((2, 2), 1, kinds, a, k, vals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    lanes=st.integers(1, 9),
+    mode=st.integers(0, 2),
+)
+def test_property_ciss_tensor_roundtrip(seed, lanes, mode):
+    t = random_tensor(shape=(8, 6, 5), density=0.25, seed=seed)
+    assert CISSTensor.from_sparse(t, lanes, mode=mode).to_sparse() == t
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), lanes=st.integers(1, 9))
+def test_property_ciss_matrix_roundtrip(seed, lanes):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((9, 7)) < 0.4) * rng.standard_normal((9, 7))
+    coo = COOMatrix.from_dense(dense)
+    assert np.allclose(CISSMatrix.from_coo(coo, lanes).to_coo().to_dense(), dense)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), lanes=st.integers(2, 8))
+def test_property_lane_balance(seed, lanes):
+    """Least-loaded scheduling: no lane exceeds the mean share by more than
+    the largest single slice (greedy bin-packing bound)."""
+    t = random_tensor(shape=(30, 8, 8), density=0.2, seed=seed)
+    ciss = CISSTensor.from_sparse(t, lanes)
+    slice_cost = t.slice_nnz_counts(0) + (t.slice_nnz_counts(0) > 0)
+    lane_cost = (
+        np.count_nonzero(ciss.kinds == KIND_NNZ, axis=0)
+        + np.count_nonzero(ciss.kinds == KIND_HEADER, axis=0)
+    )
+    mean = lane_cost.sum() / lanes
+    assert lane_cost.max() <= mean + slice_cost.max()

@@ -1,0 +1,114 @@
+"""Tests for the N-dimensional CISS generalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CISSTensor, CISSTensorND, KIND_HEADER, KIND_NNZ
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+from tests.conftest import random_tensor
+
+
+def random_nd(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density) * rng.standard_normal(shape)
+    return SparseTensor.from_dense(dense)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("lanes", [1, 3, 8])
+    def test_3d_roundtrip(self, small_tensor, lanes):
+        nd = CISSTensorND.from_sparse(small_tensor, lanes)
+        assert nd.to_sparse() == small_tensor
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_4d_roundtrip(self, mode):
+        t = random_nd((6, 5, 4, 3), 0.25, seed=1)
+        nd = CISSTensorND.from_sparse(t, 4, mode=mode)
+        assert nd.to_sparse() == t
+
+    def test_5d_roundtrip(self):
+        t = random_nd((4, 3, 3, 4, 2), 0.3, seed=2)
+        nd = CISSTensorND.from_sparse(t, 3)
+        assert nd.to_sparse() == t
+
+    def test_2d_degenerates_to_matrix_ciss(self):
+        t = random_nd((10, 8), 0.4, seed=3)
+        nd = CISSTensorND.from_sparse(t, 4)
+        assert nd.index_fields == 1
+        assert nd.to_sparse() == t
+
+    def test_empty(self):
+        t = SparseTensor.empty((3, 3, 3, 3))
+        nd = CISSTensorND.from_sparse(t, 4)
+        assert nd.num_entries == 0
+        assert nd.to_sparse() == t
+
+
+class TestConsistencyWith3D:
+    """On 3-d tensors the N-d encoder must be record-identical to the 3-d
+    implementation (same scheduler, same layout)."""
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("lanes", [2, 8])
+    def test_same_planes(self, small_tensor, mode, lanes):
+        nd = CISSTensorND.from_sparse(small_tensor, lanes, mode=mode)
+        t3 = CISSTensor.from_sparse(small_tensor, lanes, mode=mode)
+        assert np.array_equal(nd.kinds, t3.kinds)
+        assert np.array_equal(nd.vals, t3.vals)
+        nnz_mask = nd.kinds == KIND_NNZ
+        assert np.array_equal(nd.idx[:, :, 0][nnz_mask], t3.a_idx[nnz_mask])
+        assert np.array_equal(nd.idx[:, :, 1][nnz_mask], t3.k_idx[nnz_mask])
+        hdr_mask = nd.kinds == KIND_HEADER
+        assert np.array_equal(nd.idx[:, :, 0][hdr_mask], t3.a_idx[hdr_mask])
+
+    def test_same_entry_bytes(self, small_tensor):
+        nd = CISSTensorND.from_sparse(small_tensor, 8)
+        t3 = CISSTensor.from_sparse(small_tensor, 8)
+        assert nd.entry_bytes() == t3.entry_bytes()
+        assert nd.stream_bytes() == t3.stream_bytes()
+
+
+class TestProperties:
+    def test_entry_bytes_scales_with_ndim(self):
+        t4 = random_nd((5, 4, 3, 3), 0.3, seed=4)
+        nd = CISSTensorND.from_sparse(t4, 8)
+        # (dw + 3*iw) * P for a 4-d tensor.
+        assert nd.entry_bytes(4, 2) == (4 + 3 * 2) * 8
+
+    def test_lane_balance(self):
+        t = random_nd((30, 6, 5, 4), 0.2, seed=5)
+        nd = CISSTensorND.from_sparse(t, 8)
+        counts = nd.lane_nnz_counts()
+        assert counts.sum() == t.nnz
+        assert counts.max() - counts.min() <= t.slice_nnz_counts(0).max() + 1
+
+    def test_validation(self, small_tensor):
+        with pytest.raises(ShapeError):
+            CISSTensorND.from_sparse(small_tensor, 0)
+        with pytest.raises(ShapeError):
+            CISSTensorND.from_sparse(small_tensor, 4, mode=9)
+        nd = CISSTensorND.from_sparse(small_tensor, 2)
+        with pytest.raises(FormatError):
+            CISSTensorND(
+                small_tensor.shape, 0, 2, nd.kinds, nd.idx[:, :, :1], nd.vals
+            )
+
+    def test_header_sentinel(self, small_tensor):
+        nd = CISSTensorND.from_sparse(small_tensor, 4)
+        assert np.all(nd.vals[nd.kinds == KIND_HEADER] == 0.0)
+        assert np.all(nd.vals[nd.kinds == KIND_NNZ] != 0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    lanes=st.integers(1, 6),
+    mode=st.integers(0, 3),
+)
+def test_property_4d_roundtrip(seed, lanes, mode):
+    t = random_nd((5, 4, 4, 3), 0.3, seed=seed)
+    assert CISSTensorND.from_sparse(t, lanes, mode=mode).to_sparse() == t

@@ -1,0 +1,145 @@
+"""Tests for the format-conversion dispatcher and the execution timeline."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CISRMatrix,
+    CISSMatrix,
+    CISSTensor,
+    CISSTensorND,
+    COOMatrix,
+    CSCMatrix,
+    CSFTensor,
+    CSRMatrix,
+    ExtendedCSRTensor,
+    HiCOOTensor,
+    convert_matrix,
+    convert_tensor,
+    matrix_to_coo,
+    tensor_to_coo,
+)
+from repro.sim import Tensaurus, Timeline
+from repro.util.errors import ConfigError, FormatError
+
+from tests.conftest import random_tensor
+
+
+class TestConvertTensor:
+    @pytest.mark.parametrize(
+        "target,cls",
+        [
+            ("coo", type(None)),  # replaced below
+            ("ext_csr", ExtendedCSRTensor),
+            ("csf", CSFTensor),
+            ("ciss", CISSTensor),
+            ("ciss_nd", CISSTensorND),
+            ("hicoo", HiCOOTensor),
+        ],
+    )
+    def test_convert_and_back(self, small_tensor, target, cls):
+        converted = convert_tensor(small_tensor, target, num_lanes=4, block=4)
+        if target != "coo":
+            assert isinstance(converted, cls)
+        assert tensor_to_coo(converted) == small_tensor
+
+    def test_cross_format_chain(self, small_tensor):
+        # COO -> CSF -> CISS -> HiCOO -> back, through the dispatcher.
+        csf = convert_tensor(small_tensor, "csf")
+        ciss = convert_tensor(csf, "ciss", num_lanes=3)
+        hicoo = convert_tensor(ciss, "hicoo", block=8)
+        assert tensor_to_coo(hicoo) == small_tensor
+
+    def test_unknown_target(self, small_tensor):
+        with pytest.raises(FormatError):
+            convert_tensor(small_tensor, "blocked_ellpack")
+
+    def test_unknown_source(self):
+        with pytest.raises(FormatError):
+            tensor_to_coo(object())
+
+    def test_csf_mode_order_forwarded(self, small_tensor):
+        csf = convert_tensor(small_tensor, "csf", mode_order=(2, 1, 0))
+        assert csf.mode_order == (2, 1, 0)
+
+
+class TestConvertMatrix:
+    @pytest.fixture
+    def coo(self, rng):
+        dense = (rng.random((12, 9)) < 0.4) * rng.standard_normal((12, 9))
+        return COOMatrix.from_dense(dense)
+
+    @pytest.mark.parametrize("target", ["coo", "csr", "csc", "cisr", "ciss"])
+    def test_convert_and_back(self, coo, target):
+        converted = convert_matrix(coo, target, num_lanes=3)
+        back = matrix_to_coo(converted)
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_dense_source(self, rng):
+        dense = rng.random((6, 5))
+        csr = convert_matrix(dense, "csr")
+        assert isinstance(csr, CSRMatrix)
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_unknown_target(self, coo):
+        with pytest.raises(FormatError):
+            convert_matrix(coo, "bsr")
+
+    def test_types(self, coo):
+        assert isinstance(convert_matrix(coo, "csc"), CSCMatrix)
+        assert isinstance(convert_matrix(coo, "cisr", num_lanes=2), CISRMatrix)
+        assert isinstance(convert_matrix(coo, "ciss", num_lanes=2), CISSMatrix)
+
+
+class TestTimeline:
+    @pytest.fixture
+    def timeline(self, rng):
+        acc = Tensaurus()
+        t = random_tensor(shape=(40, 30, 20), density=0.1, seed=95)
+        tl = Timeline(peak_gops=acc.config.peak_gops)
+        for mode in range(3):
+            rest = [m for m in range(3) if m != mode]
+            b = rng.random((t.shape[rest[0]], 16))
+            c = rng.random((t.shape[rest[1]], 16))
+            rep = acc.run_mttkrp(t, b, c, mode=mode, compute_output=False)
+            tl.add(f"mttkrp-m{mode}", rep)
+        return tl
+
+    def test_entries_are_back_to_back(self, timeline):
+        for prev, nxt in zip(timeline.entries, timeline.entries[1:]):
+            assert nxt.start_s == pytest.approx(prev.end_s)
+
+    def test_totals(self, timeline):
+        assert timeline.total_seconds == pytest.approx(
+            sum(e.report.time_s for e in timeline.entries)
+        )
+        assert timeline.total_ops == sum(e.report.ops for e in timeline.entries)
+        assert timeline.total_energy_j > 0
+        assert 0 < timeline.average_utilization <= 1
+
+    def test_bottleneck(self, timeline):
+        worst = timeline.bottleneck()
+        assert worst.report.time_s == max(
+            e.report.time_s for e in timeline.entries
+        )
+
+    def test_by_kernel(self, timeline):
+        per = timeline.by_kernel()
+        assert set(per) == {"spmttkrp"}
+        assert per["spmttkrp"] == pytest.approx(timeline.total_seconds)
+
+    def test_render(self, timeline):
+        text = timeline.render()
+        assert "mttkrp-m0" in text
+        assert "total:" in text and "GOP/s" in text
+
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.total_seconds == 0.0
+        assert tl.bottleneck() is None
+        assert tl.average_gops == 0.0
+
+    def test_bad_peak(self):
+        tl = Timeline(peak_gops=0.0)
+        with pytest.raises(ConfigError):
+            _ = tl.average_utilization

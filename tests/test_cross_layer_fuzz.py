@@ -1,0 +1,76 @@
+"""Cross-layer fuzz tests: random data pushed through whole pipelines.
+
+Each property chains several layers (generator -> file I/O -> format
+conversion -> kernel/simulator) and asserts end-to-end invariants, catching
+interface drift that single-layer unit tests miss.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import convert_tensor, format_stats, tensor_to_coo
+from repro.io import tns_dumps, tns_loads
+from repro.kernels import mttkrp_sparse
+from repro.sim import Tensaurus
+from repro.util.rng import make_rng
+
+from tests.conftest import random_tensor
+
+TENSOR_CHAIN_FORMATS = ["ext_csr", "csf", "ciss", "ciss_nd", "hicoo"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 400),
+    chain=st.lists(st.sampled_from(TENSOR_CHAIN_FORMATS), min_size=1, max_size=4),
+)
+def test_property_conversion_chains_lossless(seed, chain):
+    """Any sequence of format conversions decodes back to the original."""
+    t = random_tensor(shape=(9, 7, 6), density=0.25, seed=seed)
+    current = t
+    for target in chain:
+        current = convert_tensor(current, target, num_lanes=4, block=4)
+    assert tensor_to_coo(current) == t
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 400))
+def test_property_io_then_simulate(seed):
+    """Serialize to .tns, parse back, run the simulator: exact kernel result."""
+    rng = make_rng(seed)
+    t = random_tensor(shape=(12, 9, 7), density=0.25, seed=seed)
+    reloaded = tns_loads(tns_dumps(t), shape=t.shape)
+    assert reloaded == t
+    b = rng.random((9, 4))
+    c = rng.random((7, 4))
+    rep = Tensaurus().run_mttkrp(reloaded, b, c)
+    assert np.allclose(rep.output, mttkrp_sparse(t, [b, c], 0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 400), fmt=st.sampled_from(TENSOR_CHAIN_FORMATS))
+def test_property_stats_account_every_nonzero(seed, fmt):
+    """format_stats never loses nonzeros and never reports free storage."""
+    t = random_tensor(shape=(10, 8, 6), density=0.3, seed=seed)
+    encoded = convert_tensor(t, fmt, num_lanes=4, block=4)
+    stats = format_stats(encoded)
+    assert stats.nnz == t.nnz
+    assert stats.total_bytes >= stats.value_bytes
+    assert stats.bytes_per_nnz >= 4.0  # at least the value payload
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 300), lanes=st.integers(1, 8))
+def test_property_ciss_lane_nnz_conservation(seed, lanes):
+    """Lanes partition the nonzeros exactly; headers count nonempty slices."""
+    from repro.formats import CISSTensor
+    from repro.formats.ciss import KIND_HEADER
+    t = random_tensor(shape=(15, 8, 6), density=0.25, seed=seed)
+    ciss = CISSTensor.from_sparse(t, lanes)
+    assert int(ciss.lane_nnz_counts().sum()) == t.nnz
+    headers = int(np.count_nonzero(ciss.kinds == KIND_HEADER))
+    assert headers == len(t.nonempty_slices(0))

@@ -1,0 +1,84 @@
+"""Tests for the CSF (compressed sparse fiber) format."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CSFTensor
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+from tests.conftest import random_tensor
+
+
+class TestCSF:
+    @pytest.mark.parametrize("order", list(itertools.permutations(range(3))))
+    def test_roundtrip_all_mode_orders(self, small_tensor, order):
+        csf = CSFTensor.from_sparse(small_tensor, order)
+        assert csf.to_sparse() == small_tensor
+
+    def test_default_order(self, small_tensor):
+        csf = CSFTensor.from_sparse(small_tensor)
+        assert csf.mode_order == (0, 1, 2)
+
+    def test_fiber_counts(self, paper_tensor):
+        csf = CSFTensor.from_sparse(paper_tensor)
+        assert csf.fiber_count(0) == 4  # four nonempty slices
+        assert csf.fiber_count(1) == 5  # (i, j) fibers
+        assert csf.fiber_count(2) == paper_tensor.nnz
+
+    def test_fiber_count_bounds(self, paper_tensor):
+        csf = CSFTensor.from_sparse(paper_tensor)
+        with pytest.raises(ShapeError):
+            csf.fiber_count(3)
+
+    def test_empty_tensor(self):
+        t = SparseTensor.empty((3, 3, 3))
+        csf = CSFTensor.from_sparse(t)
+        assert csf.nnz == 0
+        assert csf.to_sparse() == t
+
+    def test_4d(self, rng):
+        dense = (rng.random((3, 4, 2, 3)) < 0.3) * rng.standard_normal((3, 4, 2, 3))
+        t = SparseTensor.from_dense(dense)
+        csf = CSFTensor.from_sparse(t, (2, 0, 3, 1))
+        assert csf.to_sparse() == t
+
+    def test_traversal_words(self, paper_tensor):
+        csf = CSFTensor.from_sparse(paper_tensor)
+        # values + level ids + level ptrs
+        expected = 6 + (4 + 5 + 6) + (5 + 6)
+        assert csf.traversal_word_count() == expected
+
+    def test_invalid_mode_order(self, small_tensor):
+        with pytest.raises(ShapeError):
+            CSFTensor.from_sparse(small_tensor, (0, 0, 1))
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            CSFTensor(
+                (2, 2),
+                (0, 1),
+                [np.array([0, 1])],  # fptr too short vs fids
+                [np.array([0]), np.array([0, 1])],
+                np.array([1.0]),  # misaligned with leaf fids
+            )
+
+    def test_levels_nest(self, small_tensor):
+        csf = CSFTensor.from_sparse(small_tensor)
+        for level in range(2):
+            ptr = csf.fptr[level]
+            assert ptr[0] == 0
+            assert ptr[-1] == csf.fiber_count(level + 1)
+            assert np.all(np.diff(ptr) >= 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), order_idx=st.integers(0, 5))
+def test_property_csf_roundtrip(seed, order_idx):
+    order = list(itertools.permutations(range(3)))[order_idx]
+    t = random_tensor(shape=(6, 5, 4), density=0.3, seed=seed)
+    assert CSFTensor.from_sparse(t, order).to_sparse() == t

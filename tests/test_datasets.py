@@ -1,0 +1,146 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CNN_LAYERS,
+    SUITESPARSE_DATASETS,
+    TENSOR_DATASETS,
+    banded_matrix,
+    graph_matrix,
+    list_cnn_layers,
+    list_matrices,
+    list_tensors,
+    load_cnn_layer,
+    load_matrix,
+    load_tensor,
+    poisson3d_tensor,
+    pruned_weight_matrix,
+    random_sparse_tensor,
+    uniform_matrix,
+)
+from repro.util.errors import ConfigError, ShapeError
+
+
+class TestRegistryCompleteness:
+    def test_table3_tensors(self):
+        assert set(list_tensors()) == {"nell-2", "netflix", "poisson3D"}
+
+    def test_table5_matrices(self):
+        assert len(list_matrices()) == 13
+        assert "amazon0312" in SUITESPARSE_DATASETS
+        assert "wiki-Vote" in SUITESPARSE_DATASETS
+
+    def test_table4_layers(self):
+        assert len(CNN_LAYERS) == 24
+        assert len(list_cnn_layers("alexnet")) == 8
+        assert len(list_cnn_layers("vgg16")) == 16
+
+    def test_unknown_names(self):
+        with pytest.raises(ConfigError):
+            load_tensor("nope")
+        with pytest.raises(ConfigError):
+            load_matrix("nope")
+        with pytest.raises(ConfigError):
+            load_cnn_layer("nope")
+
+
+class TestPublishedNumbersPreserved:
+    @pytest.mark.parametrize("name", ["nell-2", "netflix", "poisson3D"])
+    def test_tensor_density_matches_paper(self, name):
+        spec = TENSOR_DATASETS[name]
+        t = spec.load()
+        assert t.shape == spec.dims
+        assert t.density == pytest.approx(spec.density, rel=0.15)
+
+    def test_nell2_published_density(self):
+        # Table 3: nell-2 density 2.5e-5.
+        assert TENSOR_DATASETS["nell-2"].density == pytest.approx(2.5e-5, rel=0.05)
+
+    @pytest.mark.parametrize("name", ["citeseer", "cora", "wiki-Vote"])
+    def test_small_matrices_full_size(self, name):
+        spec = SUITESPARSE_DATASETS[name]
+        m = spec.load()
+        assert m.shape == spec.full_dims
+        assert m.nnz == pytest.approx(spec.full_nnz, rel=0.05)
+
+    def test_cnn_layer_densities(self):
+        spec = CNN_LAYERS["alexnet-c2"]
+        m = spec.load()
+        assert m.shape == (256, 1200)
+        assert m.density == pytest.approx(0.38, abs=0.02)
+
+    def test_fc_layers_flagged(self):
+        assert CNN_LAYERS["alexnet-fc7"].is_fc
+        assert not CNN_LAYERS["vgg16-c3_2"].is_fc
+
+
+class TestDeterminism:
+    def test_tensor_reload_identical(self):
+        a = load_tensor("nell-2")
+        b = load_tensor("nell-2")
+        assert a == b
+
+    def test_matrix_reload_identical(self):
+        a = load_matrix("cora")
+        b = load_matrix("cora")
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.vals, b.vals)
+
+    def test_different_names_differ(self):
+        assert load_matrix("cora").nnz != load_matrix("citeseer").nnz
+
+
+class TestGenerators:
+    def test_random_tensor_exact_nnz(self):
+        t = random_sparse_tensor((40, 30, 20), 500, skew=1.0, seed=1)
+        assert t.nnz == 500
+        assert t.shape == (40, 30, 20)
+
+    def test_skew_increases_slice_variance(self):
+        flat = random_sparse_tensor((100, 30, 30), 3000, skew=0.0, seed=2)
+        skewed = random_sparse_tensor((100, 30, 30), 3000, skew=1.3, seed=2)
+        assert skewed.slice_nnz_counts(0).std() > flat.slice_nnz_counts(0).std()
+
+    def test_random_tensor_validation(self):
+        with pytest.raises(ShapeError):
+            random_sparse_tensor((4, 4), 5)
+        with pytest.raises(ShapeError):
+            random_sparse_tensor((2, 2, 2), 100)  # more nnz than cells
+
+    def test_poisson3d_banded(self):
+        t = poisson3d_tensor(60, 4000, seed=3)
+        assert t.nnz == 4000
+        c = t.coords
+        # Banded: j and k stay near i.
+        assert np.abs(c[:, 1] - c[:, 0]).max() < 20
+        assert np.abs(c[:, 2] - c[:, 0]).max() < 20
+
+    def test_pruned_weight_density(self):
+        m = pruned_weight_matrix(128, 256, 0.3, seed=4)
+        assert m.nnz == pytest.approx(128 * 256 * 0.3, rel=0.01)
+
+    def test_graph_matrix_power_law(self):
+        m = graph_matrix(500, 5000, power=1.3, seed=5)
+        counts = m.row_nnz_counts()
+        assert m.nnz == 5000
+        # Heavy tail: the top row holds far more than the mean.
+        assert counts.max() > 5 * counts.mean()
+
+    def test_banded_matrix(self):
+        m = banded_matrix(200, 2000, seed=6)
+        assert m.nnz == 2000
+        assert np.abs(m.rows - m.cols).max() <= 2000 // (2 * 200) + 1
+
+    def test_uniform_matrix(self):
+        m = uniform_matrix((64, 64), 0.1, seed=7)
+        assert m.nnz == pytest.approx(64 * 64 * 0.1, rel=0.01)
+
+    def test_values_never_zero(self):
+        for maker in (
+            lambda: random_sparse_tensor((20, 10, 10), 200, seed=8).values,
+            lambda: pruned_weight_matrix(32, 32, 0.5, seed=8).vals,
+            lambda: graph_matrix(50, 300, seed=8).vals,
+        ):
+            assert np.all(maker() != 0.0)

@@ -1,0 +1,170 @@
+"""Tests for the co-processor instruction interface."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.kernels import mttkrp_sparse, spmm, spmv, ttmc_sparse
+from repro.sim.driver import (
+    Instruction,
+    Opcode,
+    ProgramError,
+    SLOT_DENSE_B,
+    SLOT_DENSE_C,
+    SLOT_SPARSE,
+    TensaurusDevice,
+    assemble_mttkrp,
+    assemble_spmm,
+    assemble_spmv,
+    assemble_ttmc,
+)
+
+from tests.conftest import random_tensor
+
+
+@pytest.fixture
+def device():
+    return TensaurusDevice()
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_tensor(shape=(20, 15, 12), density=0.15, seed=50)
+
+
+class TestAssembledPrograms:
+    def test_mttkrp_program(self, device, tensor, rng):
+        b = rng.random((15, 8))
+        c = rng.random((12, 8))
+        reports = device.execute(assemble_mttkrp(tensor, b, c, mode=0))
+        assert len(reports) == 1
+        assert np.allclose(reports[0].output, mttkrp_sparse(tensor, [b, c], 0))
+        assert device.launches == 1
+
+    def test_ttmc_program(self, device, tensor, rng):
+        b = rng.random((15, 4))
+        c = rng.random((12, 6))
+        reports = device.execute(assemble_ttmc(tensor, b, c))
+        assert np.allclose(reports[0].output, ttmc_sparse(tensor, [b, c], 0))
+
+    def test_spmm_program(self, device, rng):
+        dense = (rng.random((30, 25)) < 0.2) * rng.standard_normal((30, 25))
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.random((25, 8))
+        reports = device.execute(assemble_spmm(csr, b))
+        assert np.allclose(reports[0].output, spmm(csr, b))
+
+    def test_spmv_program(self, device, rng):
+        dense = (rng.random((30, 25)) < 0.2) * rng.standard_normal((30, 25))
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.random(25)
+        reports = device.execute(assemble_spmv(csr, x))
+        assert np.allclose(reports[0].output, spmv(csr, x))
+
+    def test_dense_dispatch(self, device, rng):
+        a = rng.random((16, 12))
+        b = rng.random((12, 8))
+        program = assemble_spmm(a, b)
+        assert program[0].operand == "gemm"
+        reports = device.execute(program)
+        assert np.allclose(reports[0].output, a @ b)
+
+    def test_matches_direct_api(self, device, tensor, rng):
+        from repro.sim import Tensaurus
+        b = rng.random((15, 8))
+        c = rng.random((12, 8))
+        via_driver = device.execute(assemble_mttkrp(tensor, b, c))[0]
+        direct = Tensaurus().run_mttkrp(tensor, b, c)
+        assert via_driver.cycles == direct.cycles
+        assert np.allclose(via_driver.output, direct.output)
+
+
+class TestMultiLaunch:
+    def test_reconfigure_between_launches(self, device, tensor, rng):
+        b = rng.random((15, 8))
+        c = rng.random((12, 8))
+        program = assemble_mttkrp(tensor, b, c, mode=0)
+        program += [
+            Instruction(Opcode.SET_TARGET_MODE, 1),
+            Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
+            Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_B, rng.random((20, 8)))),
+            Instruction(Opcode.BIND_OPERAND, (SLOT_DENSE_C, rng.random((12, 8)))),
+            Instruction(Opcode.LAUNCH),
+        ]
+        reports = device.execute(program)
+        assert len(reports) == 2
+        assert device.launches == 2
+
+    def test_reset_clears_state(self, device, tensor, rng):
+        device.execute(
+            assemble_mttkrp(tensor, rng.random((15, 4)), rng.random((12, 4)))
+        )
+        device.execute([Instruction(Opcode.RESET)])
+        assert device.state.kernel is None
+        with pytest.raises(ProgramError):
+            device.execute([Instruction(Opcode.LAUNCH)])
+
+
+class TestValidation:
+    def test_launch_without_mode(self, device):
+        with pytest.raises(ProgramError, match="SET_MODE"):
+            device.execute([Instruction(Opcode.LAUNCH)])
+
+    def test_launch_without_operand(self, device):
+        with pytest.raises(ProgramError, match="sparse"):
+            device.execute([
+                Instruction(Opcode.SET_MODE, "spmm"),
+                Instruction(Opcode.SET_DIMS, (4, 4)),
+                Instruction(Opcode.LAUNCH),
+            ])
+
+    def test_unknown_kernel(self, device):
+        with pytest.raises(ProgramError, match="unknown kernel"):
+            device.execute([Instruction(Opcode.SET_MODE, "spgemm")])
+
+    def test_dims_mismatch(self, device, tensor, rng):
+        program = assemble_mttkrp(
+            tensor, rng.random((15, 4)), rng.random((12, 4))
+        )
+        program[1] = Instruction(Opcode.SET_DIMS, (99, 15, 12))
+        with pytest.raises(ProgramError, match="declared dims"):
+            device.execute(program)
+
+    def test_rank_mismatch(self, device, tensor, rng):
+        program = assemble_mttkrp(
+            tensor, rng.random((15, 4)), rng.random((12, 4))
+        )
+        program[2] = Instruction(Opcode.SET_RANKS, (8,))
+        with pytest.raises(ProgramError, match="rank"):
+            device.execute(program)
+
+    def test_missing_dense_operands(self, device, tensor):
+        with pytest.raises(ProgramError, match="dense operands"):
+            device.execute([
+                Instruction(Opcode.SET_MODE, "spmttkrp"),
+                Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
+                Instruction(Opcode.SET_RANKS, (4,)),
+                Instruction(Opcode.BIND_OPERAND, (SLOT_SPARSE, tensor)),
+                Instruction(Opcode.LAUNCH),
+            ])
+
+    def test_bad_slot(self, device):
+        with pytest.raises(ProgramError, match="slot"):
+            device.execute([Instruction(Opcode.BIND_OPERAND, ("weights", None))])
+
+    def test_bad_values(self, device):
+        with pytest.raises(ProgramError):
+            device.execute([Instruction(Opcode.SET_DIMS, (0, 2))])
+        with pytest.raises(ProgramError):
+            device.execute([Instruction(Opcode.SET_RANKS, (-1,))])
+        with pytest.raises(ProgramError):
+            device.execute([Instruction(Opcode.SET_TARGET_MODE, 7)])
+        with pytest.raises(ProgramError):
+            device.execute([Instruction(Opcode.SET_MSU_MODE, "cached")])
+
+    def test_error_reports_position(self, device):
+        with pytest.raises(ProgramError, match="at instruction 1"):
+            device.execute([
+                Instruction(Opcode.SET_MODE, "spmm"),
+                Instruction(Opcode.SET_DIMS, (0,)),
+            ])

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs in a subprocess with a generous timeout and must exit 0.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "graph_embedding_spmm.py",
+    "tucker_compression.py",
+    "device_driver_and_trace.py",
+]
+SLOW_EXAMPLES = [
+    "recommender_cp.py",
+    "sparse_cnn_inference.py",
+]
+
+
+def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = run_example(name, timeout=480)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_quickstart_reports_speedup():
+    result = run_example("quickstart.py")
+    assert "speedup over CPU" in result.stdout
+    assert "output verified" in result.stdout
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

@@ -1,0 +1,79 @@
+"""Tests for the extended CSR tensor layout (Fig. 3b)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import ExtendedCSRTensor
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError, ShapeError
+
+from tests.conftest import random_tensor
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, small_tensor):
+        ext = ExtendedCSRTensor.from_sparse(small_tensor)
+        assert ext.to_sparse() == small_tensor
+
+    def test_paper_example(self, paper_tensor):
+        ext = ExtendedCSRTensor.from_sparse(paper_tensor)
+        assert list(ext.slice_ptr) == [0, 2, 3, 5, 6]
+        j, k, v = ext.slice_records(2)
+        assert list(j) == [0, 0] and list(k) == [0, 1]
+        assert list(v) == [4.0, 5.0]
+
+    def test_empty_slices_ok(self):
+        t = SparseTensor.from_entries((5, 2, 2), [((4, 0, 0), 1.0)])
+        ext = ExtendedCSRTensor.from_sparse(t)
+        assert ext.to_sparse() == t
+        assert list(ext.slice_ptr) == [0, 0, 0, 0, 0, 1]
+
+    def test_requires_3d(self):
+        flat = SparseTensor.from_entries((2, 2), [((0, 0), 1.0)])
+        with pytest.raises(ShapeError):
+            ExtendedCSRTensor.from_sparse(flat)
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            ExtendedCSRTensor((2, 2, 2), [0, 1], [0], [0], [1.0])
+        with pytest.raises(FormatError):
+            ExtendedCSRTensor((2, 2, 2), [0, 2, 1], [0, 0], [0, 0], [1.0, 1.0])
+
+    def test_slice_records_bounds(self, paper_tensor):
+        ext = ExtendedCSRTensor.from_sparse(paper_tensor)
+        with pytest.raises(ShapeError):
+            ext.slice_records(10)
+
+
+class TestAddressTrace:
+    def test_trace_covers_all_records(self, small_tensor):
+        ext = ExtendedCSRTensor.from_sparse(small_tensor)
+        trace = ext.pe_address_trace(4)
+        # One request per record plus one per nonempty slice pointer.
+        total_requests = sum(len(cycle) for cycle in trace)
+        nonempty = int(np.count_nonzero(np.diff(ext.slice_ptr)))
+        assert total_requests == small_tensor.nnz + nonempty
+
+    def test_trace_is_scattered(self):
+        # At any cycle the PEs' record addresses are far apart — the Fig. 3c
+        # pathology that motivates CISS.
+        t = random_tensor(shape=(40, 10, 10), density=0.2, seed=5)
+        ext = ExtendedCSRTensor.from_sparse(t)
+        trace = ext.pe_address_trace(4)
+        rec = ext.record_bytes()
+        scattered = 0
+        busy = 0
+        for cycle in trace:
+            addrs = sorted(a for a, s in cycle if s == rec)
+            if len(addrs) > 1:
+                busy += 1
+                gaps = np.diff(addrs)
+                if np.any(gaps > rec):
+                    scattered += 1
+        assert busy > 0
+        assert scattered / busy > 0.9
+
+    def test_record_bytes(self, paper_tensor):
+        ext = ExtendedCSRTensor.from_sparse(paper_tensor)
+        assert ext.record_bytes(4, 2) == 8
+        assert ext.record_bytes(4, 4) == 12

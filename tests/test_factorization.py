@@ -1,0 +1,160 @@
+"""Tests for CP-ALS and Tucker-HOOI."""
+
+import numpy as np
+import pytest
+
+from repro.factorization import (
+    CPDecomposition,
+    TuckerDecomposition,
+    cp_als,
+    hosvd,
+    tucker_hooi,
+)
+from repro.tensor import SparseTensor
+from repro.util.errors import ConfigError, KernelError, ShapeError
+
+
+def low_rank_tensor(rng, shape=(8, 7, 6), rank=3):
+    facs = [rng.standard_normal((s, rank)) for s in shape]
+    return np.einsum("if,jf,kf->ijk", *facs)
+
+
+def tucker_tensor(rng, shape=(8, 7, 6), ranks=(2, 3, 2)):
+    core = rng.standard_normal(ranks)
+    facs = [
+        np.linalg.qr(rng.standard_normal((s, r)))[0]
+        for s, r in zip(shape, ranks)
+    ]
+    return np.einsum("abc,ia,jb,kc->ijk", core, *facs)
+
+
+class TestCPALS:
+    def test_exact_recovery(self, rng):
+        x = low_rank_tensor(rng)
+        cp = cp_als(x, rank=3, num_iters=300, tol=0, seed=3)
+        assert cp.fit > 0.999
+        assert np.allclose(
+            cp.to_dense(), x, atol=1e-2 * np.abs(x).max()
+        )
+
+    def test_fit_trace_nondecreasing(self, rng):
+        x = low_rank_tensor(rng)
+        cp = cp_als(x, rank=3, num_iters=40, seed=0)
+        deltas = np.diff(cp.fit_trace)
+        assert np.all(deltas > -1e-6)
+
+    def test_sparse_and_dense_paths_agree(self, rng):
+        dense = (rng.random((6, 5, 4)) < 0.5) * rng.standard_normal((6, 5, 4))
+        sparse = SparseTensor.from_dense(dense)
+        cp_d = cp_als(dense, rank=2, num_iters=10, seed=1)
+        cp_s = cp_als(sparse, rank=2, num_iters=10, seed=1)
+        assert cp_d.fit == pytest.approx(cp_s.fit, abs=1e-10)
+        for fd, fs in zip(cp_d.factors, cp_s.factors):
+            assert np.allclose(fd, fs)
+
+    def test_model_norm_matches_dense(self, rng):
+        x = low_rank_tensor(rng)
+        cp = cp_als(x, rank=3, num_iters=15, seed=2)
+        assert cp.model_norm() == pytest.approx(
+            np.linalg.norm(cp.to_dense()), rel=1e-6
+        )
+
+    def test_init_factors_respected(self, rng):
+        x = low_rank_tensor(rng)
+        init = [np.ones((s, 3)) for s in x.shape]
+        cp = cp_als(x, rank=3, num_iters=1, init_factors=init)
+        assert cp.rank == 3
+
+    def test_4d(self, rng):
+        facs = [rng.standard_normal((s, 2)) for s in (5, 4, 3, 4)]
+        x = np.einsum("if,jf,kf,lf->ijkl", *facs)
+        cp = cp_als(x, rank=2, num_iters=150, tol=0, seed=4)
+        assert cp.fit > 0.98
+
+    def test_validation(self, rng):
+        x = low_rank_tensor(rng)
+        with pytest.raises(ConfigError):
+            cp_als(x, rank=0)
+        with pytest.raises(KernelError):
+            cp_als(x, rank=2, init_factors=[np.ones((8, 2))])
+
+    def test_shape_property(self, rng):
+        cp = cp_als(low_rank_tensor(rng), rank=2, num_iters=2, seed=0)
+        assert cp.shape == (8, 7, 6)
+
+    def test_mttkrp_fn_hook(self, rng):
+        from repro.kernels import mttkrp_dense
+        calls = []
+
+        def spy(tensor, factors, mode):
+            calls.append(mode)
+            rest = [f for m, f in enumerate(factors) if m != mode]
+            return mttkrp_dense(tensor, rest, mode)
+
+        x = low_rank_tensor(rng)
+        cp = cp_als(x, rank=2, num_iters=2, tol=0, seed=0, mttkrp_fn=spy)
+        assert calls == [0, 1, 2, 0, 1, 2]
+        assert isinstance(cp, CPDecomposition)
+
+
+class TestHOSVD:
+    def test_orthonormal_factors(self, rng):
+        x = tucker_tensor(rng)
+        factors = hosvd(x, (2, 3, 2))
+        for f in factors:
+            assert np.allclose(f.T @ f, np.eye(f.shape[1]), atol=1e-8)
+
+    def test_rank_validation(self, rng):
+        x = tucker_tensor(rng)
+        with pytest.raises(ShapeError):
+            hosvd(x, (99, 3, 2))
+        with pytest.raises(KernelError):
+            hosvd(x, (2, 3))
+
+
+class TestTuckerHOOI:
+    def test_exact_recovery(self, rng):
+        x = tucker_tensor(rng)
+        tk = tucker_hooi(x, (2, 3, 2), num_iters=20)
+        assert tk.fit > 0.9999
+        assert np.allclose(tk.to_dense(), x, atol=1e-6)
+
+    def test_sparse_path(self, rng):
+        x = tucker_tensor(rng)
+        tk = tucker_hooi(SparseTensor.from_dense(x), (2, 3, 2), num_iters=20)
+        assert tk.fit > 0.9999
+
+    def test_core_norm_equals_model_norm(self, rng):
+        x = tucker_tensor(rng)
+        tk = tucker_hooi(x, (2, 3, 2), num_iters=10)
+        assert np.linalg.norm(tk.core) == pytest.approx(
+            np.linalg.norm(tk.to_dense()), rel=1e-8
+        )
+
+    def test_factors_stay_orthonormal(self, rng):
+        tk = tucker_hooi(tucker_tensor(rng), (2, 3, 2), num_iters=5)
+        for f in tk.factors:
+            assert np.allclose(f.T @ f, np.eye(f.shape[1]), atol=1e-8)
+
+    def test_4d(self, rng):
+        core = rng.standard_normal((2, 2, 2, 2))
+        facs = [
+            np.linalg.qr(rng.standard_normal((s, 2)))[0] for s in (5, 6, 4, 7)
+        ]
+        x = np.einsum("abcd,ia,jb,kc,ld->ijkl", core, *facs)
+        tk = tucker_hooi(x, (2, 2, 2, 2), num_iters=15)
+        assert tk.fit > 0.9999
+        assert np.allclose(tk.to_dense(), x, atol=1e-6)
+
+    def test_ranks_property(self, rng):
+        tk = tucker_hooi(tucker_tensor(rng), (2, 3, 2), num_iters=3)
+        assert tk.ranks == (2, 3, 2)
+        assert tk.shape == (8, 7, 6)
+        assert isinstance(tk, TuckerDecomposition)
+
+    def test_validation(self, rng):
+        x = tucker_tensor(rng)
+        with pytest.raises(ShapeError):
+            tucker_hooi(x, (99, 2, 2))
+        with pytest.raises(KernelError):
+            tucker_hooi(x, (2, 2))

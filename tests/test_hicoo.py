@@ -1,0 +1,94 @@
+"""Tests for the HiCOO format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import poisson3d_tensor, random_sparse_tensor
+from repro.formats import HiCOOTensor
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError
+
+from tests.conftest import random_tensor
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("block", [1, 2, 4, 16])
+    def test_roundtrip(self, small_tensor, block):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, block)
+        assert hicoo.to_sparse() == small_tensor
+
+    def test_4d_roundtrip(self, rng):
+        dense = (rng.random((6, 5, 4, 3)) < 0.3) * rng.standard_normal((6, 5, 4, 3))
+        t = SparseTensor.from_dense(dense)
+        assert HiCOOTensor.from_sparse(t, 4).to_sparse() == t
+
+    def test_empty(self):
+        t = SparseTensor.empty((8, 8, 8))
+        hicoo = HiCOOTensor.from_sparse(t, 4)
+        assert hicoo.num_blocks == 0
+        assert hicoo.to_sparse() == t
+
+    def test_block_must_be_power_of_two(self, small_tensor):
+        with pytest.raises(FormatError):
+            HiCOOTensor.from_sparse(small_tensor, 3)
+        with pytest.raises(FormatError):
+            HiCOOTensor.from_sparse(small_tensor, 0)
+
+
+class TestStructure:
+    def test_offsets_bounded_by_block(self, small_tensor):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, 4)
+        assert hicoo.eidx.max() < 4
+        assert hicoo.eidx.min() >= 0
+
+    def test_block_coordinates_consistent(self, small_tensor):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, 4)
+        # Reconstruct each element's coordinate and check bounds.
+        coords = np.repeat(hicoo.bidx * 4, np.diff(hicoo.bptr), axis=0) + hicoo.eidx
+        for m, size in enumerate(small_tensor.shape):
+            assert coords[:, m].max() < size
+
+    def test_blocks_unique(self, small_tensor):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, 4)
+        key = (hicoo.bidx[:, 0] * 10**6 + hicoo.bidx[:, 1] * 10**3
+               + hicoo.bidx[:, 2])
+        assert np.unique(key).shape[0] == hicoo.num_blocks
+
+    def test_occupancy_metric(self):
+        clustered = poisson3d_tensor(80, 8000, seed=1)
+        scattered = random_sparse_tensor((80, 80, 80), 8000, skew=0.0, seed=1)
+        occ_clustered = HiCOOTensor.from_sparse(clustered, 8).average_block_occupancy()
+        occ_scattered = HiCOOTensor.from_sparse(scattered, 8).average_block_occupancy()
+        assert occ_clustered > occ_scattered
+
+
+class TestStorage:
+    def test_compression_on_clustered_tensor(self):
+        # HiCOO's selling point: clustered nonzeros compress well.
+        t = poisson3d_tensor(100, 20000, seed=2)
+        hicoo = HiCOOTensor.from_sparse(t, 8)
+        assert hicoo.compression_vs_coo() > 1.2
+
+    def test_block_width_validation(self, small_tensor):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, 4)
+        with pytest.raises(FormatError):
+            hicoo.storage_bytes(elem_index_width=0)
+
+    def test_storage_accounting(self, small_tensor):
+        hicoo = HiCOOTensor.from_sparse(small_tensor, 4)
+        expected = (
+            hicoo.bptr.shape[0] * 8
+            + hicoo.bidx.size * 4
+            + hicoo.eidx.size * 1
+            + hicoo.nnz * 4
+        )
+        assert hicoo.storage_bytes() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 500), block_pow=st.integers(0, 4))
+def test_property_hicoo_roundtrip(seed, block_pow):
+    t = random_tensor(shape=(10, 9, 8), density=0.2, seed=seed)
+    assert HiCOOTensor.from_sparse(t, 1 << block_pow).to_sparse() == t

@@ -1,0 +1,131 @@
+"""Tests for FROSTT .tns and MatrixMarket .mtx I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.io import read_mtx, read_tns, tns_dumps, tns_loads, write_mtx, write_tns
+from repro.tensor import SparseTensor
+from repro.util.errors import FormatError
+
+from tests.conftest import random_tensor
+
+
+class TestTNS:
+    def test_roundtrip_string(self, small_tensor):
+        assert tns_loads(tns_dumps(small_tensor)) == small_tensor
+
+    def test_roundtrip_file(self, small_tensor, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(small_tensor, path)
+        assert read_tns(path) == small_tensor
+
+    def test_one_based_indices(self):
+        t = tns_loads("1 1 1 5.0\n2 3 4 -1.5\n")
+        assert t.shape == (2, 3, 4)
+        assert t[(0, 0, 0)] == 5.0
+        assert t[(1, 2, 3)] == -1.5
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\n\n1 1 2.0\n# another\n2 2 3.0\n"
+        t = tns_loads(text)
+        assert t.shape == (2, 2)
+        assert t.nnz == 2
+
+    def test_explicit_shape(self):
+        t = tns_loads("1 1 1 1.0\n", shape=(10, 10, 10))
+        assert t.shape == (10, 10, 10)
+
+    def test_4d(self, rng):
+        dense = (rng.random((3, 4, 2, 3)) < 0.4) * rng.standard_normal((3, 4, 2, 3))
+        t = SparseTensor.from_dense(dense)
+        assert tns_loads(tns_dumps(t)) == t
+
+    def test_malformed(self):
+        with pytest.raises(FormatError):
+            tns_loads("")
+        with pytest.raises(FormatError):
+            tns_loads("1 2 3 4.0\n1 2 5.0\n")  # arity change
+        with pytest.raises(FormatError):
+            tns_loads("0 1 1 1.0\n")  # 0-based index
+        with pytest.raises(FormatError):
+            tns_loads("a b c 1.0\n")
+
+    def test_values_precise(self):
+        t = SparseTensor.from_entries((2, 2), [((0, 1), 1.0 / 3.0)])
+        back = tns_loads(tns_dumps(t))
+        assert back[(0, 1)] == pytest.approx(1.0 / 3.0, abs=0)
+
+
+class TestMTX:
+    def test_roundtrip(self, rng, tmp_path):
+        dense = (rng.random((9, 7)) < 0.4) * rng.standard_normal((9, 7))
+        coo = COOMatrix.from_dense(dense)
+        path = tmp_path / "m.mtx"
+        write_mtx(coo, path)
+        back = read_mtx(path)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_pattern_matrix(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n1 2\n3 3\n"
+        )
+        m = read_mtx(io.StringIO(text))
+        assert m.to_dense()[0, 1] == 1.0
+        assert m.to_dense()[2, 2] == 1.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 7.0\n"
+        )
+        m = read_mtx(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+        assert dense[2, 2] == 7.0
+        assert m.nnz == 3  # diagonal not duplicated
+
+    def test_comments(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n% more\n2 2 1\n1 1 4.0\n"
+        )
+        assert read_mtx(io.StringIO(text)).nnz == 1
+
+    def test_header_validation(self):
+        with pytest.raises(FormatError):
+            read_mtx(io.StringIO("not a header\n1 1 1\n"))
+        with pytest.raises(FormatError):
+            read_mtx(io.StringIO("%%MatrixMarket matrix array real general\n"))
+        with pytest.raises(FormatError):
+            read_mtx(io.StringIO(
+                "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+            ))
+
+    def test_nnz_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(FormatError):
+            read_mtx(io.StringIO(text))
+
+
+class TestIntegrationWithFormats:
+    def test_tns_through_ciss(self, tmp_path):
+        from repro.formats import CISSTensor
+        t = random_tensor(seed=70)
+        path = tmp_path / "x.tns"
+        write_tns(t, path)
+        loaded = read_tns(path)
+        assert CISSTensor.from_sparse(loaded, 4).to_sparse() == t
+
+    def test_mtx_through_simulator(self, rng, tmp_path):
+        from repro.sim import Tensaurus
+        dense = (rng.random((30, 25)) < 0.2) * rng.standard_normal((30, 25))
+        coo = COOMatrix.from_dense(dense)
+        path = tmp_path / "x.mtx"
+        write_mtx(coo, path)
+        b = rng.random((25, 8))
+        report = Tensaurus().run_spmm(read_mtx(path), b)
+        assert np.allclose(report.output, dense @ b)

@@ -1,0 +1,91 @@
+"""Tests for the Hadamard / Kronecker / Khatri-Rao building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import hadamard, khatri_rao, kron_vec
+from repro.util.errors import ShapeError
+
+
+class TestHadamard:
+    def test_elementwise(self, rng):
+        a, b = rng.random((3, 4)), rng.random((3, 4))
+        assert np.allclose(hadamard(a, b), a * b)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            hadamard(rng.random((3, 4)), rng.random((4, 3)))
+
+    def test_commutative(self, rng):
+        a, b = rng.random(5), rng.random(5)
+        assert np.allclose(hadamard(a, b), hadamard(b, a))
+
+
+class TestKronVec:
+    def test_outer(self, rng):
+        a, b = rng.random(3), rng.random(4)
+        out = kron_vec(a, b)
+        assert out.shape == (3, 4)
+        for i in range(3):
+            for j in range(4):
+                assert out[i, j] == pytest.approx(a[i] * b[j])
+
+    def test_requires_vectors(self, rng):
+        with pytest.raises(ShapeError):
+            kron_vec(rng.random((2, 2)), rng.random(3))
+
+    def test_distributive(self, rng):
+        # The property TTMc factoring relies on (Eq. 5).
+        a, b, c = rng.random(3), rng.random(4), rng.random(4)
+        assert np.allclose(
+            kron_vec(a, b + c), kron_vec(a, b) + kron_vec(a, c)
+        )
+
+
+class TestKhatriRao:
+    def test_single_matrix_is_identity(self, rng):
+        m = rng.random((4, 3))
+        assert np.allclose(khatri_rao([m]), m)
+
+    def test_two_matrix_row_convention(self, rng):
+        # Row i0 + I0*i1 equals the Hadamard of the factor rows (first
+        # matrix varies fastest).
+        a, b = rng.random((3, 2)), rng.random((4, 2))
+        kr = khatri_rao([a, b])
+        assert kr.shape == (12, 2)
+        for i0 in range(3):
+            for i1 in range(4):
+                assert np.allclose(kr[i0 + 3 * i1], a[i0] * b[i1])
+
+    def test_three_matrices(self, rng):
+        mats = [rng.random((s, 3)) for s in (2, 3, 2)]
+        kr = khatri_rao(mats)
+        assert kr.shape == (12, 3)
+        i = (1, 2, 0)
+        row = i[0] + 2 * i[1] + 6 * i[2]
+        assert np.allclose(kr[row], mats[0][1] * mats[1][2] * mats[2][0])
+
+    def test_column_count_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            khatri_rao([rng.random((3, 2)), rng.random((3, 3))])
+
+    def test_empty_list(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    i=st.integers(1, 5), j=st.integers(1, 5), f=st.integers(1, 4),
+    seed=st.integers(0, 100),
+)
+def test_property_khatri_rao_matches_kron_columns(i, j, f, seed):
+    """Column c of the KR product is the Kronecker product of column c's."""
+    rng = np.random.default_rng(seed)
+    a, b = rng.random((i, f)), rng.random((j, f))
+    kr = khatri_rao([a, b])
+    for c in range(f):
+        expected = (a[:, c][:, None] * b[:, c][None, :]).reshape(-1, order="F")
+        assert np.allclose(kr[:, c], expected)

@@ -1,0 +1,101 @@
+"""Tests for GEMM/SpMM/GEMV/SpMV."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CSRMatrix
+from repro.kernels import gemm, gemv, spmm, spmv
+from repro.util.errors import KernelError, ShapeError
+
+
+def sparse_pair(seed, shape=(10, 8), density=0.3):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density) * rng.standard_normal(shape)
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestGEMM:
+    def test_matches_numpy(self, rng):
+        a, b = rng.random((6, 5)), rng.random((5, 7))
+        assert np.allclose(gemm(a, b), a @ b)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            gemm(rng.random((3, 4)), rng.random((5, 2)))
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(KernelError):
+            gemm(rng.random(4), rng.random((4, 2)))
+
+
+class TestGEMV:
+    def test_matches_numpy(self, rng):
+        a, x = rng.random((6, 5)), rng.random(5)
+        assert np.allclose(gemv(a, x), a @ x)
+
+    def test_requires_vector(self, rng):
+        with pytest.raises(KernelError):
+            gemv(rng.random((3, 4)), rng.random((4, 1)))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            gemv(rng.random((3, 4)), rng.random(7))
+
+
+class TestSpMM:
+    def test_matches_numpy(self, rng):
+        csr, dense = sparse_pair(1)
+        b = rng.random((8, 6))
+        assert np.allclose(spmm(csr, b), dense @ b)
+
+    def test_empty_matrix(self, rng):
+        csr = CSRMatrix.from_dense(np.zeros((4, 4)))
+        assert np.allclose(spmm(csr, rng.random((4, 3))), 0.0)
+
+    def test_shape_mismatch(self, rng):
+        csr, _ = sparse_pair(2)
+        with pytest.raises(ShapeError):
+            spmm(csr, rng.random((9, 4)))
+
+    def test_requires_2d_operand(self, rng):
+        csr, _ = sparse_pair(3)
+        with pytest.raises(KernelError):
+            spmm(csr, rng.random(8))
+
+
+class TestSpMV:
+    def test_matches_numpy(self, rng):
+        csr, dense = sparse_pair(4)
+        x = rng.random(8)
+        assert np.allclose(spmv(csr, x), dense @ x)
+
+    def test_empty(self, rng):
+        csr = CSRMatrix.from_dense(np.zeros((4, 4)))
+        assert np.allclose(spmv(csr, rng.random(4)), 0.0)
+
+    def test_requires_vector(self, rng):
+        csr, _ = sparse_pair(5)
+        with pytest.raises(KernelError):
+            spmv(csr, rng.random((8, 1)))
+
+    def test_shape_mismatch(self, rng):
+        csr, _ = sparse_pair(6)
+        with pytest.raises(ShapeError):
+            spmv(csr, rng.random(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 10), inner=st.integers(1, 10), cols=st.integers(1, 6),
+    seed=st.integers(0, 500),
+)
+def test_property_spmm_spmv_vs_numpy(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((rows, inner)) < 0.5) * rng.standard_normal((rows, inner))
+    csr = CSRMatrix.from_dense(dense)
+    b = rng.standard_normal((inner, cols))
+    x = rng.standard_normal(inner)
+    assert np.allclose(spmm(csr, b), dense @ b)
+    assert np.allclose(spmv(csr, x), dense @ x)

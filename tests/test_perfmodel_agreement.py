@@ -1,0 +1,98 @@
+"""Cross-validation of the fast analytical model against the cycle simulator.
+
+The fast model shares the simulator's cost constants but approximates bank
+conflicts, lane imbalance and per-tile overlap; these tests bound the error
+so neither model can drift silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.sim import FastModel, Tensaurus
+from repro.util.rng import make_rng
+
+from tests.conftest import random_tensor
+
+ACC = Tensaurus()
+FAST = FastModel()
+
+#: Accepted cycle-count band (fast model / cycle simulator).
+LO, HI = 0.4, 2.0
+
+
+def band_check(sim_cycles, fast_cycles):
+    ratio = fast_cycles / sim_cycles
+    assert LO <= ratio <= HI, f"fast/sim ratio {ratio:.2f} out of band"
+
+
+class TestTensorKernels:
+    @pytest.mark.parametrize("density", [0.01, 0.05, 0.2])
+    def test_mttkrp_band(self, density):
+        rng = make_rng(1)
+        t = random_tensor(shape=(80, 50, 40), density=density, seed=10)
+        b = rng.random((50, 32))
+        c = rng.random((40, 32))
+        for mode_choice in ("buffered", "direct"):
+            sim = ACC.run_mttkrp(
+                t, b, c, msu_mode=mode_choice, compute_output=False
+            )
+            fast = FAST.mttkrp(t, 32, msu_mode=mode_choice)
+            band_check(sim.cycles, fast.cycles)
+
+    def test_ttmc_band(self):
+        rng = make_rng(2)
+        t = random_tensor(shape=(60, 40, 30), density=0.05, seed=11)
+        b = rng.random((40, 16))
+        c = rng.random((30, 16))
+        sim = ACC.run_ttmc(t, b, c, msu_mode="direct", compute_output=False)
+        fast = FAST.ttmc(t, 16, 16, msu_mode="direct")
+        band_check(sim.cycles, fast.cycles)
+        assert fast.detail["passes"] == sim.detail["passes"]
+
+    def test_byte_totals_close(self):
+        rng = make_rng(3)
+        t = random_tensor(shape=(80, 50, 40), density=0.05, seed=12)
+        sim = ACC.run_mttkrp(
+            t, rng.random((50, 32)), rng.random((40, 32)),
+            msu_mode="direct", compute_output=False,
+        )
+        fast = FAST.mttkrp(t, 32, msu_mode="direct")
+        assert 0.5 <= fast.total_bytes / sim.total_bytes <= 1.5
+
+
+class TestMatrixKernels:
+    @pytest.mark.parametrize("density", [0.005, 0.05, 0.3])
+    def test_spmm_band(self, density):
+        rng = make_rng(4)
+        dense = (rng.random((300, 200)) < density) * (rng.random((300, 200)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        b = rng.random((200, 32))
+        sim = ACC.run_spmm(coo, b, msu_mode="direct", compute_output=False)
+        fast = FAST.spmm(coo, 32, msu_mode="direct")
+        band_check(sim.cycles, fast.cycles)
+
+    def test_spmv_band(self):
+        rng = make_rng(5)
+        dense = (rng.random((400, 300)) < 0.03) * (rng.random((400, 300)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        sim = ACC.run_spmv(coo, rng.random(300), msu_mode="direct",
+                           compute_output=False)
+        fast = FAST.spmv(coo, msu_mode="direct")
+        band_check(sim.cycles, fast.cycles)
+
+
+class TestFastModelOnly:
+    def test_requires_3d(self):
+        from repro.tensor import SparseTensor
+        from repro.util.errors import KernelError
+        flat = SparseTensor.from_entries((2, 2), [((0, 0), 1.0)])
+        with pytest.raises(KernelError):
+            FAST.mttkrp(flat, 8)
+
+    def test_report_marked_fast(self):
+        t = random_tensor(seed=1)
+        rep = FAST.mttkrp(t, 8)
+        assert rep.detail["model"] == "fast"
+        assert rep.cycles >= 1
+        assert rep.output is None

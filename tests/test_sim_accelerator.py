@@ -1,0 +1,186 @@
+"""Tests for the top-level Tensaurus simulator."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.kernels import (
+    gemm,
+    gemv,
+    mttkrp_dense,
+    mttkrp_sparse,
+    spmm,
+    spmv,
+    ttmc_dense,
+    ttmc_sparse,
+)
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.tensor import SparseTensor
+from repro.util.errors import KernelError
+
+from tests.conftest import random_tensor
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return Tensaurus()
+
+
+@pytest.fixture(scope="module")
+def medium_tensor():
+    return random_tensor(shape=(60, 40, 30), density=0.05, seed=77)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_spmttkrp(self, acc, rng, medium_tensor, mode):
+        t = medium_tensor
+        rest = [m for m in range(3) if m != mode]
+        b = rng.standard_normal((t.shape[rest[0]], 16))
+        c = rng.standard_normal((t.shape[rest[1]], 16))
+        rep = acc.run_mttkrp(t, b, c, mode=mode)
+        assert np.allclose(rep.output, mttkrp_sparse(t, [b, c], mode))
+
+    def test_spttmc(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.standard_normal((t.shape[1], 8))
+        c = rng.standard_normal((t.shape[2], 8))
+        rep = acc.run_ttmc(t, b, c)
+        assert np.allclose(rep.output, ttmc_sparse(t, [b, c], 0))
+
+    def test_spmm(self, acc, rng):
+        dense = (rng.random((50, 40)) < 0.1) * rng.standard_normal((50, 40))
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal((40, 16))
+        rep = acc.run_spmm(csr, b)
+        assert np.allclose(rep.output, spmm(csr, b))
+
+    def test_spmm_accepts_coo(self, acc, rng):
+        dense = (rng.random((20, 20)) < 0.2) * rng.standard_normal((20, 20))
+        coo = COOMatrix.from_dense(dense)
+        b = rng.standard_normal((20, 8))
+        rep = acc.run_spmm(coo, b)
+        assert np.allclose(rep.output, dense @ b)
+
+    def test_spmv(self, acc, rng):
+        dense = (rng.random((50, 40)) < 0.1) * rng.standard_normal((50, 40))
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(40)
+        rep = acc.run_spmv(csr, x)
+        assert np.allclose(rep.output, spmv(csr, x))
+
+    def test_dense_kernels(self, acc, rng):
+        dt = rng.standard_normal((20, 15, 10))
+        b = rng.standard_normal((15, 8))
+        c = rng.standard_normal((10, 8))
+        rep = acc.run_mttkrp(dt, b, c)
+        assert np.allclose(rep.output, mttkrp_dense(dt, [b, c], 0))
+        rep = acc.run_ttmc(dt, b, c)
+        assert np.allclose(rep.output, ttmc_dense(dt, [b, c], 0))
+        a = rng.standard_normal((32, 24))
+        bm = rng.standard_normal((24, 16))
+        assert np.allclose(acc.run_spmm(a, bm).output, gemm(a, bm))
+        x = rng.standard_normal(24)
+        assert np.allclose(acc.run_spmv(a, x).output, gemv(a, x))
+
+    def test_requires_3d(self, acc, rng):
+        flat = SparseTensor.from_entries((2, 2), [((0, 0), 1.0)])
+        with pytest.raises(KernelError):
+            acc.run_mttkrp(flat, rng.random((2, 2)), rng.random((2, 2)))
+
+
+class TestReportInvariants:
+    def test_report_fields(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.random((t.shape[1], 16))
+        c = rng.random((t.shape[2], 16))
+        rep = acc.run_mttkrp(t, b, c, compute_output=False)
+        assert rep.cycles > 0
+        assert rep.ops > 0
+        assert rep.tensor_bytes > 0
+        assert rep.matrix_bytes > 0
+        assert rep.gops <= acc.config.peak_gops * 1.001
+        assert rep.time_s == pytest.approx(rep.cycles / 2e9)
+        assert rep.op_intensity == pytest.approx(rep.ops / rep.total_bytes)
+        assert "cycles" in rep.summary()
+
+    def test_ops_match_reference_flops(self, acc, rng, medium_tensor):
+        """Simulator op counts == the SF3 spec's flop count (single pass)."""
+        from repro.kernels import sf3_spec_mttkrp
+        t = medium_tensor
+        b = rng.random((t.shape[1], 32))
+        c = rng.random((t.shape[2], 32))
+        rep = acc.run_mttkrp(t, b, c, compute_output=False)
+        spec = sf3_spec_mttkrp(t, b, c, 0)
+        assert rep.ops == spec.flop_count
+
+    def test_more_nnz_more_cycles(self, acc, rng):
+        small = random_tensor(shape=(40, 30, 20), density=0.02, seed=1)
+        big = random_tensor(shape=(40, 30, 20), density=0.2, seed=1)
+        b = rng.random((30, 16))
+        c = rng.random((20, 16))
+        r_small = acc.run_mttkrp(small, b, c, compute_output=False)
+        r_big = acc.run_mttkrp(big, b, c, compute_output=False)
+        assert r_big.cycles > r_small.cycles
+
+    def test_wider_rank_multiplies_passes(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        narrow = acc.run_mttkrp(
+            t, rng.random((t.shape[1], 32)), rng.random((t.shape[2], 32)),
+            compute_output=False,
+        )
+        wide = acc.run_mttkrp(
+            t, rng.random((t.shape[1], 64)), rng.random((t.shape[2], 64)),
+            compute_output=False,
+        )
+        assert wide.detail["passes"] == 2 * narrow.detail["passes"]
+        assert wide.cycles == 2 * narrow.cycles
+
+    def test_dense_hits_near_peak(self, acc, rng):
+        a = rng.standard_normal((512, 512))
+        b = rng.standard_normal((512, 256))
+        rep = acc.run_spmm(a, b, compute_output=False)
+        assert rep.gops > 0.9 * acc.config.peak_gops
+
+
+class TestMSUModes:
+    def test_auto_picks_cheaper(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.random((t.shape[1], 16))
+        c = rng.random((t.shape[2], 16))
+        auto = acc.run_mttkrp(t, b, c, msu_mode="auto", compute_output=False)
+        buf = acc.run_mttkrp(t, b, c, msu_mode="buffered", compute_output=False)
+        direct = acc.run_mttkrp(t, b, c, msu_mode="direct", compute_output=False)
+        assert auto.detail["msu_mode"] in ("buffered", "direct")
+        assert auto.cycles <= max(buf.cycles, direct.cycles)
+
+    def test_modes_functionally_identical(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.random((t.shape[1], 8))
+        c = rng.random((t.shape[2], 8))
+        buf = acc.run_mttkrp(t, b, c, msu_mode="buffered")
+        direct = acc.run_mttkrp(t, b, c, msu_mode="direct")
+        assert np.allclose(buf.output, direct.output)
+
+    def test_direct_has_output_read_write(self, acc, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.random((t.shape[1], 16))
+        c = rng.random((t.shape[2], 16))
+        direct = acc.run_mttkrp(t, b, c, msu_mode="direct", compute_output=False)
+        buf = acc.run_mttkrp(t, b, c, msu_mode="buffered", compute_output=False)
+        assert direct.output_bytes > buf.output_bytes
+
+
+class TestScaling:
+    def test_more_rows_fewer_cycles(self, rng, medium_tensor):
+        t = medium_tensor
+        b = rng.random((t.shape[1], 32))
+        c = rng.random((t.shape[2], 32))
+        small = Tensaurus(TensaurusConfig(rows=2))
+        big = Tensaurus(TensaurusConfig(rows=16))
+        r_small = small.run_mttkrp(t, b, c, compute_output=False)
+        r_big = big.run_mttkrp(t, b, c, compute_output=False)
+        assert r_big.cycles < r_small.cycles
+
+    def test_peak_scales_with_vlen(self):
+        assert TensaurusConfig(vlen=8).peak_gops == 2 * TensaurusConfig().peak_gops

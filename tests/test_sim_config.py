@@ -1,0 +1,71 @@
+"""Tests for the hardware configuration."""
+
+import pytest
+
+from repro.sim import DDR4_PRESET, HBM_PRESET, MemoryConfig, TensaurusConfig
+from repro.util.errors import ConfigError
+
+
+class TestTensaurusConfig:
+    def test_paper_design_point(self):
+        cfg = TensaurusConfig()
+        assert cfg.num_pes == 64
+        assert cfg.mac_units == 256
+        # "the peak attainable throughput is 512x2x0.5 = 512 GOP/s"
+        assert cfg.peak_gops == pytest.approx(512.0)
+        assert cfg.peak_bw_gbs == pytest.approx(128.0)
+        assert cfg.fiber_tile == 32
+
+    def test_ciss_entry_bytes(self):
+        cfg = TensaurusConfig()
+        # (dw + 2*iw) * P = (4 + 4) * 8 = 64 bytes: one HBM access per cycle.
+        assert cfg.ciss_entry_bytes(2) == 64
+        assert cfg.ciss_entry_bytes(1) == 48
+
+    def test_spm_rows(self):
+        cfg = TensaurusConfig()
+        # 16 KB side / (vlen*dw = 16 B/row) = 1024 rows; half with 2 operands.
+        assert cfg.spm_rows(1) == 1024
+        assert cfg.spm_rows(2) == 512
+
+    def test_msu_rows(self):
+        cfg = TensaurusConfig()
+        assert cfg.msu_rows(32) == 128 * 1024 // (32 * 4)
+
+    def test_hbm_bytes_per_accel_cycle(self):
+        cfg = TensaurusConfig()
+        assert cfg.hbm_bytes_per_cycle == pytest.approx(64.0)
+
+    def test_scaled_copy(self):
+        cfg = TensaurusConfig().scaled(rows=4, vlen=8)
+        assert cfg.rows == 4 and cfg.vlen == 8
+        assert TensaurusConfig().rows == 8  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TensaurusConfig(rows=0)
+        with pytest.raises(ConfigError):
+            TensaurusConfig(clock_ghz=-1)
+
+    def test_with_memory(self):
+        cfg = TensaurusConfig().with_memory(DDR4_PRESET)
+        assert cfg.memory.name == "ddr4"
+        assert cfg.peak_bw_gbs == pytest.approx(16.0)
+
+
+class TestMemoryConfig:
+    def test_presets(self):
+        assert HBM_PRESET.peak_gbs == 128.0
+        assert DDR4_PRESET.peak_gbs == 16.0
+
+    def test_derived(self):
+        assert HBM_PRESET.bytes_per_cycle == pytest.approx(128.0)
+        assert HBM_PRESET.latency_cycles == 60
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig("x", peak_gbs=0, latency_ns=1, max_outstanding=1,
+                         burst_bytes=64, clock_ghz=1)
+        with pytest.raises(ConfigError):
+            MemoryConfig("x", peak_gbs=1, latency_ns=1, max_outstanding=0,
+                         burst_bytes=64, clock_ghz=1)

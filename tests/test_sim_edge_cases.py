@@ -1,0 +1,158 @@
+"""Edge-case and invariant tests for the accelerator simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.kernels import mttkrp_sparse, spmm, spmv, ttmc_sparse
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.tensor import SparseTensor
+from repro.util.rng import make_rng
+
+from tests.conftest import random_tensor
+
+ACC = Tensaurus()
+
+
+class TestDegenerateOperands:
+    def test_single_nonzero_tensor(self, rng):
+        t = SparseTensor.from_entries((5, 4, 3), [((2, 1, 0), 3.0)])
+        b = rng.random((4, 8))
+        c = rng.random((3, 8))
+        rep = ACC.run_mttkrp(t, b, c)
+        assert np.allclose(rep.output, mttkrp_sparse(t, [b, c], 0))
+        assert rep.cycles > 0
+
+    def test_rank_one(self, rng):
+        t = random_tensor(seed=130)
+        b = rng.random((t.shape[1], 1))
+        c = rng.random((t.shape[2], 1))
+        rep = ACC.run_mttkrp(t, b, c)
+        assert rep.output.shape == (t.shape[0], 1)
+        assert np.allclose(rep.output, mttkrp_sparse(t, [b, c], 0))
+
+    def test_single_row_matrix(self, rng):
+        dense = np.zeros((1, 20))
+        dense[0, ::3] = rng.random(7) + 0.1
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.random((20, 8))
+        rep = ACC.run_spmm(csr, b)
+        assert np.allclose(rep.output, spmm(csr, b))
+
+    def test_single_column_matrix(self, rng):
+        dense = (rng.random((20, 1)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        x = rng.random(1)
+        rep = ACC.run_spmv(coo, x)
+        assert np.allclose(rep.output, dense[:, 0] * x[0])
+
+    def test_one_element_everything(self):
+        t = SparseTensor.from_entries((1, 1, 1), [((0, 0, 0), 2.0)])
+        rep = ACC.run_mttkrp(t, np.array([[3.0]]), np.array([[4.0]]))
+        assert rep.output[0, 0] == pytest.approx(24.0)
+
+    def test_ttmc_asymmetric_tiny_ranks(self, rng):
+        t = random_tensor(seed=131)
+        b = rng.random((t.shape[1], 1))
+        c = rng.random((t.shape[2], 7))
+        rep = ACC.run_ttmc(t, b, c)
+        assert np.allclose(rep.output, ttmc_sparse(t, [b, c], 0))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_ttmc_all_modes(self, rng, mode):
+        t = random_tensor(seed=132)
+        rest = [m for m in range(3) if m != mode]
+        b = rng.random((t.shape[rest[0]], 4))
+        c = rng.random((t.shape[rest[1]], 4))
+        rep = ACC.run_ttmc(t, b, c, mode=mode)
+        assert np.allclose(rep.output, ttmc_sparse(t, [b, c], mode))
+
+    @pytest.mark.parametrize("mode", [1, 2])
+    def test_dense_mttkrp_nonzero_modes(self, rng, mode):
+        from repro.kernels import mttkrp_dense
+        dt = rng.random((12, 10, 8))
+        rest = [m for m in range(3) if m != mode]
+        b = rng.random((dt.shape[rest[0]], 8))
+        c = rng.random((dt.shape[rest[1]], 8))
+        rep = ACC.run_mttkrp(dt, b, c, mode=mode)
+        assert np.allclose(rep.output, mttkrp_dense(dt, [b, c], mode))
+
+    def test_spmv_direct_mode(self, rng):
+        dense = (rng.random((40, 30)) < 0.2) * (rng.random((40, 30)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        x = rng.random(30)
+        rep = ACC.run_spmv(coo, x, msu_mode="direct")
+        assert np.allclose(rep.output, spmv(CSRMatrix.from_coo(coo), x))
+        assert rep.detail["msu_mode"] == "direct"
+
+
+class TestTimingInvariants:
+    def test_time_nonnegative_and_consistent(self, rng):
+        t = random_tensor(seed=133)
+        b = rng.random((t.shape[1], 16))
+        c = rng.random((t.shape[2], 16))
+        rep = ACC.run_mttkrp(t, b, c, compute_output=False)
+        assert rep.time_s > 0
+        assert rep.achieved_bw_gbs <= ACC.config.peak_bw_gbs * 1.01
+
+    def test_conflicts_bounded_by_entries(self, rng):
+        t = random_tensor(shape=(40, 30, 20), density=0.1, seed=134)
+        b = rng.random((30, 16))
+        c = rng.random((20, 16))
+        rep = ACC.run_mttkrp(t, b, c, compute_output=False)
+        # Each entry can serialize at most lanes-1 extra cycles.
+        bound = rep.detail["entries"] * (ACC.config.rows - 1)
+        assert rep.detail["conflict_stalls"] <= bound
+
+    def test_mode_choice_never_changes_math(self, rng):
+        t = random_tensor(seed=135)
+        b = rng.random((t.shape[1], 8))
+        c = rng.random((t.shape[2], 8))
+        outs = [
+            ACC.run_mttkrp(t, b, c, msu_mode=mode).output
+            for mode in ("buffered", "direct", "auto")
+        ]
+        for other in outs[1:]:
+            assert np.allclose(outs[0], other)
+
+    def test_clock_scaling_preserves_cycles(self, rng):
+        t = random_tensor(seed=136)
+        b = rng.random((t.shape[1], 8))
+        c = rng.random((t.shape[2], 8))
+        slow = Tensaurus(TensaurusConfig(clock_ghz=1.0))
+        fast = Tensaurus(TensaurusConfig(clock_ghz=4.0))
+        # Same memory system: higher clock means fewer bytes per cycle, so
+        # memory-bound regions take MORE cycles but never more TIME.
+        r_slow = slow.run_mttkrp(t, b, c, compute_output=False)
+        r_fast = fast.run_mttkrp(t, b, c, compute_output=False)
+        assert r_fast.time_s <= r_slow.time_s * 1.01
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200), mode=st.integers(0, 2))
+def test_property_simulator_always_correct(seed, mode):
+    rng = make_rng(seed)
+    t = random_tensor(shape=(12, 10, 8), density=0.25, seed=seed)
+    rest = [m for m in range(3) if m != mode]
+    b = rng.random((t.shape[rest[0]], 4))
+    c = rng.random((t.shape[rest[1]], 4))
+    rep = ACC.run_mttkrp(t, b, c, mode=mode)
+    assert np.allclose(rep.output, mttkrp_sparse(t, [b, c], mode))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_more_lanes_never_slower(seed):
+    t = random_tensor(shape=(30, 20, 15), density=0.15, seed=seed)
+    rng = make_rng(seed)
+    b = rng.random((20, 16))
+    c = rng.random((15, 16))
+    two = Tensaurus(TensaurusConfig(rows=2)).run_mttkrp(
+        t, b, c, msu_mode="direct", compute_output=False
+    )
+    eight = Tensaurus(TensaurusConfig(rows=8)).run_mttkrp(
+        t, b, c, msu_mode="direct", compute_output=False
+    )
+    assert eight.cycles <= two.cycles * 1.05

@@ -1,0 +1,191 @@
+"""Tests for the event-driven microarchitecture simulator.
+
+Cross-validation strategy (see module docstring of repro.sim.event):
+functional outputs must equal the reference kernels exactly; operation
+counts must equal the analytical engine exactly; cycle counts must agree
+with the analytical engine in conflict-free configurations and stay within
+a band once arbitration effects kick in.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CISSMatrix, CISSTensor, COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels import mttkrp_sparse, spmm, spmv, ttmc_sparse
+from repro.sim.config import TensaurusConfig
+from repro.sim.costs import kernel_costs
+from repro.sim.event import EventDrivenTensaurus
+from repro.sim.lanes import analyze_lanes
+from repro.util.errors import SimulationError
+
+from tests.conftest import random_tensor
+
+CFG = TensaurusConfig()
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("lanes", [1, 4, 8])
+    def test_mttkrp(self, rng, mode, lanes):
+        t = random_tensor(shape=(16, 12, 10), density=0.2, seed=80)
+        rest = [m for m in range(3) if m != mode]
+        b = rng.standard_normal((t.shape[rest[0]], 6))
+        c = rng.standard_normal((t.shape[rest[1]], 6))
+        ciss = CISSTensor.from_sparse(t, lanes, mode=mode)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=6)
+        ev = EventDrivenTensaurus(CFG, costs, fiber0=c, fiber1=b)
+        res = ev.run(ciss, (t.shape[mode], 6))
+        assert np.allclose(res.output, mttkrp_sparse(t, [b, c], mode))
+
+    def test_ttmc(self, rng):
+        t = random_tensor(shape=(14, 10, 8), density=0.25, seed=81)
+        b = rng.standard_normal((10, 3))
+        c = rng.standard_normal((8, 5))
+        ciss = CISSTensor.from_sparse(t, 4)
+        costs = kernel_costs("spttmc", CFG, fiber_elems=5, f1_tile=3)
+        ev = EventDrivenTensaurus(CFG, costs, fiber0=c, fiber1=b, f1_tile=3)
+        res = ev.run(ciss, (14, 3, 5))
+        assert np.allclose(res.output, ttmc_sparse(t, [b, c], 0))
+
+    def test_spmm(self, rng):
+        dense = (rng.random((22, 17)) < 0.3) * rng.standard_normal((22, 17))
+        coo = COOMatrix.from_dense(dense)
+        b = rng.standard_normal((17, 6))
+        ciss = CISSMatrix.from_coo(coo, 4)
+        costs = kernel_costs("spmm", CFG, fiber_elems=6)
+        res = EventDrivenTensaurus(CFG, costs, fiber0=b).run(ciss, (22, 6))
+        assert np.allclose(res.output, spmm(CSRMatrix.from_coo(coo), b))
+
+    def test_spmv(self, rng):
+        dense = (rng.random((22, 17)) < 0.3) * rng.standard_normal((22, 17))
+        coo = COOMatrix.from_dense(dense)
+        x = rng.standard_normal(17)
+        ciss = CISSMatrix.from_coo(coo, 4)
+        costs = kernel_costs("spmv", CFG, fiber_elems=1)
+        res = EventDrivenTensaurus(CFG, costs, fiber0=x).run(ciss, (22,))
+        assert np.allclose(res.output, spmv(CSRMatrix.from_coo(coo), x))
+
+    def test_empty_tile(self, rng):
+        from repro.tensor import SparseTensor
+        t = SparseTensor.empty((4, 4, 4))
+        ciss = CISSTensor.from_sparse(t, 4)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=4)
+        ev = EventDrivenTensaurus(
+            CFG, costs, fiber0=rng.random((4, 4)), fiber1=rng.random((4, 4))
+        )
+        res = ev.run(ciss, (4, 4))
+        assert res.cycles == 0
+        assert np.allclose(res.output, 0.0)
+
+
+class TestTimingAgreement:
+    def _setup(self, lanes, banks, seed=82):
+        t = random_tensor(shape=(24, 16, 12), density=0.2, seed=seed)
+        ciss = CISSTensor.from_sparse(t, lanes)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=8)
+        stats = analyze_lanes(ciss.kinds, ciss.a_idx, ciss.k_idx, costs, banks)
+        cfg = CFG.scaled(spm_banks=banks)
+        rng = np.random.default_rng(0)
+        ev = EventDrivenTensaurus(
+            cfg, costs, fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8))
+        )
+        return t, ciss, stats, ev
+
+    def test_single_lane_matches_analytic(self):
+        # One lane, no arbitration: the engines must agree tightly (the
+        # event engine adds only end-of-pipeline latency).
+        t, ciss, stats, ev = self._setup(lanes=1, banks=8)
+        res = ev.run(ciss, (24, 8))
+        assert abs(res.cycles - stats.compute_cycles) <= 8
+        assert res.bank_conflict_stalls == 0
+
+    def test_ops_match_exactly(self):
+        t, ciss, stats, ev = self._setup(lanes=8, banks=8)
+        res = ev.run(ciss, (24, 8))
+        assert res.ops == stats.ops
+
+    def test_multi_lane_within_band(self):
+        t, ciss, stats, ev = self._setup(lanes=8, banks=8)
+        res = ev.run(ciss, (24, 8))
+        ratio = res.cycles / stats.compute_cycles
+        assert 0.7 < ratio < 1.8, ratio
+
+    def test_conflicts_emerge_structurally(self):
+        from repro.tensor import SparseTensor
+        # All lanes always hit bank 0 -> heavy serialization.
+        entries = [((i, 0, 0), float(i + 1)) for i in range(16)]
+        t = SparseTensor.from_entries((16, 1, 1), entries)
+        ciss = CISSTensor.from_sparse(t, 8)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=4)
+        rng = np.random.default_rng(0)
+        ev = EventDrivenTensaurus(
+            CFG, costs, fiber0=rng.random((1, 4)), fiber1=rng.random((1, 4))
+        )
+        res = ev.run(ciss, (16, 4))
+        assert res.bank_conflict_stalls > 0
+
+    def test_more_banks_not_slower(self):
+        _t, ciss, _stats, _ = self._setup(lanes=8, banks=2)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=8)
+        rng = np.random.default_rng(0)
+        few = EventDrivenTensaurus(
+            CFG.scaled(spm_banks=2), costs,
+            fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8)),
+        ).run(ciss, (24, 8))
+        many = EventDrivenTensaurus(
+            CFG.scaled(spm_banks=32), costs,
+            fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8)),
+        ).run(ciss, (24, 8))
+        assert many.cycles <= few.cycles
+        assert many.bank_conflict_stalls <= few.bank_conflict_stalls
+
+
+class TestBackpressure:
+    def test_shallow_queues_stall_tlu(self):
+        t = random_tensor(shape=(24, 16, 12), density=0.2, seed=83)
+        ciss = CISSTensor.from_sparse(t, 8)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=8)
+        rng = np.random.default_rng(0)
+        shallow = EventDrivenTensaurus(
+            CFG, costs, fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8)),
+            queue_depth=1,
+        ).run(ciss, (24, 8))
+        deep = EventDrivenTensaurus(
+            CFG, costs, fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8)),
+            queue_depth=16,
+        ).run(ciss, (24, 8))
+        assert shallow.tlu_stall_cycles >= deep.tlu_stall_cycles
+        assert shallow.cycles >= deep.cycles
+
+    def test_missing_fiber1_rejected(self, rng):
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=4)
+        with pytest.raises(SimulationError):
+            EventDrivenTensaurus(CFG, costs, fiber0=rng.random((4, 4)))
+
+    def test_lane_busy_accounting(self):
+        t = random_tensor(shape=(24, 16, 12), density=0.2, seed=84)
+        ciss = CISSTensor.from_sparse(t, 4)
+        costs = kernel_costs("spmttkrp", CFG, fiber_elems=8)
+        rng = np.random.default_rng(0)
+        res = EventDrivenTensaurus(
+            CFG, costs, fiber0=rng.random((12, 8)), fiber1=rng.random((16, 8))
+        ).run(ciss, (24, 8))
+        assert res.lane_busy_cycles.shape == (4,)
+        assert np.all(res.lane_busy_cycles <= res.cycles)
+        assert np.all(res.lane_busy_cycles > 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200), lanes=st.integers(1, 8))
+def test_property_event_functional(seed, lanes):
+    rng = np.random.default_rng(seed)
+    t = random_tensor(shape=(10, 8, 6), density=0.25, seed=seed)
+    b = rng.standard_normal((8, 4))
+    c = rng.standard_normal((6, 4))
+    ciss = CISSTensor.from_sparse(t, lanes)
+    costs = kernel_costs("spmttkrp", CFG, fiber_elems=4)
+    res = EventDrivenTensaurus(CFG, costs, fiber0=c, fiber1=b).run(ciss, (10, 4))
+    assert np.allclose(res.output, mttkrp_sparse(t, [b, c], 0))

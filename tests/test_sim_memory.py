@@ -1,0 +1,97 @@
+"""Tests for the DRAM stream model used by the Fig. 3e experiment."""
+
+import pytest
+
+from repro.formats import CISSTensor, ExtendedCSRTensor
+from repro.sim import DDR4_PRESET, StreamMemory
+from repro.util.errors import ConfigError
+
+from tests.conftest import random_tensor
+
+
+@pytest.fixture
+def mem():
+    return StreamMemory(DDR4_PRESET)
+
+
+class TestServiceTrace:
+    def test_empty_trace(self, mem):
+        r = mem.service_trace([])
+        assert r.useful_bytes == 0
+        assert r.achieved_gbs == 0.0
+
+    def test_sequential_wide_requests_near_peak(self, mem):
+        # 64B sequential requests, one per cycle: should approach peak BW.
+        trace = [[(t * 64, 64)] for t in range(4096)]
+        r = mem.service_trace(trace)
+        assert r.achieved_gbs > 0.6 * DDR4_PRESET.peak_gbs
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_scattered_narrow_requests_waste_bursts(self, mem):
+        # 8B requests 4 KB apart: each fetches a full 64B burst.
+        trace = [[(t * 4096, 8)] for t in range(4096)]
+        r = mem.service_trace(trace)
+        assert r.efficiency == pytest.approx(8 / 64)
+        assert r.achieved_gbs < 0.25 * DDR4_PRESET.peak_gbs
+
+    def test_coalescing_same_burst(self, mem):
+        # Two 8B requests in one burst fetch the burst once.
+        trace = [[(t * 64, 8), (t * 64 + 8, 8)] for t in range(1024)]
+        r = mem.service_trace(trace)
+        assert r.fetched_bytes == 1024 * 64
+
+    def test_more_data_takes_longer(self, mem):
+        short = mem.service_trace([[(t * 64, 64)] for t in range(256)])
+        long = mem.service_trace([[(t * 64, 64)] for t in range(1024)])
+        assert long.cycles > short.cycles
+
+    def test_invalid_request(self, mem):
+        with pytest.raises(ConfigError):
+            mem.service_trace([[(0, 0)]])
+
+    def test_result_repr(self, mem):
+        r = mem.service_trace([[(0, 64)]])
+        assert "TraceResult" in repr(r)
+
+
+class TestFormatBandwidthShape:
+    """The Fig. 3e result as a property: CISS beats extended CSR and scales
+    with PE count; extended CSR saturates low."""
+
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        return random_tensor(shape=(400, 40, 40), density=0.05, seed=17)
+
+    def test_ciss_beats_ext_csr_at_8_pes(self, mem, tensor):
+        ext = ExtendedCSRTensor.from_sparse(tensor)
+        r_ext = mem.service_trace(ext.pe_address_trace(8))
+        r_ciss = mem.service_trace(
+            CISSTensor.from_sparse(tensor, 8).pe_address_trace()
+        )
+        assert r_ciss.achieved_gbs > 3.0 * r_ext.achieved_gbs
+
+    def test_ciss_scales_with_lanes(self, mem, tensor):
+        bw = [
+            mem.service_trace(
+                CISSTensor.from_sparse(tensor, p).pe_address_trace()
+            ).achieved_gbs
+            for p in (2, 4, 8)
+        ]
+        assert bw[1] > 1.5 * bw[0]
+        assert bw[2] > 1.5 * bw[1]
+
+    def test_ext_csr_saturates(self, mem, tensor):
+        ext = ExtendedCSRTensor.from_sparse(tensor)
+        bw = [
+            mem.service_trace(ext.pe_address_trace(p)).achieved_gbs
+            for p in (2, 8, 16)
+        ]
+        # Within 30% of each other: more PEs do not help extended CSR.
+        assert max(bw) < 1.3 * min(bw)
+
+    def test_ciss_near_peak_at_16(self, mem, tensor):
+        r = mem.service_trace(
+            CISSTensor.from_sparse(tensor, 16).pe_address_trace()
+        )
+        # Paper: 11.2 of 16 GB/s (70%). Allow a band.
+        assert 0.5 * 16 < r.achieved_gbs <= 16

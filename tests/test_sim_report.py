@@ -1,0 +1,62 @@
+"""Unit tests for the SimReport record itself."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimReport
+
+
+def make_report(**overrides):
+    base = dict(
+        kernel="spmm",
+        cycles=2000,
+        ops=128_000,
+        tensor_bytes=48_000,
+        matrix_bytes=12_000,
+        output_bytes=4_000,
+        clock_ghz=2.0,
+    )
+    base.update(overrides)
+    return SimReport(**base)
+
+
+class TestDerivedQuantities:
+    def test_time(self):
+        rep = make_report()
+        assert rep.time_s == pytest.approx(2000 / 2.0e9)
+
+    def test_gops(self):
+        rep = make_report()
+        assert rep.gops == pytest.approx(128_000 / rep.time_s / 1e9)
+
+    def test_bandwidth(self):
+        rep = make_report()
+        assert rep.total_bytes == 64_000
+        assert rep.achieved_bw_gbs == pytest.approx(
+            64_000 / rep.time_s / 1e9
+        )
+
+    def test_op_intensity(self):
+        rep = make_report()
+        assert rep.op_intensity == pytest.approx(2.0)
+
+    def test_zero_cycles_degenerate(self):
+        rep = make_report(cycles=0)
+        assert rep.gops == 0.0
+        assert rep.achieved_bw_gbs == 0.0
+
+    def test_zero_bytes_infinite_intensity(self):
+        rep = make_report(tensor_bytes=0, matrix_bytes=0, output_bytes=0)
+        assert rep.op_intensity == float("inf")
+
+    def test_summary_fields(self):
+        text = make_report().summary()
+        assert "spmm" in text and "GOP/s" in text and "OI=" in text
+
+    def test_output_carried(self):
+        out = np.ones((2, 2))
+        rep = make_report(output=out)
+        assert rep.output is out
+
+    def test_detail_defaults_empty(self):
+        assert make_report().detail == {}

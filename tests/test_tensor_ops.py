@@ -1,0 +1,138 @@
+"""Tests for sparse tensor operations (repro.tensor.ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import SparseTensor, ops
+from repro.util.errors import ShapeError
+
+from tests.conftest import random_tensor
+
+
+@pytest.fixture
+def pair():
+    return random_tensor(seed=90), random_tensor(seed=91)
+
+
+class TestElementwise:
+    def test_add(self, pair):
+        a, b = pair
+        assert np.allclose(
+            ops.add(a, b).to_dense(), a.to_dense() + b.to_dense()
+        )
+
+    def test_subtract_self_is_empty(self, pair):
+        a, _b = pair
+        assert ops.subtract(a, a).nnz == 0
+
+    def test_subtract(self, pair):
+        a, b = pair
+        assert np.allclose(
+            ops.subtract(a, b).to_dense(), a.to_dense() - b.to_dense()
+        )
+
+    def test_hadamard(self, pair):
+        a, b = pair
+        assert np.allclose(
+            ops.hadamard(a, b).to_dense(), a.to_dense() * b.to_dense()
+        )
+
+    def test_hadamard_disjoint_supports(self):
+        a = SparseTensor.from_entries((2, 2), [((0, 0), 1.0)])
+        b = SparseTensor.from_entries((2, 2), [((1, 1), 1.0)])
+        assert ops.hadamard(a, b).nnz == 0
+
+    def test_shape_mismatch(self, pair):
+        a, _b = pair
+        other = SparseTensor.empty((2, 2, 2))
+        for fn in (ops.add, ops.subtract, ops.hadamard, ops.inner):
+            with pytest.raises(ShapeError):
+                fn(a, other)
+
+
+class TestInnerAndNorm:
+    def test_inner_matches_dense(self, pair):
+        a, b = pair
+        expected = float(np.sum(a.to_dense() * b.to_dense()))
+        assert ops.inner(a, b) == pytest.approx(expected)
+
+    def test_inner_with_self_is_norm_squared(self, pair):
+        a, _b = pair
+        assert ops.inner(a, a) == pytest.approx(a.norm() ** 2)
+
+    def test_residual_norm(self, pair, rng):
+        a, _b = pair
+        model = rng.standard_normal(a.shape)
+        expected = np.linalg.norm(a.to_dense() - model)
+        assert ops.residual_norm(a, model) == pytest.approx(expected)
+
+    def test_residual_norm_shape_check(self, pair, rng):
+        a, _b = pair
+        with pytest.raises(ShapeError):
+            ops.residual_norm(a, rng.random((2, 2)))
+
+
+class TestTTM:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_einsum(self, rng, mode):
+        t = random_tensor(seed=92)
+        m = rng.standard_normal((t.shape[mode], 5))
+        out = ops.ttm(t, m, mode)
+        sub = "ijk"
+        target = sub.replace(sub[mode], "r")
+        expected = np.einsum(f"ijk,{sub[mode]}r->{target}", t.to_dense(), m)
+        assert np.allclose(out, expected)
+
+    def test_empty_tensor(self, rng):
+        t = SparseTensor.empty((3, 4, 5))
+        out = ops.ttm(t, rng.random((4, 2)), 1)
+        assert out.shape == (3, 2, 5)
+        assert np.allclose(out, 0.0)
+
+    def test_validation(self, rng):
+        t = random_tensor(seed=93)
+        with pytest.raises(ShapeError):
+            ops.ttm(t, rng.random((99, 2)), 0)
+        with pytest.raises(ShapeError):
+            ops.ttm(t, rng.random(5), 0)
+
+    def test_chained_ttm_equals_ttmc(self, rng):
+        from repro.kernels import ttmc_sparse
+        t = random_tensor(seed=94)
+        b = rng.standard_normal((t.shape[1], 3))
+        c = rng.standard_normal((t.shape[2], 4))
+        chained = ops.ttm(SparseTensor.from_dense(ops.ttm(t, b, 1)), c, 2)
+        assert np.allclose(chained, ttmc_sparse(t, [b, c], 0).transpose(0, 1, 2))
+
+
+class TestStructure:
+    def test_mode_sum(self, pair):
+        a, _b = pair
+        for mode in range(3):
+            assert np.allclose(
+                ops.mode_sum(a, mode), a.to_dense().sum(axis=mode)
+            )
+
+    def test_extract_slice(self, pair):
+        a, _b = pair
+        for mode in range(3):
+            for index in (0, a.shape[mode] - 1):
+                sl = ops.extract_slice(a, mode, index)
+                expected = np.take(a.to_dense(), index, axis=mode)
+                assert np.allclose(sl.to_dense(), expected)
+
+    def test_extract_slice_bounds(self, pair):
+        a, _b = pair
+        with pytest.raises(ShapeError):
+            ops.extract_slice(a, 0, 999)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed_a=st.integers(0, 300), seed_b=st.integers(0, 300))
+def test_property_add_commutes_and_inner_symmetric(seed_a, seed_b):
+    a = random_tensor(shape=(6, 5, 4), density=0.3, seed=seed_a)
+    b = random_tensor(shape=(6, 5, 4), density=0.3, seed=seed_b)
+    assert ops.add(a, b) == ops.add(b, a)
+    assert ops.inner(a, b) == pytest.approx(ops.inner(b, a))

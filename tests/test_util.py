@@ -1,0 +1,87 @@
+"""Tests for repro.util: errors, rng, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConfigError,
+    FormatError,
+    KernelError,
+    ReproError,
+    ShapeError,
+    check_index,
+    check_mode,
+    check_positive,
+    check_shape_match,
+    derive_seed,
+    make_rng,
+)
+from repro.util.validation import check_sorted_unique
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ShapeError, FormatError, ConfigError, KernelError):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, ValueError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ShapeError("boom")
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().random(8)
+        b = make_rng().random(8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        assert np.array_equal(make_rng(7).random(4), make_rng(7).random(4))
+        assert not np.array_equal(make_rng(7).random(4), make_rng(8).random(4))
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        seeds = {
+            derive_seed(1, "a"),
+            derive_seed(1, "b"),
+            derive_seed(2, "a"),
+            derive_seed(1, "a", "b"),
+        }
+        assert len(seeds) == 4
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ConfigError):
+            check_positive("x", 0)
+        with pytest.raises(ConfigError):
+            check_positive("x", -2)
+
+    def test_check_index(self):
+        check_index("i", 0, 4)
+        check_index("i", 3, 4)
+        with pytest.raises(ShapeError):
+            check_index("i", 4, 4)
+        with pytest.raises(ShapeError):
+            check_index("i", -1, 4)
+
+    def test_check_mode(self):
+        check_mode(2, 3)
+        with pytest.raises(ShapeError):
+            check_mode(3, 3)
+
+    def test_check_shape_match(self):
+        check_shape_match("a", 5, "b", 5)
+        with pytest.raises(ShapeError):
+            check_shape_match("a", 5, "b", 6)
+
+    def test_check_sorted_unique(self):
+        check_sorted_unique("s", [1, 2, 5])
+        with pytest.raises(ShapeError):
+            check_sorted_unique("s", [1, 1, 2])
+        with pytest.raises(ShapeError):
+            check_sorted_unique("s", [3, 2])
