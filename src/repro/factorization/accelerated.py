@@ -15,7 +15,7 @@ accept 3-d tensors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,12 +29,26 @@ from repro.util.errors import KernelError
 TensorLike = Union[SparseTensor, np.ndarray]
 
 
+def _cache_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Hit/miss counters accumulated between two cache snapshots."""
+    return {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "entries": after["entries"],
+        "max_entries": after["max_entries"],
+    }
+
+
 @dataclass
 class AcceleratedRun:
     """A decomposition plus the accelerator activity that produced it."""
 
     decomposition: Union[CPDecomposition, TuckerDecomposition]
     reports: List[SimReport] = field(default_factory=list)
+    #: Encoding-cache counters of the accelerator that ran the kernels,
+    #: delta over this run (hits/misses/entries). Across an N-iteration
+    #: ALS sweep all but the first visit of each (operand, mode) should hit.
+    cache_info: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accelerator_seconds(self) -> float:
@@ -64,6 +78,7 @@ def accelerated_cp_als(
         raise KernelError("the accelerator factorizes 3-d tensors")
     acc = accelerator or Tensaurus()
     reports: List[SimReport] = []
+    before = acc.cache_info()
 
     def mttkrp_on_accelerator(t, factors: Sequence[np.ndarray], mode: int):
         rest = [f for m, f in enumerate(factors) if m != mode]
@@ -79,7 +94,11 @@ def accelerated_cp_als(
         seed=seed,
         mttkrp_fn=mttkrp_on_accelerator,
     )
-    return AcceleratedRun(decomposition=decomposition, reports=reports)
+    return AcceleratedRun(
+        decomposition=decomposition,
+        reports=reports,
+        cache_info=_cache_delta(before, acc.cache_info()),
+    )
 
 
 def accelerated_tucker_hooi(
@@ -95,6 +114,7 @@ def accelerated_tucker_hooi(
         raise KernelError("the accelerator factorizes 3-d tensors")
     acc = accelerator or Tensaurus()
     reports: List[SimReport] = []
+    before = acc.cache_info()
 
     def ttmc_on_accelerator(t, factors: Sequence[np.ndarray], mode: int):
         rest = [f for m, f in enumerate(factors) if m != mode]
@@ -109,4 +129,8 @@ def accelerated_tucker_hooi(
         tol=tol,
         ttmc_fn=ttmc_on_accelerator,
     )
-    return AcceleratedRun(decomposition=decomposition, reports=reports)
+    return AcceleratedRun(
+        decomposition=decomposition,
+        reports=reports,
+        cache_info=_cache_delta(before, acc.cache_info()),
+    )

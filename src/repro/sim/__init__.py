@@ -17,6 +17,14 @@ Two execution engines share one timing model:
 """
 
 from repro.sim.config import TensaurusConfig, HBM_PRESET, DDR4_PRESET, MemoryConfig
+from repro.sim.batch import (
+    BatchTileStats,
+    EncodingCache,
+    MatrixTilePartition,
+    TensorTilePartition,
+    analyze_tile_stream,
+    fingerprint_arrays,
+)
 from repro.sim.report import SimReport
 from repro.sim.memory import StreamMemory
 from repro.sim.accelerator import Tensaurus
@@ -39,6 +47,12 @@ from repro.sim.driver import (
 __all__ = [
     "TensaurusConfig",
     "MemoryConfig",
+    "BatchTileStats",
+    "EncodingCache",
+    "MatrixTilePartition",
+    "TensorTilePartition",
+    "analyze_tile_stream",
+    "fingerprint_arrays",
     "HBM_PRESET",
     "DDR4_PRESET",
     "SimReport",

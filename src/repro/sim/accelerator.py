@@ -7,14 +7,25 @@ with cycles, operation counts and per-stream byte traffic.
 Execution model
 ---------------
 The operands are tiled per :mod:`repro.sim.tiling`. Each sparse tile is
-CISS-encoded with the real encoder (so load balance, headers and padding are
-the actual format's), then analyzed by :mod:`repro.sim.lanes` for per-lane
-cycles, SPM bank conflicts and op counts. Per tile, compute and the three
-memory streams (TLU tensor stream, MLU matrix tiles, MSU output) overlap
-through the double buffers, so a tile costs ``max(compute, memory)`` plus a
-fixed swap/fill overhead; tiles execute back to back. Rank ranges wider
-than one PE-array pass multiply the whole schedule (the tensor is
-re-streamed per pass, Section 5.2.4).
+CISS-encoded (so load balance, headers and padding are the actual
+format's), then analyzed for per-lane cycles, SPM bank conflicts and op
+counts. Per tile, compute and the three memory streams (TLU tensor stream,
+MLU matrix tiles, MSU output) overlap through the double buffers, so a tile
+costs ``max(compute, memory)`` plus a fixed swap/fill overhead; tiles
+execute back to back. Rank ranges wider than one PE-array pass multiply the
+whole schedule (the tensor is re-streamed per pass, Section 5.2.4).
+
+Two sparse tile engines produce bit-identical timing:
+
+- the **batched** pipeline (default, ``config.batch_tiles``) analyzes the
+  whole tile-sorted record stream at once via
+  :func:`repro.sim.batch.analyze_tile_stream` segment reductions, and
+  memoizes tile partitions and lane statistics in the per-instance
+  :class:`~repro.sim.batch.EncodingCache`;
+- the **per-tile** path materializes one sparse slice per tile, encodes it
+  with the real :class:`~repro.formats.ciss.CISSTensor` encoder and runs
+  :func:`repro.sim.lanes.analyze_lanes` — the debugging reference the
+  batched path is validated against.
 
 Dense kernels use the same cost model in closed form: a dense tile's record
 stream is perfectly uniform, so its lane statistics are exact without
@@ -26,7 +37,8 @@ values with no index overhead.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,15 +51,39 @@ from repro.kernels.matmul import spmm as spmm_ref
 from repro.kernels.matmul import spmv as spmv_ref
 from repro.kernels.mttkrp import mttkrp_dense_factored, mttkrp_sparse_factored
 from repro.kernels.ttmc import ttmc_dense_factored, ttmc_sparse_factored
+from repro.sim.batch import (
+    EncodingCache,
+    MatrixTilePartition,
+    TensorTilePartition,
+    analyze_tile_stream,
+    fingerprint_arrays,
+)
 from repro.sim.config import TensaurusConfig
-from repro.sim.costs import kernel_costs
-from repro.sim.lanes import LaneStats, analyze_lanes
+from repro.sim.costs import KernelCosts, kernel_costs
+from repro.sim.lanes import analyze_lanes
 from repro.sim.report import SimReport
-from repro.sim.tiling import TilingPlan, make_plan, tile_count
+from repro.sim.tiling import TilingPlan, make_plan
 from repro.tensor import SparseTensor
 from repro.util.errors import KernelError
 
 MatrixLike = Union[CSRMatrix, COOMatrix, np.ndarray]
+
+TilePartition = Union[TensorTilePartition, MatrixTilePartition]
+
+
+@dataclass
+class _TileTotals:
+    """Accumulated per-pass tile costs of one sparse kernel execution."""
+
+    cycles: int
+    ops: int
+    tensor_bytes: int
+    matrix_bytes: int
+    output_bytes: int
+    entries: int
+    fibers: int
+    headers: int
+    conflicts: int
 
 
 class Tensaurus:
@@ -55,6 +91,21 @@ class Tensaurus:
 
     def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
         self.config = config or TensaurusConfig()
+        self._cache = EncodingCache(self.config.encoding_cache_entries)
+
+    # ------------------------------------------------------------------
+    # Encoding-cache access
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> EncodingCache:
+        """The per-instance tile-partition / lane-statistics memo."""
+        return self._cache
+
+    def cache_info(self) -> Dict[str, int]:
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     # Public kernel entry points
@@ -185,6 +236,114 @@ class Tensaurus:
         return best_mode
 
     # ------------------------------------------------------------------
+    # Shared sparse mechanics: partitions, fingerprints, cached stats
+    # ------------------------------------------------------------------
+    def _permuted_coords(
+        self, tensor: SparseTensor, mode: int, rest: Sequence[int],
+        fp: Optional[bytes],
+    ) -> np.ndarray:
+        """Canonical coordinates of the mode-permuted tensor (values-free).
+
+        The batched engine never materializes per-tile values, so for
+        non-leading modes only the reordered coordinate array is needed;
+        it is cached per (operand, mode) so CP-ALS's three MTTKRP modes
+        each permute once across all iterations.
+        """
+
+        def build() -> np.ndarray:
+            pc = tensor.coords[:, [mode] + list(rest)]
+            order = np.lexsort((pc[:, 2], pc[:, 1], pc[:, 0]))
+            out = np.ascontiguousarray(pc[order])
+            out.setflags(write=False)
+            return out
+
+        if fp is None:
+            return build()
+        return self._cache.get(("perm-coords", fp, mode), build)
+
+    def _partition_getter(
+        self,
+        namespace: str,
+        fp: Optional[bytes],
+        mode: int,
+        dims: tuple,
+        build_partition: Callable[[TilingPlan], TilePartition],
+    ) -> Callable[[TilingPlan], TilePartition]:
+        """A memoized plan->partition lookup shared by the MSU-mode
+        estimates and the subsequent run, so tile ids and the tile-major
+        lexsort are computed once per tile geometry per operand."""
+        local: Dict[tuple, TilePartition] = {}
+
+        def get(plan: TilingPlan) -> TilePartition:
+            geo = (plan.i_tile, plan.j_tile, plan.k_tile)
+            part = local.get(geo)
+            if part is None:
+                if fp is None:
+                    part = build_partition(plan)
+                else:
+                    part = self._cache.get(
+                        (namespace, fp, mode, dims, geo),
+                        lambda: build_partition(plan),
+                    )
+                local[geo] = part
+            return part
+
+        return get
+
+    def _batched_tile_stats(
+        self,
+        part: TilePartition,
+        costs: KernelCosts,
+        fp: Optional[bytes],
+        mode: int,
+    ):
+        """Segmented per-tile lane statistics, memoized per cost table."""
+        cfg = self.config
+
+        def build():
+            slice_col, a_col, k_col = part.stream_columns()
+            return analyze_tile_stream(
+                slice_col, a_col, k_col, part.bounds, costs,
+                cfg.rows, cfg.spm_banks,
+            )
+
+        if fp is None:
+            return build()
+        key = (
+            "tile-stats", fp, mode, part.dims,
+            (part.i_tile, part.j_tile, getattr(part, "k_tile", None)),
+            cfg.rows, cfg.spm_banks, costs,
+        )
+        return self._cache.get(key, build)
+
+    def _combine_tile_costs(
+        self,
+        stats,
+        compute_cycles: np.ndarray,
+        t_bytes: np.ndarray,
+        m_bytes: np.ndarray,
+        o_bytes: np.ndarray,
+    ) -> _TileTotals:
+        """Fold per-tile arrays into the schedule totals (batched path)."""
+        mem_cycles = np.ceil(
+            (t_bytes + m_bytes + o_bytes) / self._bpc
+        ).astype(np.int64)
+        num_tiles = int(t_bytes.shape[0])
+        cycles = int(np.maximum(compute_cycles, mem_cycles).sum())
+        cycles += num_tiles * self._tile_overhead
+        return _TileTotals(
+            cycles=cycles,
+            ops=int(stats.ops.sum()),
+            tensor_bytes=int(t_bytes.sum()),
+            matrix_bytes=int(m_bytes.sum()),
+            output_bytes=int(o_bytes.sum()),
+            entries=int(stats.num_entries.sum()),
+            fibers=int(stats.num_fibers.sum()),
+            headers=int(stats.num_headers.sum()),
+            conflicts=int(stats.conflict_stalls.sum()),
+        )
+
+    # ------------------------------------------------------------------
     # Sparse 3-d tensor kernels (SpMTTKRP / SpTTMc)
     # ------------------------------------------------------------------
     def _run_sparse_tensor(
@@ -203,13 +362,35 @@ class Tensaurus:
             raise KernelError("the accelerator's tensor kernels are 3-d")
         cfg = self.config
         rest = [m for m in range(3) if m != mode]
-        perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
-        dims = perm.shape
-        coords, vals = perm.coords, perm.values
+        dims = (tensor.shape[mode],) + tuple(tensor.shape[m] for m in rest)
+        use_batch = cfg.batch_tiles
+        fp = fingerprint_arrays(tensor.coords) if self._cache.enabled else None
+
+        perm_vals: Optional[np.ndarray] = None
+        if mode == 0:
+            coords = tensor.coords
+            perm_vals = tensor.values
+        elif use_batch:
+            coords = self._permuted_coords(tensor, mode, rest, fp)
+        else:
+            perm = tensor.permute_modes([mode] + rest)
+            coords = perm.coords
+            perm_vals = perm.values
+        nnz = int(coords.shape[0])
+        nonempty_slices = int(np.unique(coords[:, 0]).shape[0])
         base = "mttkrp" if kernel == "spmttkrp" else "ttmc"
 
+        get_partition = self._partition_getter(
+            "tensor-partition", fp, mode, dims,
+            lambda plan: TensorTilePartition(
+                coords, dims, plan.i_tile, plan.j_tile, plan.k_tile
+            ),
+        )
+
         def estimate(plan: TilingPlan) -> float:
-            return self._estimate_tensor_traffic(plan, coords, dims)
+            return self._estimate_tensor_traffic(
+                plan, get_partition(plan), nnz, nonempty_slices
+            )
 
         resolved = self._resolve_msu_mode(base, dims, msu_mode, rank, rank2, estimate)
         plan = make_plan(base, cfg, dims, resolved, rank, rank2)
@@ -217,31 +398,107 @@ class Tensaurus:
         entry_bytes = cfg.ciss_entry_bytes(index_fields=2)
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
+        part = get_partition(plan)
 
-        nj = tile_count(dims[1], plan.j_tile)
-        nk = tile_count(dims[2], plan.k_tile)
-        ib = coords[:, 0] // plan.i_tile
-        jb = coords[:, 1] // plan.j_tile
-        kb = coords[:, 2] // plan.k_tile
-        tid = (ib * nj + jb) * nk + kb
-        order = np.lexsort((coords[:, 2], coords[:, 1], coords[:, 0], tid))
-        coords_s = coords[order]
-        vals_s = vals[order]
-        tid_s = tid[order]
-        uniq, first = np.unique(tid_s, return_index=True)
-        bounds = np.append(first, perm.nnz)
+        if use_batch:
+            totals = self._tensor_totals_batched(
+                kernel, plan, costs, part, fp, mode, entry_bytes, out_elems
+            )
+        else:
+            totals = self._tensor_totals_per_tile(
+                kernel, plan, costs, part, perm_vals, entry_bytes, out_elems
+            )
 
-        cycles = 0
-        ops = 0
-        tensor_bytes = 0
-        matrix_bytes = 0
-        output_bytes = 0
-        total_entries = 0
-        total_fibers = 0
-        total_headers = 0
-        total_conflicts = 0
-        nonempty_slices = int(np.unique(coords[:, 0]).shape[0])
+        cycles = totals.cycles
+        output_bytes = totals.output_bytes
+        if plan.msu_mode == "buffered":
+            write_bytes = nonempty_slices * out_elems * dw
+            output_bytes += write_bytes
+            cycles += math.ceil(write_bytes / self._bpc)
 
+        output = None
+        if compute_output:
+            factors = [mat_b, mat_c]
+            if kernel == "spmttkrp":
+                output = mttkrp_sparse_factored(tensor, factors, mode)
+            else:
+                output = ttmc_sparse_factored(tensor, factors, mode)
+        return SimReport(
+            kernel=kernel,
+            cycles=int(cycles * plan.passes),
+            ops=int(totals.ops * plan.passes),
+            tensor_bytes=int(totals.tensor_bytes * plan.passes),
+            matrix_bytes=int(totals.matrix_bytes * plan.passes),
+            output_bytes=int(output_bytes * plan.passes),
+            clock_ghz=cfg.clock_ghz,
+            output=output,
+            detail={
+                "msu_mode": plan.msu_mode,
+                "passes": plan.passes,
+                "entries": totals.entries,
+                "fibers": totals.fibers,
+                "headers": totals.headers,
+                "conflict_stalls": totals.conflicts,
+                "nnz": nnz,
+            },
+        )
+
+    def _tensor_tile_extents(
+        self, plan: TilingPlan, part: TensorTilePartition
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resident j/k extents of each nonempty tile (edge tiles clip)."""
+        dims = part.dims
+        g_jb = (part.uniq // part.nk) % part.nj
+        g_kb = part.uniq % part.nk
+        jx = np.minimum(plan.j_tile, dims[1] - g_jb * plan.j_tile)
+        kx = np.minimum(plan.k_tile, dims[2] - g_kb * plan.k_tile)
+        return jx, kx
+
+    def _tensor_totals_batched(
+        self,
+        kernel: str,
+        plan: TilingPlan,
+        costs: KernelCosts,
+        part: TensorTilePartition,
+        fp: Optional[bytes],
+        mode: int,
+        entry_bytes: int,
+        out_elems: int,
+    ) -> _TileTotals:
+        dw = self.config.data_width
+        stats = self._batched_tile_stats(part, costs, fp, mode)
+        jx, kx = self._tensor_tile_extents(plan, part)
+        t_bytes = stats.num_entries * entry_bytes
+        if kernel == "spttmc":
+            m_bytes = (jx * plan.f1_tile + kx * plan.fiber_elems) * dw
+        else:
+            m_bytes = (jx + kx) * plan.fiber_elems * dw
+        if plan.msu_mode == "direct":
+            o_bytes = stats.num_headers * out_elems * dw * 2
+        else:
+            o_bytes = np.zeros_like(t_bytes)
+        return self._combine_tile_costs(
+            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes
+        )
+
+    def _tensor_totals_per_tile(
+        self,
+        kernel: str,
+        plan: TilingPlan,
+        costs: KernelCosts,
+        part: TensorTilePartition,
+        perm_vals: np.ndarray,
+        entry_bytes: int,
+        out_elems: int,
+    ) -> _TileTotals:
+        """Reference engine: encode and analyze every tile separately."""
+        cfg = self.config
+        dw = cfg.data_width
+        dims = part.dims
+        coords_s = part.coords_s
+        vals_s = perm_vals[part.order]
+        uniq, bounds = part.uniq, part.bounds
+        totals = _TileTotals(0, 0, 0, 0, 0, 0, 0, 0, 0)
         for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
             sub = SparseTensor(
                 dims, coords_s[lo:hi], vals_s[lo:hi], canonical=True
@@ -251,8 +508,8 @@ class Tensaurus:
                 ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
             )
             g_tid = int(uniq[g])
-            g_jb = (g_tid // nk) % nj
-            g_kb = g_tid % nk
+            g_jb = (g_tid // part.nk) % part.nj
+            g_kb = g_tid % part.nk
             jx = min(plan.j_tile, dims[1] - g_jb * plan.j_tile)
             kx = min(plan.k_tile, dims[2] - g_kb * plan.k_tile)
             t_bytes = ciss.num_entries * entry_bytes
@@ -264,81 +521,41 @@ class Tensaurus:
             if plan.msu_mode == "direct":
                 o_bytes = stats.num_headers * out_elems * dw * 2
             mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-            cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
-            ops += stats.ops
-            tensor_bytes += t_bytes
-            matrix_bytes += m_bytes
-            output_bytes += o_bytes
-            total_entries += stats.num_entries
-            total_fibers += stats.num_fibers
-            total_headers += stats.num_headers
-            total_conflicts += stats.conflict_stalls
-
-        if plan.msu_mode == "buffered":
-            write_bytes = nonempty_slices * out_elems * dw
-            output_bytes += write_bytes
-            cycles += math.ceil(write_bytes / self._bpc)
-
-        cycles *= plan.passes
-        ops *= plan.passes
-        tensor_bytes *= plan.passes
-        matrix_bytes *= plan.passes
-        output_bytes *= plan.passes
-
-        output = None
-        if compute_output:
-            factors = [mat_b, mat_c]
-            if kernel == "spmttkrp":
-                output = mttkrp_sparse_factored(tensor, factors, mode)
-            else:
-                output = ttmc_sparse_factored(tensor, factors, mode)
-        return SimReport(
-            kernel=kernel,
-            cycles=int(cycles),
-            ops=int(ops),
-            tensor_bytes=int(tensor_bytes),
-            matrix_bytes=int(matrix_bytes),
-            output_bytes=int(output_bytes),
-            clock_ghz=cfg.clock_ghz,
-            output=output,
-            detail={
-                "msu_mode": plan.msu_mode,
-                "passes": plan.passes,
-                "entries": total_entries,
-                "fibers": total_fibers,
-                "headers": total_headers,
-                "conflict_stalls": total_conflicts,
-                "nnz": perm.nnz,
-            },
-        )
+            totals.cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
+            totals.ops += stats.ops
+            totals.tensor_bytes += t_bytes
+            totals.matrix_bytes += m_bytes
+            totals.output_bytes += o_bytes
+            totals.entries += stats.num_entries
+            totals.fibers += stats.num_fibers
+            totals.headers += stats.num_headers
+            totals.conflicts += stats.conflict_stalls
+        return totals
 
     def _estimate_tensor_traffic(
-        self, plan: TilingPlan, coords: np.ndarray, dims: tuple
+        self,
+        plan: TilingPlan,
+        part: TensorTilePartition,
+        nnz: int,
+        nonempty_slices: int,
     ) -> float:
         """Cheap traffic estimate for MSU-mode selection (no encoding)."""
         cfg = self.config
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
-        nj = tile_count(dims[1], plan.j_tile)
-        nk = tile_count(dims[2], plan.k_tile)
-        ib = coords[:, 0] // plan.i_tile
-        jb = coords[:, 1] // plan.j_tile
-        kb = coords[:, 2] // plan.k_tile
-        tid = (ib * nj + jb) * nk + kb
-        groups = np.unique(tid)
+        groups = part.num_tiles
         # Matrix traffic: each nonempty group loads its j and k tiles.
         if plan.kernel == "ttmc":
             per_group = (plan.j_tile * plan.f1_tile + plan.k_tile * plan.fiber_elems)
         else:
             per_group = (plan.j_tile + plan.k_tile) * plan.fiber_elems
-        matrix = groups.shape[0] * per_group * dw
+        matrix = groups * per_group * dw
         entry_bytes = cfg.ciss_entry_bytes(2)
-        tensor = (coords.shape[0] / cfg.rows + groups.shape[0]) * entry_bytes
+        tensor = (nnz / cfg.rows + groups) * entry_bytes
         if plan.msu_mode == "direct":
-            slice_visits = np.unique(tid * (dims[0] + 1) + coords[:, 0]).shape[0]
-            output = slice_visits * out_elems * dw * 2
+            output = part.slice_visits * out_elems * dw * 2
         else:
-            output = np.unique(coords[:, 0]).shape[0] * out_elems * dw
+            output = nonempty_slices * out_elems * dw
         return float((matrix + tensor + output) * plan.passes)
 
     # ------------------------------------------------------------------
@@ -355,9 +572,25 @@ class Tensaurus:
         cfg = self.config
         dims = coo.shape
         ncols = dense_operand.shape[1] if kernel == "spmm" else 1
+        use_batch = cfg.batch_tiles
+        fp = (
+            fingerprint_arrays(coo.rows, coo.cols)
+            if self._cache.enabled
+            else None
+        )
+        nonempty_rows = int(np.unique(coo.rows).shape[0])
+
+        get_partition = self._partition_getter(
+            "matrix-partition", fp, 0, dims,
+            lambda plan: MatrixTilePartition(
+                coo.rows, coo.cols, dims, plan.i_tile, plan.j_tile
+            ),
+        )
 
         def estimate(plan: TilingPlan) -> float:
-            return self._estimate_matrix_traffic(plan, coo, dims)
+            return self._estimate_matrix_traffic(
+                plan, get_partition(plan), coo.nnz, nonempty_rows
+            )
 
         resolved = self._resolve_msu_mode(kernel, dims, msu_mode, ncols, 0, estimate)
         plan = make_plan(kernel, cfg, dims, resolved, ncols)
@@ -365,61 +598,23 @@ class Tensaurus:
         entry_bytes = cfg.ciss_entry_bytes(index_fields=1)
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
+        part = get_partition(plan)
 
-        nj = tile_count(dims[1], plan.j_tile)
-        ib = coo.rows // plan.i_tile
-        jb = coo.cols // plan.j_tile
-        tid = ib * nj + jb
-        order = np.lexsort((coo.cols, coo.rows, tid))
-        rows_s = coo.rows[order]
-        cols_s = coo.cols[order]
-        vals_s = vals_sorted = coo.vals[order]
-        uniq, first = np.unique(tid[order], return_index=True)
-        bounds = np.append(first, coo.nnz)
-
-        cycles = 0
-        ops = 0
-        tensor_bytes = 0
-        matrix_bytes = 0
-        output_bytes = 0
-        total_entries = 0
-        total_headers = 0
-        total_conflicts = 0
-        nonempty_rows = int(np.unique(coo.rows).shape[0])
-
-        for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
-            sub = COOMatrix(dims, rows_s[lo:hi], cols_s[lo:hi], vals_s[lo:hi])
-            ciss = CISSMatrix.from_coo(sub, cfg.rows)
-            stats = analyze_lanes(
-                ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
+        if use_batch:
+            totals = self._matrix_totals_batched(
+                plan, costs, part, fp, entry_bytes, out_elems
             )
-            g_jb = int(uniq[g]) % nj
-            jx = min(plan.j_tile, dims[1] - g_jb * plan.j_tile)
-            t_bytes = ciss.num_entries * entry_bytes
-            m_bytes = jx * plan.fiber_elems * dw
-            o_bytes = 0
-            if plan.msu_mode == "direct":
-                o_bytes = stats.num_headers * out_elems * dw * 2
-            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-            cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
-            ops += stats.ops
-            tensor_bytes += t_bytes
-            matrix_bytes += m_bytes
-            output_bytes += o_bytes
-            total_entries += stats.num_entries
-            total_headers += stats.num_headers
-            total_conflicts += stats.conflict_stalls
+        else:
+            totals = self._matrix_totals_per_tile(
+                plan, costs, part, coo.vals, entry_bytes, out_elems
+            )
 
+        cycles = totals.cycles
+        output_bytes = totals.output_bytes
         if plan.msu_mode == "buffered":
             write_bytes = nonempty_rows * out_elems * dw
             output_bytes += write_bytes
             cycles += math.ceil(write_bytes / self._bpc)
-
-        cycles *= plan.passes
-        ops *= plan.passes
-        tensor_bytes *= plan.passes
-        matrix_bytes *= plan.passes
-        output_bytes *= plan.passes
 
         output = None
         if compute_output:
@@ -430,39 +625,104 @@ class Tensaurus:
                 output = spmv_ref(csr, dense_operand)
         return SimReport(
             kernel=kernel,
-            cycles=int(cycles),
-            ops=int(ops),
-            tensor_bytes=int(tensor_bytes),
-            matrix_bytes=int(matrix_bytes),
-            output_bytes=int(output_bytes),
+            cycles=int(cycles * plan.passes),
+            ops=int(totals.ops * plan.passes),
+            tensor_bytes=int(totals.tensor_bytes * plan.passes),
+            matrix_bytes=int(totals.matrix_bytes * plan.passes),
+            output_bytes=int(output_bytes * plan.passes),
             clock_ghz=cfg.clock_ghz,
             output=output,
             detail={
                 "msu_mode": plan.msu_mode,
                 "passes": plan.passes,
-                "entries": total_entries,
-                "headers": total_headers,
-                "conflict_stalls": total_conflicts,
+                "entries": totals.entries,
+                "headers": totals.headers,
+                "conflict_stalls": totals.conflicts,
                 "nnz": coo.nnz,
             },
         )
 
+    def _matrix_totals_batched(
+        self,
+        plan: TilingPlan,
+        costs: KernelCosts,
+        part: MatrixTilePartition,
+        fp: Optional[bytes],
+        entry_bytes: int,
+        out_elems: int,
+    ) -> _TileTotals:
+        dw = self.config.data_width
+        stats = self._batched_tile_stats(part, costs, fp, 0)
+        g_jb = part.uniq % part.nj
+        jx = np.minimum(plan.j_tile, part.dims[1] - g_jb * plan.j_tile)
+        t_bytes = stats.num_entries * entry_bytes
+        m_bytes = jx * plan.fiber_elems * dw
+        if plan.msu_mode == "direct":
+            o_bytes = stats.num_headers * out_elems * dw * 2
+        else:
+            o_bytes = np.zeros_like(t_bytes)
+        return self._combine_tile_costs(
+            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes
+        )
+
+    def _matrix_totals_per_tile(
+        self,
+        plan: TilingPlan,
+        costs: KernelCosts,
+        part: MatrixTilePartition,
+        vals: np.ndarray,
+        entry_bytes: int,
+        out_elems: int,
+    ) -> _TileTotals:
+        """Reference engine: encode and analyze every tile separately."""
+        cfg = self.config
+        dw = cfg.data_width
+        dims = part.dims
+        rows_s, cols_s = part.rows_s, part.cols_s
+        vals_s = vals[part.order]
+        uniq, bounds = part.uniq, part.bounds
+        totals = _TileTotals(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            sub = COOMatrix(dims, rows_s[lo:hi], cols_s[lo:hi], vals_s[lo:hi])
+            ciss = CISSMatrix.from_coo(sub, cfg.rows)
+            stats = analyze_lanes(
+                ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
+            )
+            g_jb = int(uniq[g]) % part.nj
+            jx = min(plan.j_tile, dims[1] - g_jb * plan.j_tile)
+            t_bytes = ciss.num_entries * entry_bytes
+            m_bytes = jx * plan.fiber_elems * dw
+            o_bytes = 0
+            if plan.msu_mode == "direct":
+                o_bytes = stats.num_headers * out_elems * dw * 2
+            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
+            totals.cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
+            totals.ops += stats.ops
+            totals.tensor_bytes += t_bytes
+            totals.matrix_bytes += m_bytes
+            totals.output_bytes += o_bytes
+            totals.entries += stats.num_entries
+            totals.headers += stats.num_headers
+            totals.conflicts += stats.conflict_stalls
+        return totals
+
     def _estimate_matrix_traffic(
-        self, plan: TilingPlan, coo: COOMatrix, dims: tuple
+        self,
+        plan: TilingPlan,
+        part: MatrixTilePartition,
+        nnz: int,
+        nonempty_rows: int,
     ) -> float:
         cfg = self.config
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
-        nj = tile_count(dims[1], plan.j_tile)
-        tid = (coo.rows // plan.i_tile) * nj + (coo.cols // plan.j_tile)
-        groups = np.unique(tid)
-        matrix = groups.shape[0] * plan.j_tile * plan.fiber_elems * dw
-        tensor = (coo.nnz / cfg.rows + groups.shape[0]) * cfg.ciss_entry_bytes(1)
+        groups = part.num_tiles
+        matrix = groups * plan.j_tile * plan.fiber_elems * dw
+        tensor = (nnz / cfg.rows + groups) * cfg.ciss_entry_bytes(1)
         if plan.msu_mode == "direct":
-            visits = np.unique(tid * (dims[0] + 1) + coo.rows).shape[0]
-            output = visits * out_elems * dw * 2
+            output = part.slice_visits * out_elems * dw * 2
         else:
-            output = np.unique(coo.rows).shape[0] * out_elems * dw
+            output = nonempty_rows * out_elems * dw
         return float((matrix + tensor + output) * plan.passes)
 
     # ------------------------------------------------------------------

@@ -92,6 +92,13 @@ class TensaurusConfig:
     #: cycles a PE spends per lane record: one SPM access + one SIMD MAC
     #: ("each PE spends every other clock cycle to access the scratchpads").
     cycles_per_record: int = 2
+    #: use the batched tile pipeline (segmented lane analysis over the whole
+    #: operand). False falls back to the per-tile CISS-encode-and-analyze
+    #: reference engine — bit-identical timing, for debugging.
+    batch_tiles: bool = True
+    #: LRU capacity of the per-accelerator encoding cache (tile partitions,
+    #: permuted coordinates, batched lane statistics). 0 disables caching.
+    encoding_cache_entries: int = 64
 
     def __post_init__(self) -> None:
         for attr in ("rows", "cols", "vlen", "spm_kb", "spm_first_col_kb",
@@ -101,6 +108,8 @@ class TensaurusConfig:
                 raise ConfigError(f"{attr} must be positive")
         if self.clock_ghz <= 0:
             raise ConfigError("clock_ghz must be positive")
+        if self.encoding_cache_entries < 0:
+            raise ConfigError("encoding_cache_entries must be >= 0")
 
     # ------------------------------------------------------------------
     # Derived quantities used throughout the simulator and the rooflines

@@ -47,6 +47,32 @@ class LaneStats:
         return float(self.lane_cycles.max()) / mean
 
 
+def lane_cycle_model(costs: KernelCosts, nnz, headers, fibers, slice_ends):
+    """Per-lane cycle formula: record issue + header decode + fiber folds
+    (for kernels with a second operand) + slice drains.
+
+    Shared, elementwise over scalars or arrays, by :func:`analyze_lanes`
+    and the segmented batch analyzer (:mod:`repro.sim.batch`), so the two
+    engines cannot drift apart on the cost arithmetic.
+    """
+    cycles = (
+        costs.nnz_cycles * nnz
+        + costs.header_cycles * headers
+        + costs.drain_cycles * slice_ends
+    )
+    if costs.uses_fibers:
+        cycles = cycles + costs.fold_cycles * fibers
+    return cycles
+
+
+def op_count_model(costs: KernelCosts, nnz, fibers):
+    """Scalar-operation count: MACs per nonzero plus per-fiber fold ops."""
+    ops = costs.ops_per_nnz * nnz
+    if costs.uses_fibers:
+        ops = ops + costs.ops_per_fold * fibers
+    return ops
+
+
 def analyze_lanes(
     kinds: np.ndarray,
     a_idx: np.ndarray,
@@ -85,11 +111,8 @@ def analyze_lanes(
     header_per_lane = is_header.sum(axis=0)
     fiber_per_lane = fiber_end.sum(axis=0)
     slice_per_lane = slice_end.sum(axis=0)
-    lane_cycles = (
-        costs.nnz_cycles * nnz_per_lane
-        + costs.header_cycles * header_per_lane
-        + costs.fold_cycles * fiber_per_lane * (1 if costs.uses_fibers else 0)
-        + costs.drain_cycles * slice_per_lane
+    lane_cycles = lane_cycle_model(
+        costs, nnz_per_lane, header_per_lane, fiber_per_lane, slice_per_lane
     ).astype(np.int64)
     # SPM bank conflicts: simultaneous nonzero records in one entry whose
     # bank indices collide serialize through the crossbar. Dense kernels
@@ -106,9 +129,7 @@ def analyze_lanes(
         worst = occupancy.max(axis=1)
         conflict_stalls = int(np.clip(worst - 1, 0, None).sum())
     num_fibers = int(fiber_per_lane.sum()) if costs.uses_fibers else 0
-    ops = costs.ops_per_nnz * int(nnz_per_lane.sum())
-    if costs.uses_fibers:
-        ops += costs.ops_per_fold * num_fibers
+    ops = int(op_count_model(costs, int(nnz_per_lane.sum()), num_fibers))
     return LaneStats(
         lane_cycles=lane_cycles,
         conflict_stalls=conflict_stalls,

@@ -10,8 +10,11 @@ and it returns one record per design point.
 from __future__ import annotations
 
 import itertools
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.sim.accelerator import Tensaurus
@@ -38,16 +41,31 @@ class DesignPoint:
         return self.report.gops / max(self.config.mac_units, 1)
 
 
+def _evaluate_point(
+    item: Tuple[TensaurusConfig, Callable[[Tensaurus], SimReport]]
+) -> SimReport:
+    """Worker body: run one design point (module-level, so it pickles)."""
+    config, runner = item
+    return runner(Tensaurus(config))
+
+
 def sweep_configs(
     base: TensaurusConfig,
     grid: Dict[str, Sequence],
     runner: Callable[[Tensaurus], SimReport],
+    workers: Optional[int] = None,
 ) -> List[DesignPoint]:
     """Evaluate ``runner`` at every point of the parameter grid.
 
     ``grid`` maps :class:`TensaurusConfig` field names to value lists; the
     sweep takes their Cartesian product. ``runner`` receives a fresh
     :class:`Tensaurus` per point and returns its :class:`SimReport`.
+
+    ``workers`` > 1 fans the points out over a process pool. Results come
+    back in grid order regardless of completion order, so parallel and
+    serial sweeps return identical lists. The runner (and everything it
+    closes over) must pickle; if it does not, the sweep warns and falls
+    back to serial evaluation rather than failing mid-grid.
     """
     if not grid:
         raise ConfigError("empty parameter grid")
@@ -55,13 +73,40 @@ def sweep_configs(
         if not hasattr(base, name):
             raise ConfigError(f"unknown config field {name!r}")
     names = sorted(grid)
-    points: List[DesignPoint] = []
+    combos: List[Tuple[Dict[str, object], TensaurusConfig]] = []
     for combo in itertools.product(*(grid[n] for n in names)):
         params = dict(zip(names, combo))
-        config = base.scaled(**params)
-        report = runner(Tensaurus(config))
-        points.append(DesignPoint(params=params, config=config, report=report))
-    return points
+        combos.append((params, base.scaled(**params)))
+
+    reports: Optional[List[SimReport]] = None
+    if workers is not None and workers > 1 and len(combos) > 1:
+        try:
+            pickle.dumps(runner)
+        except Exception:
+            warnings.warn(
+                "sweep_configs runner is not picklable; falling back to "
+                "serial evaluation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            max_workers = min(workers, len(combos))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                # Executor.map preserves submission order: deterministic.
+                reports = list(
+                    pool.map(
+                        _evaluate_point,
+                        [(config, runner) for _, config in combos],
+                    )
+                )
+    if reports is None:
+        reports = [
+            _evaluate_point((config, runner)) for _, config in combos
+        ]
+    return [
+        DesignPoint(params=params, config=config, report=report)
+        for (params, config), report in zip(combos, reports)
+    ]
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:

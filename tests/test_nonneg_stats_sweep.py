@@ -27,6 +27,15 @@ def nonneg_low_rank(rng, shape=(9, 8, 7), rank=3):
     return np.einsum("ir,jr,kr->ijk", *facs), facs
 
 
+def _parallel_sweep_runner(acc):
+    """Module-level runner (so it pickles into process-pool workers)."""
+    rng = make_rng(5)
+    tensor = random_tensor(shape=(40, 30, 20), density=0.08, seed=77)
+    b = rng.random((30, 16))
+    c = rng.random((20, 16))
+    return acc.run_mttkrp(tensor, b, c, compute_output=False)
+
+
 class TestNonnegCP:
     def test_recovers_nonneg_model(self, rng):
         x, _facs = nonneg_low_rank(rng)
@@ -175,3 +184,24 @@ class TestSweep:
             sweep_configs(TensaurusConfig(), {}, lambda acc: None)
         with pytest.raises(ConfigError):
             sweep_configs(TensaurusConfig(), {"warp_size": [32]}, lambda acc: None)
+
+    def test_parallel_matches_serial(self):
+        grid = {"rows": [4, 8], "spm_banks": [4, 8]}
+        serial = sweep_configs(TensaurusConfig(), grid, _parallel_sweep_runner)
+        par = sweep_configs(
+            TensaurusConfig(), grid, _parallel_sweep_runner, workers=2
+        )
+        assert [p.params for p in par] == [p.params for p in serial]
+        assert [p.report.cycles for p in par] == [p.report.cycles for p in serial]
+
+    def test_unpicklable_runner_falls_back_serial(self):
+        captured = []
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            points = sweep_configs(
+                TensaurusConfig(),
+                {"rows": [4, 8]},
+                lambda acc: captured.append(acc) or _parallel_sweep_runner(acc),
+                workers=2,
+            )
+        assert len(points) == 2
+        assert len(captured) == 2  # the fallback ran in-process

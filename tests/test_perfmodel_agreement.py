@@ -9,13 +9,17 @@ import numpy as np
 import pytest
 
 from repro.formats import COOMatrix
-from repro.sim import FastModel, Tensaurus
+from repro.sim import FastModel, Tensaurus, TensaurusConfig
 from repro.util.rng import make_rng
 
 from tests.conftest import random_tensor
 
 ACC = Tensaurus()
 FAST = FastModel()
+
+#: The same design point with the batched tile engine switched off (and the
+#: cache disabled) — the per-tile reference the batched engine must match.
+LEGACY = TensaurusConfig(batch_tiles=False, encoding_cache_entries=0)
 
 #: Accepted cycle-count band (fast model / cycle simulator).
 LO, HI = 0.4, 2.0
@@ -80,6 +84,114 @@ class TestMatrixKernels:
                            compute_output=False)
         fast = FAST.spmv(coo, msu_mode="direct")
         band_check(sim.cycles, fast.cycles)
+
+
+def report_fields(report):
+    """Every timing-facing field of a SimReport, for exact comparison."""
+    return (
+        report.cycles,
+        report.ops,
+        report.tensor_bytes,
+        report.matrix_bytes,
+        report.output_bytes,
+        tuple(sorted(report.detail.items())),
+    )
+
+
+class TestBatchedEngineAgreement:
+    """The batched tile engine must be bit-identical to the per-tile one."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        cfg = TensaurusConfig(spm_kb=4, msu_kb=16)
+        legacy = TensaurusConfig(
+            spm_kb=4, msu_kb=16, batch_tiles=False, encoding_cache_entries=0
+        )
+        return Tensaurus(cfg), Tensaurus(legacy)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("msu", ["auto", "buffered", "direct"])
+    def test_sparse_mttkrp(self, engines, mode, msu):
+        batched, legacy = engines
+        rng = make_rng(20 + mode)
+        t = random_tensor(shape=(50, 40, 30), density=0.06, seed=mode)
+        rest = [m for m in range(3) if m != mode]
+        b = rng.random((t.shape[rest[0]], 24))
+        c = rng.random((t.shape[rest[1]], 24))
+        a = batched.run_mttkrp(t, b, c, mode=mode, msu_mode=msu)
+        r = legacy.run_mttkrp(t, b, c, mode=mode, msu_mode=msu)
+        assert report_fields(a) == report_fields(r)
+        assert np.allclose(a.output, r.output)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_sparse_ttmc(self, engines, mode):
+        batched, legacy = engines
+        rng = make_rng(30 + mode)
+        t = random_tensor(shape=(40, 30, 25), density=0.08, seed=50 + mode)
+        rest = [m for m in range(3) if m != mode]
+        b = rng.random((t.shape[rest[0]], 8))
+        c = rng.random((t.shape[rest[1]], 6))
+        a = batched.run_ttmc(t, b, c, mode=mode)
+        r = legacy.run_ttmc(t, b, c, mode=mode)
+        assert report_fields(a) == report_fields(r)
+        assert np.allclose(a.output, r.output)
+
+    @pytest.mark.parametrize("msu", ["auto", "buffered", "direct"])
+    def test_sparse_matrix_kernels(self, engines, msu):
+        batched, legacy = engines
+        rng = make_rng(40)
+        dense = (rng.random((200, 150)) < 0.04) * (rng.random((200, 150)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        b = rng.random((150, 24))
+        a = batched.run_spmm(coo, b, msu_mode=msu)
+        r = legacy.run_spmm(coo, b, msu_mode=msu)
+        assert report_fields(a) == report_fields(r)
+        assert np.allclose(a.output, r.output)
+        v = rng.random(150)
+        a = batched.run_spmv(coo, v, msu_mode=msu)
+        r = legacy.run_spmv(coo, v, msu_mode=msu)
+        assert report_fields(a) == report_fields(r)
+        assert np.allclose(a.output, r.output)
+
+    def test_dense_kernels_unaffected(self, engines):
+        batched, legacy = engines
+        rng = make_rng(41)
+        t = rng.random((12, 10, 8))
+        b = rng.random((10, 8))
+        c = rng.random((8, 8))
+        a_mat = rng.random((30, 20))
+        b_mat = rng.random((20, 12))
+        pairs = [
+            (batched.run_mttkrp(t, b, c), legacy.run_mttkrp(t, b, c)),
+            (batched.run_ttmc(t, b, c), legacy.run_ttmc(t, b, c)),
+            (batched.run_spmm(a_mat, b_mat), legacy.run_spmm(a_mat, b_mat)),
+            (batched.run_spmv(a_mat, rng.random(20)), legacy.run_spmv(a_mat, rng.random(20))),
+        ]
+        for a, r in pairs:
+            assert report_fields(a) == report_fields(r)
+
+    def test_registered_tensor_dataset(self, engines):
+        batched, legacy = engines
+        from repro.datasets import registry
+
+        t = registry.load_tensor("poisson3D")
+        rng = make_rng(42)
+        b = rng.random((t.shape[1], 16))
+        c = rng.random((t.shape[2], 16))
+        a = batched.run_mttkrp(t, b, c, compute_output=False)
+        r = legacy.run_mttkrp(t, b, c, compute_output=False)
+        assert report_fields(a) == report_fields(r)
+
+    def test_registered_matrix_dataset(self, engines):
+        batched, legacy = engines
+        from repro.datasets import registry
+
+        m = registry.load_matrix("cora")
+        rng = make_rng(43)
+        b = rng.random((m.shape[1], 16))
+        a = batched.run_spmm(m, b, compute_output=False)
+        r = legacy.run_spmm(m, b, compute_output=False)
+        assert report_fields(a) == report_fields(r)
 
 
 class TestFastModelOnly:

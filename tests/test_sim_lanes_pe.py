@@ -1,6 +1,7 @@
 """Agreement tests between the exact PE-lane interpreter and the vectorized
 lane analyzer — the two timing engines must match cycle-for-cycle — plus
-functional tests of the lane interpreter against the reference kernels."""
+functional tests of the lane interpreter against the reference kernels and
+of the segmented batch analyzer against both."""
 
 import numpy as np
 import pytest
@@ -10,10 +11,16 @@ from hypothesis import strategies as st
 from repro.formats import CISSMatrix, CISSTensor, COOMatrix
 from repro.kernels import mttkrp_sparse, spmm, spmv, ttmc_sparse
 from repro.formats.csr import CSRMatrix
+from repro.sim.batch import (
+    MatrixTilePartition,
+    TensorTilePartition,
+    analyze_tile_stream,
+)
 from repro.sim.config import TensaurusConfig
 from repro.sim.costs import kernel_costs
 from repro.sim.lanes import analyze_lanes
 from repro.sim.pe import PELane
+from repro.tensor import SparseTensor
 from repro.util.errors import SimulationError
 
 from tests.conftest import random_tensor
@@ -185,6 +192,93 @@ class TestLaneStats:
         assert stats.num_headers == 4
         assert stats.num_fibers == 5  # (i,j) fibers in Fig. 4
         assert stats.num_entries == 5
+
+
+def _per_tile_reference(batch, g, ciss, costs, banks):
+    """Assert tile ``g`` of a batch analysis equals its own CISS encoding
+    analyzed stand-alone — and that encoding equals the PE interpreter."""
+    ref = analyze_lanes(ciss.kinds, ciss.a_idx, ciss.k_idx, costs, banks)
+    assert np.array_equal(batch.lane_cycles[g], ref.lane_cycles)
+    assert batch.compute_cycles[g] == ref.compute_cycles
+    assert batch.conflict_stalls[g] == ref.conflict_stalls
+    assert batch.num_nnz[g] == ref.num_nnz
+    assert batch.num_headers[g] == ref.num_headers
+    assert batch.num_fibers[g] == ref.num_fibers
+    assert batch.num_entries[g] == ref.num_entries
+    assert batch.ops[g] == ref.ops
+    assert np.array_equal(ref.lane_cycles, lane_cycle_totals(ciss, costs))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 400),
+    lanes=st.integers(1, 8),
+    kernel=st.sampled_from(["spmttkrp", "spttmc"]),
+    i_tile=st.sampled_from([3, 5, 16]),
+    j_tile=st.sampled_from([4, 10]),
+    k_tile=st.sampled_from([3, 8]),
+)
+def test_property_batch_analyzer_matches_per_tile_tensor(
+    seed, lanes, kernel, i_tile, j_tile, k_tile
+):
+    """The segmented batch analyzer must agree tile-for-tile, lane-for-lane
+    with per-tile CISS encoding + ``analyze_lanes`` and the interpreter."""
+    t = random_tensor(shape=(12, 10, 8), density=0.25, seed=seed)
+    part = TensorTilePartition(t.coords, t.shape, i_tile, j_tile, k_tile)
+    costs = kernel_costs(kernel, CFG, fiber_elems=8, f1_tile=4)
+    s_col, a_col, k_col = part.stream_columns()
+    batch = analyze_tile_stream(
+        s_col, a_col, k_col, part.bounds, costs, lanes, CFG.spm_banks
+    )
+    assert batch.num_tiles == part.num_tiles
+    vals_s = t.values[part.order]
+    for g, (lo, hi) in enumerate(zip(part.bounds[:-1], part.bounds[1:])):
+        sub = SparseTensor(
+            t.shape, part.coords_s[lo:hi], vals_s[lo:hi], canonical=True
+        )
+        ciss = CISSTensor.from_sparse(sub, lanes, mode=0)
+        _per_tile_reference(batch, g, ciss, costs, CFG.spm_banks)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 400),
+    lanes=st.integers(1, 6),
+    kernel=st.sampled_from(["spmm", "spmv"]),
+    i_tile=st.sampled_from([4, 7, 20]),
+    j_tile=st.sampled_from([5, 12]),
+)
+def test_property_batch_analyzer_matches_per_tile_matrix(
+    seed, lanes, kernel, i_tile, j_tile
+):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((18, 14)) < 0.3) * rng.standard_normal((18, 14))
+    coo = COOMatrix.from_dense(dense)
+    if coo.nnz == 0:
+        return
+    part = MatrixTilePartition(coo.rows, coo.cols, coo.shape, i_tile, j_tile)
+    costs = kernel_costs(kernel, CFG, fiber_elems=8)
+    r_col, c_col, _ = part.stream_columns()
+    batch = analyze_tile_stream(
+        r_col, c_col, None, part.bounds, costs, lanes, CFG.spm_banks
+    )
+    vals_s = coo.vals[part.order]
+    for g, (lo, hi) in enumerate(zip(part.bounds[:-1], part.bounds[1:])):
+        sub = COOMatrix(
+            coo.shape, part.rows_s[lo:hi], part.cols_s[lo:hi], vals_s[lo:hi]
+        )
+        ciss = CISSMatrix.from_coo(sub, lanes)
+        _per_tile_reference(batch, g, ciss, costs, CFG.spm_banks)
+
+
+def test_batch_analyzer_empty_stream():
+    costs = kernel_costs("spmm", CFG, fiber_elems=4)
+    empty = np.zeros(0, dtype=np.int64)
+    batch = analyze_tile_stream(
+        empty, empty, None, np.zeros(1, dtype=np.int64), costs, 8, CFG.spm_banks
+    )
+    assert batch.num_tiles == 0
+    assert batch.lane_cycles.shape == (0, 8)
 
 
 @settings(max_examples=20, deadline=None)
