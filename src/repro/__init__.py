@@ -7,7 +7,9 @@ The package layers, bottom to top:
 - :mod:`repro.formats` — storage formats, including the paper's CISS.
 - :mod:`repro.kernels` — reference kernels and the SF3 compute pattern.
 - :mod:`repro.factorization` — CP-ALS and Tucker-HOOI on those kernels.
-- :mod:`repro.sim` — the cycle-level accelerator simulator.
+- :mod:`repro.sim` — the cycle-level accelerator simulator (with the
+  fault-injection layer in :mod:`repro.sim.faults`).
+- :mod:`repro.resilience` — host-side retry policies and checkpoints.
 - :mod:`repro.baselines` / :mod:`repro.energy` — comparison platforms.
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets.
 - :mod:`repro.analysis` — rooflines and result tables.
@@ -26,9 +28,10 @@ Quick start::
 """
 
 from repro import analysis, apps, baselines, datasets, energy, factorization
-from repro import formats, io, kernels, sim, tensor, util
+from repro import formats, io, kernels, resilience, sim, tensor, util
 from repro.formats import CISSMatrix, CISSTensor
-from repro.sim import FastModel, Tensaurus, TensaurusConfig
+from repro.resilience import CheckpointStore, RetryPolicy
+from repro.sim import FastModel, FaultPlan, Tensaurus, TensaurusConfig
 from repro.tensor import SparseTensor
 
 __version__ = "0.1.0"
@@ -43,12 +46,16 @@ __all__ = [
     "formats",
     "io",
     "kernels",
+    "resilience",
     "sim",
     "tensor",
     "util",
     "CISSMatrix",
     "CISSTensor",
+    "CheckpointStore",
     "FastModel",
+    "FaultPlan",
+    "RetryPolicy",
     "Tensaurus",
     "TensaurusConfig",
     "SparseTensor",

@@ -8,23 +8,39 @@ simulated dataflow — and collect the per-invocation
 of the paper's introduction: tensor factorization as the application, the
 accelerator as its kernel engine.
 
+Resilience: with a :class:`~repro.resilience.RetryPolicy` the wrappers
+survive an armed :class:`~repro.sim.faults.FaultPlan`. Every completed
+sweep is checkpointed to a :class:`~repro.resilience.CheckpointStore`; a
+kernel fault (launch abort, unrecoverable corruption) advances the
+accelerator's fault epoch, backs off per the policy, and resumes from the
+last checkpoint instead of restarting — so the factors a faulty run
+converges to match the fault-free ones. Exhausting the policy raises
+:class:`~repro.util.errors.RetryExhaustedError`.
+
 Note the accelerator is a 3-d design (Section 5); these wrappers therefore
 accept 3-d tensors.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.factorization.cp import CPDecomposition, cp_als
 from repro.factorization.tucker import TuckerDecomposition, tucker_hooi
+from repro.resilience import CheckpointStore, RetryPolicy
 from repro.sim.accelerator import Tensaurus
 from repro.sim.report import SimReport
 from repro.tensor import SparseTensor
-from repro.util.errors import KernelError
+from repro.util.errors import (
+    FaultError,
+    KernelError,
+    RetryExhaustedError,
+    SimulationError,
+)
 
 TensorLike = Union[SparseTensor, np.ndarray]
 
@@ -49,10 +65,15 @@ class AcceleratedRun:
     #: delta over this run (hits/misses/entries). Across an N-iteration
     #: ALS sweep all but the first visit of each (operand, mode) should hit.
     cache_info: Dict[str, int] = field(default_factory=dict)
+    #: Recovery bookkeeping when a retry policy is armed: ``fault_retries``
+    #: (attempts lost to faults), ``resumed_iteration`` (first sweep of the
+    #: last resume, 0 when never resumed), ``checkpoints`` (saves taken).
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accelerator_seconds(self) -> float:
-        """Total simulated accelerator time across all kernel invocations."""
+        """Total simulated accelerator time across all kernel invocations
+        (aborted attempts' kernels included — their cycles were spent)."""
         return sum(r.time_s for r in self.reports)
 
     @property
@@ -64,6 +85,40 @@ class AcceleratedRun:
         return sum(r.total_bytes for r in self.reports)
 
 
+def _resilient_fit(
+    acc: Tensaurus,
+    policy: Optional[RetryPolicy],
+    sleep: Callable[[float], None],
+    resilience: Dict[str, int],
+    attempt_fn: Callable[[], Union[CPDecomposition, TuckerDecomposition]],
+):
+    """Run ``attempt_fn`` until it completes or the policy is exhausted.
+
+    Each caught simulator fault advances the accelerator's fault epoch (so
+    the re-attempt draws fresh fault streams) and sleeps the policy's
+    backoff. Without a policy, faults propagate unchanged.
+    """
+    max_attempts = 1 + (policy.max_retries if policy is not None else 0)
+    last: Optional[BaseException] = None
+    for attempt in range(max_attempts):
+        try:
+            return attempt_fn()
+        except (FaultError, SimulationError) as exc:  # noqa: PERF203
+            if policy is None:
+                raise
+            last = exc
+            if attempt >= policy.max_retries:
+                break
+            resilience["fault_retries"] += 1
+            acc.advance_fault_epoch()
+            sleep(policy.delay(attempt))
+    raise RetryExhaustedError(
+        f"factorization gave up after {max_attempts} attempt(s): {last}",
+        attempts=max_attempts,
+        last_error=last,
+    ) from last
+
+
 def accelerated_cp_als(
     tensor: TensorLike,
     rank: int,
@@ -71,13 +126,27 @@ def accelerated_cp_als(
     tol: float = 1.0e-8,
     seed: Optional[int] = None,
     accelerator: Optional[Tensaurus] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> AcceleratedRun:
-    """CP-ALS whose MTTKRPs execute on the simulated Tensaurus."""
+    """CP-ALS whose MTTKRPs execute on the simulated Tensaurus.
+
+    ``retry_policy`` arms fault recovery: sweeps checkpoint to
+    ``checkpoint_store`` (auto-created when omitted) and a faulted attempt
+    resumes from the last completed sweep on a fresh fault epoch. The
+    resumed run re-normalizes on its first sweep, which is exactly the
+    stored state's convention, so convergence continues unperturbed.
+    """
     ndim = len(tensor.shape)
     if ndim != 3:
         raise KernelError("the accelerator factorizes 3-d tensors")
     acc = accelerator or Tensaurus()
+    store = checkpoint_store
+    if store is None and retry_policy is not None:
+        store = CheckpointStore()
     reports: List[SimReport] = []
+    resilience: Dict[str, int] = {"fault_retries": 0, "resumed_iteration": 0}
     before = acc.cache_info()
 
     def mttkrp_on_accelerator(t, factors: Sequence[np.ndarray], mode: int):
@@ -86,18 +155,45 @@ def accelerated_cp_als(
         reports.append(report)
         return report.output
 
-    decomposition = cp_als(
-        tensor,
-        rank,
-        num_iters=num_iters,
-        tol=tol,
-        seed=seed,
-        mttkrp_fn=mttkrp_on_accelerator,
-    )
+    def attempt() -> CPDecomposition:
+        latest = store.latest() if store is not None else None
+        completed = (latest.iteration + 1) if latest is not None else 0
+        if latest is not None and completed >= num_iters:
+            # Every sweep already checkpointed: rebuild, don't re-run.
+            return CPDecomposition(
+                weights=np.array(latest.weights, copy=True),
+                factors=[np.array(f, copy=True) for f in latest.factors],
+                fit_trace=store.fit_trace(),
+            )
+        if completed:
+            resilience["resumed_iteration"] = completed
+        on_sweep = None
+        if store is not None:
+
+            def on_sweep(sweep, factors, weights, fit, _base=completed):
+                store.save(_base + sweep, factors, weights=weights, fit=fit)
+
+        return cp_als(
+            tensor,
+            rank,
+            num_iters=num_iters - completed,
+            tol=tol,
+            seed=seed,
+            init_factors=latest.factors if latest is not None else None,
+            mttkrp_fn=mttkrp_on_accelerator,
+            on_sweep=on_sweep,
+        )
+
+    decomposition = _resilient_fit(acc, retry_policy, sleep, resilience, attempt)
+    if store is not None and store.fit_history:
+        # Stitch the full trace across resumes (pre-fault sweeps included).
+        decomposition.fit_trace = store.fit_trace()
+        resilience["checkpoints"] = store.saves
     return AcceleratedRun(
         decomposition=decomposition,
         reports=reports,
         cache_info=_cache_delta(before, acc.cache_info()),
+        resilience=resilience,
     )
 
 
@@ -107,13 +203,25 @@ def accelerated_tucker_hooi(
     num_iters: int = 10,
     tol: float = 1.0e-8,
     accelerator: Optional[Tensaurus] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> AcceleratedRun:
-    """Tucker-HOOI whose TTMcs execute on the simulated Tensaurus."""
+    """Tucker-HOOI whose TTMcs execute on the simulated Tensaurus.
+
+    ``retry_policy`` arms the same checkpoint/resume loop as
+    :func:`accelerated_cp_als`, with the dense core stored alongside the
+    factors in each checkpoint.
+    """
     ndim = len(tensor.shape)
     if ndim != 3:
         raise KernelError("the accelerator factorizes 3-d tensors")
     acc = accelerator or Tensaurus()
+    store = checkpoint_store
+    if store is None and retry_policy is not None:
+        store = CheckpointStore()
     reports: List[SimReport] = []
+    resilience: Dict[str, int] = {"fault_retries": 0, "resumed_iteration": 0}
     before = acc.cache_info()
 
     def ttmc_on_accelerator(t, factors: Sequence[np.ndarray], mode: int):
@@ -122,15 +230,40 @@ def accelerated_tucker_hooi(
         reports.append(report)
         return report.output
 
-    decomposition = tucker_hooi(
-        tensor,
-        list(ranks),
-        num_iters=num_iters,
-        tol=tol,
-        ttmc_fn=ttmc_on_accelerator,
-    )
+    def attempt() -> TuckerDecomposition:
+        latest = store.latest() if store is not None else None
+        completed = (latest.iteration + 1) if latest is not None else 0
+        if latest is not None and completed >= num_iters:
+            return TuckerDecomposition(
+                core=np.array(latest.core, copy=True),
+                factors=[np.array(f, copy=True) for f in latest.factors],
+                fit_trace=store.fit_trace(),
+            )
+        if completed:
+            resilience["resumed_iteration"] = completed
+        on_sweep = None
+        if store is not None:
+
+            def on_sweep(sweep, factors, core, fit, _base=completed):
+                store.save(_base + sweep, factors, core=core, fit=fit)
+
+        return tucker_hooi(
+            tensor,
+            list(ranks),
+            num_iters=num_iters - completed,
+            tol=tol,
+            init=latest.factors if latest is not None else None,
+            ttmc_fn=ttmc_on_accelerator,
+            on_sweep=on_sweep,
+        )
+
+    decomposition = _resilient_fit(acc, retry_policy, sleep, resilience, attempt)
+    if store is not None and store.fit_history:
+        decomposition.fit_trace = store.fit_trace()
+        resilience["checkpoints"] = store.saves
     return AcceleratedRun(
         decomposition=decomposition,
         reports=reports,
         cache_info=_cache_delta(before, acc.cache_info()),
+        resilience=resilience,
     )

@@ -82,6 +82,7 @@ def cp_als(
     seed: Optional[int] = None,
     init_factors: Optional[Sequence[np.ndarray]] = None,
     mttkrp_fn=None,
+    on_sweep=None,
 ) -> CPDecomposition:
     """Fit a rank-``rank`` CP model with alternating least squares.
 
@@ -99,6 +100,11 @@ def cp_als(
         Optional override ``(tensor, factors, mode) -> matrix`` for the
         MTTKRP — this is how :mod:`repro.factorization.accelerated` routes
         the bottleneck kernel through the simulated accelerator.
+    on_sweep:
+        Optional callback ``(sweep, factors, weights, fit)`` invoked after
+        every completed sweep — the checkpoint hook of
+        :mod:`repro.resilience` (callees must copy what they keep: the
+        factor list is mutated in place).
 
     Returns a :class:`CPDecomposition` whose ``fit_trace`` holds the fit
     after each sweep (monotone non-decreasing up to numerical noise).
@@ -155,6 +161,8 @@ def cp_als(
         resid_sq = max(norm_x**2 + norm_model_sq - 2.0 * inner, 0.0)
         fit = 1.0 - (np.sqrt(resid_sq) / norm_x if norm_x > 0 else 0.0)
         fit_trace.append(fit)
+        if on_sweep is not None:
+            on_sweep(sweep, factors, weights, fit)
         if abs(fit - prev_fit) < tol:
             break
         prev_fit = fit

@@ -111,6 +111,7 @@ def tucker_hooi(
     tol: float = 1.0e-8,
     init: Optional[Sequence[np.ndarray]] = None,
     ttmc_fn=None,
+    on_sweep=None,
 ) -> TuckerDecomposition:
     """Fit a Tucker model with higher-order orthogonal iterations.
 
@@ -119,6 +120,8 @@ def tucker_hooi(
     The core is the full contraction with the final factors. ``fit_trace``
     records ``1 - ||X - model||/||X||`` per sweep; for orthonormal factors
     ``||model|| = ||core||`` so the fit needs no materialization.
+    ``on_sweep(sweep, factors, core, fit)`` is the per-sweep checkpoint
+    hook of :mod:`repro.resilience` (callees must copy what they keep).
     """
     ranks = _validate_ranks(tensor.shape, ranks)
     check_positive("num_iters", num_iters)
@@ -134,7 +137,7 @@ def tucker_hooi(
     prev_fit = -np.inf
     core = None
     ttmc = ttmc_fn if ttmc_fn is not None else _ttmc
-    for _sweep in range(num_iters):
+    for sweep in range(num_iters):
         for mode in range(ndim):
             y = ttmc(tensor, factors, mode)
             factors[mode] = _leading_left_singular(
@@ -147,6 +150,8 @@ def tucker_hooi(
         resid_sq = max(norm_x**2 - norm_core**2, 0.0)
         fit = 1.0 - (np.sqrt(resid_sq) / norm_x if norm_x > 0 else 0.0)
         fit_trace.append(fit)
+        if on_sweep is not None:
+            on_sweep(sweep, factors, core, fit)
         if abs(fit - prev_fit) < tol:
             break
         prev_fit = fit

@@ -1,0 +1,182 @@
+"""Host-side robustness primitives: retry policies and factor checkpoints.
+
+The simulator's fault layer (:mod:`repro.sim.faults`) makes kernels fail
+the way real hardware does — launches abort, chips die, lanes drop out.
+This module holds what the *host* does about it:
+
+- :class:`RetryPolicy` / :func:`retry_call` — bounded retries with
+  deterministic exponential backoff (optionally jittered from a seed, so
+  retry schedules replay exactly);
+- :class:`CheckpointStore` — bounded in-memory per-iteration factor
+  checkpoints for the ALS/HOOI loops, so a mid-run fault resumes from the
+  last completed sweep instead of restarting.
+
+Used by :class:`repro.sim.driver.TensaurusDevice` (watchdog + RESET-retry),
+:func:`repro.factorization.accelerated.accelerated_cp_als` (checkpoint and
+resume-after-fault) and :func:`repro.sim.sweep.sweep_configs` (per-point
+retries and partial results).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.util.errors import ConfigError, FaultError, RetryExhaustedError
+from repro.util.rng import DEFAULT_SEED, derive_seed, make_rng
+
+__all__ = [
+    "CheckpointStore",
+    "FactorCheckpoint",
+    "RetryPolicy",
+    "retry_call",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    ``max_retries`` counts *re*-attempts: a policy with ``max_retries=3``
+    permits four executions in total. ``jitter`` scales each delay by a
+    seeded uniform factor in ``[1 - jitter, 1 + jitter]`` so backoff
+    schedules stay reproducible run-to-run.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (0-based)."""
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** attempt,
+            self.max_backoff_s,
+        )
+        if self.jitter > 0:
+            rng = make_rng(derive_seed(self.seed, "retry-jitter", attempt))
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return float(base)
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule, one entry per permitted retry."""
+        return [self.delay(a) for a in range(self.max_retries)]
+
+
+def retry_call(
+    fn: Callable[[int], object],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (FaultError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn(attempt)`` until it succeeds or the policy is exhausted.
+
+    ``fn`` receives the 0-based attempt index so callers can re-seed fault
+    epochs per attempt. Exceptions outside ``retry_on`` propagate
+    unchanged; exhausting the policy raises :class:`RetryExhaustedError`
+    chaining the last failure.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return fn(attempt)
+        except retry_on as exc:  # noqa: PERF203 - retry loop by design
+            last = exc
+            if attempt >= policy.max_retries:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+    raise RetryExhaustedError(
+        f"gave up after {policy.max_retries + 1} attempts: {last}",
+        attempts=policy.max_retries + 1,
+        last_error=last,
+    ) from last
+
+
+# ----------------------------------------------------------------------
+# Factor checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class FactorCheckpoint:
+    """One completed iteration's factors (plus weights/core where used)."""
+
+    iteration: int
+    factors: List[np.ndarray]
+    weights: Optional[np.ndarray] = None
+    core: Optional[np.ndarray] = None
+    fit: float = 0.0
+
+
+class CheckpointStore:
+    """Bounded in-memory checkpoint ring for iterative factorizations.
+
+    Keeps the newest ``keep`` checkpoints (deep copies — the ALS loop
+    mutates its factor list in place) plus the full per-iteration fit
+    history, which survives eviction so a resumed run can stitch a
+    complete ``fit_trace``.
+    """
+
+    def __init__(self, keep: int = 2) -> None:
+        if keep < 1:
+            raise ConfigError("keep must be >= 1")
+        self.keep = int(keep)
+        self._ckpts: "OrderedDict[int, FactorCheckpoint]" = OrderedDict()
+        self.fit_history: Dict[int, float] = {}
+        self.saves = 0
+
+    def __len__(self) -> int:
+        return len(self._ckpts)
+
+    def save(
+        self,
+        iteration: int,
+        factors: List[np.ndarray],
+        weights: Optional[np.ndarray] = None,
+        core: Optional[np.ndarray] = None,
+        fit: float = 0.0,
+    ) -> FactorCheckpoint:
+        ckpt = FactorCheckpoint(
+            iteration=int(iteration),
+            factors=[np.array(f, dtype=np.float64, copy=True) for f in factors],
+            weights=None if weights is None else np.array(weights, copy=True),
+            core=None if core is None else np.array(core, copy=True),
+            fit=float(fit),
+        )
+        self._ckpts[ckpt.iteration] = ckpt
+        self._ckpts.move_to_end(ckpt.iteration)
+        self.fit_history[ckpt.iteration] = ckpt.fit
+        self.saves += 1
+        while len(self._ckpts) > self.keep:
+            self._ckpts.popitem(last=False)
+        return ckpt
+
+    def latest(self) -> Optional[FactorCheckpoint]:
+        if not self._ckpts:
+            return None
+        return next(reversed(self._ckpts.values()))
+
+    def iterations(self) -> List[int]:
+        return list(self._ckpts)
+
+    def fit_trace(self) -> List[float]:
+        """Fits of every iteration ever checkpointed, in iteration order."""
+        return [self.fit_history[i] for i in sorted(self.fit_history)]

@@ -28,11 +28,19 @@ from repro.sim.batch import (
 from repro.sim.report import SimReport
 from repro.sim.memory import StreamMemory
 from repro.sim.accelerator import Tensaurus
+from repro.sim.faults import FaultEvent, FaultPlan, FaultState, RunFaultContext
 from repro.sim.perfmodel import FastModel
 from repro.sim.event import EventDrivenTensaurus, EventSimResult
 from repro.sim.timeline import Timeline, TimelineEntry
 from repro.sim.multichip import MultiChipTensaurus, MultiChipResult, partition_slices
-from repro.sim.sweep import DesignPoint, pareto_front, render_sweep, sweep_configs
+from repro.sim.sweep import (
+    DesignPoint,
+    SweepFailure,
+    SweepResult,
+    pareto_front,
+    render_sweep,
+    sweep_configs,
+)
 from repro.sim.driver import (
     Instruction,
     Opcode,
@@ -58,6 +66,10 @@ __all__ = [
     "SimReport",
     "StreamMemory",
     "Tensaurus",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
+    "RunFaultContext",
     "FastModel",
     "EventDrivenTensaurus",
     "EventSimResult",
@@ -67,6 +79,8 @@ __all__ = [
     "MultiChipResult",
     "partition_slices",
     "DesignPoint",
+    "SweepFailure",
+    "SweepResult",
     "pareto_front",
     "render_sweep",
     "sweep_configs",

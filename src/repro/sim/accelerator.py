@@ -60,6 +60,7 @@ from repro.sim.batch import (
 )
 from repro.sim.config import TensaurusConfig
 from repro.sim.costs import KernelCosts, kernel_costs
+from repro.sim.faults import FaultPlan, FaultState, RunFaultContext
 from repro.sim.lanes import analyze_lanes
 from repro.sim.report import SimReport
 from repro.sim.tiling import TilingPlan, make_plan
@@ -86,12 +87,55 @@ class _TileTotals:
     conflicts: int
 
 
-class Tensaurus:
-    """The simulated accelerator."""
+@dataclass
+class _TileStatArrays:
+    """Per-tile statistic arrays in the shape `_combine_tile_costs` folds
+    (the per-tile reference engine's stand-in for batched lane stats)."""
 
-    def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
+    ops: np.ndarray
+    num_entries: np.ndarray
+    num_fibers: np.ndarray
+    num_headers: np.ndarray
+    conflict_stalls: np.ndarray
+
+
+class Tensaurus:
+    """The simulated accelerator.
+
+    ``fault_plan`` (or ``config.fault_plan``) arms the deterministic fault
+    layer of :mod:`repro.sim.faults`; ``fault_epoch`` seeds the retry epoch
+    so host-side recovery can re-draw faults on a retried launch. With no
+    plan (or an all-zero plan) every code path is the exact fault-free
+    arithmetic and reports are bit-identical to earlier versions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TensaurusConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_epoch: int = 0,
+    ) -> None:
         self.config = config or TensaurusConfig()
         self._cache = EncodingCache(self.config.encoding_cache_entries)
+        plan = fault_plan if fault_plan is not None else self.config.fault_plan
+        self._faults = FaultState(plan, fault_epoch)
+
+    # ------------------------------------------------------------------
+    # Fault-injection state
+    # ------------------------------------------------------------------
+    @property
+    def fault_state(self) -> FaultState:
+        """Run counter + retry epoch of the fault-injection layer."""
+        return self._faults
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self._faults.plan
+
+    def advance_fault_epoch(self) -> None:
+        """Host-side recovery hook: retried launches re-draw their faults
+        from a fresh stream instead of deterministically re-failing."""
+        self._faults.advance_epoch()
 
     # ------------------------------------------------------------------
     # Encoding-cache access
@@ -296,15 +340,21 @@ class Tensaurus:
         costs: KernelCosts,
         fp: Optional[bytes],
         mode: int,
+        lanes: int,
     ):
-        """Segmented per-tile lane statistics, memoized per cost table."""
+        """Segmented per-tile lane statistics, memoized per cost table.
+
+        ``lanes`` is the surviving PE-lane count (``config.rows`` unless the
+        fault layer dropped lanes); the CISS deal redistributes records over
+        however many lanes remain, so it is part of the cache key.
+        """
         cfg = self.config
 
         def build():
             slice_col, a_col, k_col = part.stream_columns()
             return analyze_tile_stream(
                 slice_col, a_col, k_col, part.bounds, costs,
-                cfg.rows, cfg.spm_banks,
+                lanes, cfg.spm_banks,
             )
 
         if fp is None:
@@ -312,7 +362,7 @@ class Tensaurus:
         key = (
             "tile-stats", fp, mode, part.dims,
             (part.i_tile, part.j_tile, getattr(part, "k_tile", None)),
-            cfg.rows, cfg.spm_banks, costs,
+            lanes, cfg.spm_banks, costs,
         )
         return self._cache.get(key, build)
 
@@ -323,19 +373,35 @@ class Tensaurus:
         t_bytes: np.ndarray,
         m_bytes: np.ndarray,
         o_bytes: np.ndarray,
+        ctx: Optional[RunFaultContext] = None,
     ) -> _TileTotals:
-        """Fold per-tile arrays into the schedule totals (batched path)."""
-        mem_cycles = np.ceil(
-            (t_bytes + m_bytes + o_bytes) / self._bpc
-        ).astype(np.int64)
-        num_tiles = int(t_bytes.shape[0])
-        cycles = int(np.maximum(compute_cycles, mem_cycles).sum())
-        cycles += num_tiles * self._tile_overhead
+        """Fold per-tile arrays into the schedule totals.
+
+        Shared by the batched and per-tile engines so both price tiles —
+        and, when ``ctx`` is armed, tile-level faults — identically. With
+        no fault context this is the exact pre-fault arithmetic.
+        """
+        num_tiles = int(np.asarray(t_bytes).shape[0])
+        extra_t = extra_m = 0
+        if ctx is None:
+            mem_cycles = np.ceil(
+                (t_bytes + m_bytes + o_bytes) / self._bpc
+            ).astype(np.int64)
+            cycles = int(np.maximum(compute_cycles, mem_cycles).sum())
+            cycles += num_tiles * self._tile_overhead
+        else:
+            outcome = ctx.apply_tile_faults(
+                compute_cycles, t_bytes, m_bytes, o_bytes,
+                self._bpc, self._tile_overhead,
+            )
+            cycles = outcome.cycles
+            extra_t = outcome.extra_tensor_bytes
+            extra_m = outcome.extra_matrix_bytes
         return _TileTotals(
             cycles=cycles,
             ops=int(stats.ops.sum()),
-            tensor_bytes=int(t_bytes.sum()),
-            matrix_bytes=int(m_bytes.sum()),
+            tensor_bytes=int(t_bytes.sum()) + extra_t,
+            matrix_bytes=int(m_bytes.sum()) + extra_m,
             output_bytes=int(o_bytes.sum()),
             entries=int(stats.num_entries.sum()),
             fibers=int(stats.num_fibers.sum()),
@@ -361,10 +427,20 @@ class Tensaurus:
         if tensor.ndim != 3:
             raise KernelError("the accelerator's tensor kernels are 3-d")
         cfg = self.config
+        ctx = self._faults.begin_run(kernel)
+        if ctx is not None:
+            ctx.check_launch_abort()
+            lanes = ctx.active_lanes(cfg.rows)
+        else:
+            lanes = cfg.rows
         rest = [m for m in range(3) if m != mode]
         dims = (tensor.shape[mode],) + tuple(tensor.shape[m] for m in rest)
         use_batch = cfg.batch_tiles
-        fp = fingerprint_arrays(tensor.coords) if self._cache.enabled else None
+        fp = (
+            fingerprint_arrays(tensor.coords, tensor.values)
+            if self._cache.enabled
+            else None
+        )
 
         perm_vals: Optional[np.ndarray] = None
         if mode == 0:
@@ -389,24 +465,26 @@ class Tensaurus:
 
         def estimate(plan: TilingPlan) -> float:
             return self._estimate_tensor_traffic(
-                plan, get_partition(plan), nnz, nonempty_slices
+                plan, get_partition(plan), nnz, nonempty_slices, lanes
             )
 
         resolved = self._resolve_msu_mode(base, dims, msu_mode, rank, rank2, estimate)
         plan = make_plan(base, cfg, dims, resolved, rank, rank2)
         costs = kernel_costs(kernel, cfg, plan.fiber_elems, plan.f1_tile)
-        entry_bytes = cfg.ciss_entry_bytes(index_fields=2)
+        entry_bytes = cfg.ciss_entry_bytes(index_fields=2, lanes=lanes)
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
         part = get_partition(plan)
 
         if use_batch:
             totals = self._tensor_totals_batched(
-                kernel, plan, costs, part, fp, mode, entry_bytes, out_elems
+                kernel, plan, costs, part, fp, mode, entry_bytes, out_elems,
+                lanes, ctx,
             )
         else:
             totals = self._tensor_totals_per_tile(
-                kernel, plan, costs, part, perm_vals, entry_bytes, out_elems
+                kernel, plan, costs, part, perm_vals, entry_bytes, out_elems,
+                lanes, ctx,
             )
 
         cycles = totals.cycles
@@ -441,6 +519,8 @@ class Tensaurus:
                 "conflict_stalls": totals.conflicts,
                 "nnz": nnz,
             },
+            faults=ctx.finish(plan.passes) if ctx is not None else {},
+            fault_events=list(ctx.events) if ctx is not None else [],
         )
 
     def _tensor_tile_extents(
@@ -464,9 +544,11 @@ class Tensaurus:
         mode: int,
         entry_bytes: int,
         out_elems: int,
+        lanes: int,
+        ctx: Optional[RunFaultContext],
     ) -> _TileTotals:
         dw = self.config.data_width
-        stats = self._batched_tile_stats(part, costs, fp, mode)
+        stats = self._batched_tile_stats(part, costs, fp, mode, lanes)
         jx, kx = self._tensor_tile_extents(plan, part)
         t_bytes = stats.num_entries * entry_bytes
         if kernel == "spttmc":
@@ -478,7 +560,7 @@ class Tensaurus:
         else:
             o_bytes = np.zeros_like(t_bytes)
         return self._combine_tile_costs(
-            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes
+            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes, ctx
         )
 
     def _tensor_totals_per_tile(
@@ -490,20 +572,28 @@ class Tensaurus:
         perm_vals: np.ndarray,
         entry_bytes: int,
         out_elems: int,
+        lanes: int,
+        ctx: Optional[RunFaultContext],
     ) -> _TileTotals:
-        """Reference engine: encode and analyze every tile separately."""
+        """Reference engine: encode and analyze every tile separately.
+
+        Collects per-tile cost arrays and folds them through the same
+        :meth:`_combine_tile_costs` as the batched engine, so the two stay
+        bit-identical with and without an armed fault context.
+        """
         cfg = self.config
         dw = cfg.data_width
         dims = part.dims
         coords_s = part.coords_s
         vals_s = perm_vals[part.order]
         uniq, bounds = part.uniq, part.bounds
-        totals = _TileTotals(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        comp, tb, mb, ob = [], [], [], []
+        ops, entries, fibers, headers, conflicts = [], [], [], [], []
         for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
             sub = SparseTensor(
                 dims, coords_s[lo:hi], vals_s[lo:hi], canonical=True
             )
-            ciss = CISSTensor.from_sparse(sub, cfg.rows, mode=0)
+            ciss = CISSTensor.from_sparse(sub, lanes, mode=0)
             stats = analyze_lanes(
                 ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
             )
@@ -520,17 +610,30 @@ class Tensaurus:
             o_bytes = 0
             if plan.msu_mode == "direct":
                 o_bytes = stats.num_headers * out_elems * dw * 2
-            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-            totals.cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
-            totals.ops += stats.ops
-            totals.tensor_bytes += t_bytes
-            totals.matrix_bytes += m_bytes
-            totals.output_bytes += o_bytes
-            totals.entries += stats.num_entries
-            totals.fibers += stats.num_fibers
-            totals.headers += stats.num_headers
-            totals.conflicts += stats.conflict_stalls
-        return totals
+            comp.append(stats.compute_cycles)
+            tb.append(t_bytes)
+            mb.append(m_bytes)
+            ob.append(o_bytes)
+            ops.append(stats.ops)
+            entries.append(stats.num_entries)
+            fibers.append(stats.num_fibers)
+            headers.append(stats.num_headers)
+            conflicts.append(stats.conflict_stalls)
+        agg = _TileStatArrays(
+            ops=np.asarray(ops, dtype=np.int64),
+            num_entries=np.asarray(entries, dtype=np.int64),
+            num_fibers=np.asarray(fibers, dtype=np.int64),
+            num_headers=np.asarray(headers, dtype=np.int64),
+            conflict_stalls=np.asarray(conflicts, dtype=np.int64),
+        )
+        return self._combine_tile_costs(
+            agg,
+            np.asarray(comp, dtype=np.int64),
+            np.asarray(tb, dtype=np.int64),
+            np.asarray(mb, dtype=np.int64),
+            np.asarray(ob, dtype=np.int64),
+            ctx,
+        )
 
     def _estimate_tensor_traffic(
         self,
@@ -538,6 +641,7 @@ class Tensaurus:
         part: TensorTilePartition,
         nnz: int,
         nonempty_slices: int,
+        lanes: int,
     ) -> float:
         """Cheap traffic estimate for MSU-mode selection (no encoding)."""
         cfg = self.config
@@ -550,8 +654,8 @@ class Tensaurus:
         else:
             per_group = (plan.j_tile + plan.k_tile) * plan.fiber_elems
         matrix = groups * per_group * dw
-        entry_bytes = cfg.ciss_entry_bytes(2)
-        tensor = (nnz / cfg.rows + groups) * entry_bytes
+        entry_bytes = cfg.ciss_entry_bytes(2, lanes=lanes)
+        tensor = (nnz / lanes + groups) * entry_bytes
         if plan.msu_mode == "direct":
             output = part.slice_visits * out_elems * dw * 2
         else:
@@ -570,11 +674,17 @@ class Tensaurus:
         compute_output: bool,
     ) -> SimReport:
         cfg = self.config
+        ctx = self._faults.begin_run(kernel)
+        if ctx is not None:
+            ctx.check_launch_abort()
+            lanes = ctx.active_lanes(cfg.rows)
+        else:
+            lanes = cfg.rows
         dims = coo.shape
         ncols = dense_operand.shape[1] if kernel == "spmm" else 1
         use_batch = cfg.batch_tiles
         fp = (
-            fingerprint_arrays(coo.rows, coo.cols)
+            fingerprint_arrays(coo.rows, coo.cols, coo.vals)
             if self._cache.enabled
             else None
         )
@@ -589,24 +699,24 @@ class Tensaurus:
 
         def estimate(plan: TilingPlan) -> float:
             return self._estimate_matrix_traffic(
-                plan, get_partition(plan), coo.nnz, nonempty_rows
+                plan, get_partition(plan), coo.nnz, nonempty_rows, lanes
             )
 
         resolved = self._resolve_msu_mode(kernel, dims, msu_mode, ncols, 0, estimate)
         plan = make_plan(kernel, cfg, dims, resolved, ncols)
         costs = kernel_costs(kernel, cfg, plan.fiber_elems)
-        entry_bytes = cfg.ciss_entry_bytes(index_fields=1)
+        entry_bytes = cfg.ciss_entry_bytes(index_fields=1, lanes=lanes)
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
         part = get_partition(plan)
 
         if use_batch:
             totals = self._matrix_totals_batched(
-                plan, costs, part, fp, entry_bytes, out_elems
+                plan, costs, part, fp, entry_bytes, out_elems, lanes, ctx
             )
         else:
             totals = self._matrix_totals_per_tile(
-                plan, costs, part, coo.vals, entry_bytes, out_elems
+                plan, costs, part, coo.vals, entry_bytes, out_elems, lanes, ctx
             )
 
         cycles = totals.cycles
@@ -640,6 +750,8 @@ class Tensaurus:
                 "conflict_stalls": totals.conflicts,
                 "nnz": coo.nnz,
             },
+            faults=ctx.finish(plan.passes) if ctx is not None else {},
+            fault_events=list(ctx.events) if ctx is not None else [],
         )
 
     def _matrix_totals_batched(
@@ -650,9 +762,11 @@ class Tensaurus:
         fp: Optional[bytes],
         entry_bytes: int,
         out_elems: int,
+        lanes: int,
+        ctx: Optional[RunFaultContext],
     ) -> _TileTotals:
         dw = self.config.data_width
-        stats = self._batched_tile_stats(part, costs, fp, 0)
+        stats = self._batched_tile_stats(part, costs, fp, 0, lanes)
         g_jb = part.uniq % part.nj
         jx = np.minimum(plan.j_tile, part.dims[1] - g_jb * plan.j_tile)
         t_bytes = stats.num_entries * entry_bytes
@@ -662,7 +776,7 @@ class Tensaurus:
         else:
             o_bytes = np.zeros_like(t_bytes)
         return self._combine_tile_costs(
-            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes
+            stats, stats.compute_cycles, t_bytes, m_bytes, o_bytes, ctx
         )
 
     def _matrix_totals_per_tile(
@@ -673,6 +787,8 @@ class Tensaurus:
         vals: np.ndarray,
         entry_bytes: int,
         out_elems: int,
+        lanes: int,
+        ctx: Optional[RunFaultContext],
     ) -> _TileTotals:
         """Reference engine: encode and analyze every tile separately."""
         cfg = self.config
@@ -681,10 +797,11 @@ class Tensaurus:
         rows_s, cols_s = part.rows_s, part.cols_s
         vals_s = vals[part.order]
         uniq, bounds = part.uniq, part.bounds
-        totals = _TileTotals(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        comp, tb, mb, ob = [], [], [], []
+        ops, entries, fibers, headers, conflicts = [], [], [], [], []
         for g, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
             sub = COOMatrix(dims, rows_s[lo:hi], cols_s[lo:hi], vals_s[lo:hi])
-            ciss = CISSMatrix.from_coo(sub, cfg.rows)
+            ciss = CISSMatrix.from_coo(sub, lanes)
             stats = analyze_lanes(
                 ciss.kinds, ciss.a_idx, ciss.k_idx, costs, cfg.spm_banks
             )
@@ -695,16 +812,30 @@ class Tensaurus:
             o_bytes = 0
             if plan.msu_mode == "direct":
                 o_bytes = stats.num_headers * out_elems * dw * 2
-            mem_cycles = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-            totals.cycles += max(stats.compute_cycles, mem_cycles) + self._tile_overhead
-            totals.ops += stats.ops
-            totals.tensor_bytes += t_bytes
-            totals.matrix_bytes += m_bytes
-            totals.output_bytes += o_bytes
-            totals.entries += stats.num_entries
-            totals.headers += stats.num_headers
-            totals.conflicts += stats.conflict_stalls
-        return totals
+            comp.append(stats.compute_cycles)
+            tb.append(t_bytes)
+            mb.append(m_bytes)
+            ob.append(o_bytes)
+            ops.append(stats.ops)
+            entries.append(stats.num_entries)
+            fibers.append(stats.num_fibers)
+            headers.append(stats.num_headers)
+            conflicts.append(stats.conflict_stalls)
+        agg = _TileStatArrays(
+            ops=np.asarray(ops, dtype=np.int64),
+            num_entries=np.asarray(entries, dtype=np.int64),
+            num_fibers=np.asarray(fibers, dtype=np.int64),
+            num_headers=np.asarray(headers, dtype=np.int64),
+            conflict_stalls=np.asarray(conflicts, dtype=np.int64),
+        )
+        return self._combine_tile_costs(
+            agg,
+            np.asarray(comp, dtype=np.int64),
+            np.asarray(tb, dtype=np.int64),
+            np.asarray(mb, dtype=np.int64),
+            np.asarray(ob, dtype=np.int64),
+            ctx,
+        )
 
     def _estimate_matrix_traffic(
         self,
@@ -712,13 +843,14 @@ class Tensaurus:
         part: MatrixTilePartition,
         nnz: int,
         nonempty_rows: int,
+        lanes: int,
     ) -> float:
         cfg = self.config
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
         groups = part.num_tiles
         matrix = groups * plan.j_tile * plan.fiber_elems * dw
-        tensor = (nnz / cfg.rows + groups) * cfg.ciss_entry_bytes(1)
+        tensor = (nnz / lanes + groups) * cfg.ciss_entry_bytes(1, lanes=lanes)
         if plan.msu_mode == "direct":
             output = part.slice_visits * out_elems * dw * 2
         else:
@@ -734,14 +866,16 @@ class Tensaurus:
         records: int,
         headers: int,
         fibers: int,
+        lanes: Optional[int] = None,
     ) -> Tuple[int, int]:
         """(compute_cycles, ops) of a uniform dense tile.
 
         Records distribute evenly across lanes (the on-the-fly CISS builder
         deals equal slices), so the slowest lane carries ``ceil`` shares.
-        Dense mode broadcasts SPM reads — no bank conflicts.
+        Dense mode broadcasts SPM reads — no bank conflicts. ``lanes``
+        narrows the deal when the fault layer dropped PE lanes.
         """
-        rows = self.config.rows
+        rows = lanes if lanes is not None else self.config.rows
         lane_records = math.ceil(records / rows)
         lane_headers = math.ceil(headers / rows)
         lane_fibers = math.ceil(fibers / rows) if costs.uses_fibers else 0
@@ -756,6 +890,35 @@ class Tensaurus:
         if costs.uses_fibers:
             ops += costs.ops_per_fold * fibers
         return int(lane_cycles), int(ops)
+
+    def _fold_dense_tiles(
+        self,
+        comp_l: list,
+        tb_l: list,
+        mb_l: list,
+        ob_l: list,
+        ctx: Optional[RunFaultContext],
+    ) -> Tuple[int, int, int]:
+        """(tile cycles, extra tensor bytes, extra matrix bytes) over the
+        collected per-tile cost lists — exact fault-free arithmetic when no
+        fault context is armed, tile-fault overlay otherwise."""
+        comp = np.asarray(comp_l, dtype=np.int64)
+        t_arr = np.asarray(tb_l, dtype=np.int64)
+        m_arr = np.asarray(mb_l, dtype=np.int64)
+        o_arr = np.asarray(ob_l, dtype=np.int64)
+        if ctx is None:
+            mem = np.ceil((t_arr + m_arr + o_arr) / self._bpc).astype(np.int64)
+            cycles = int(np.maximum(comp, mem).sum())
+            cycles += comp.shape[0] * self._tile_overhead
+            return cycles, 0, 0
+        outcome = ctx.apply_tile_faults(
+            comp, t_arr, m_arr, o_arr, self._bpc, self._tile_overhead
+        )
+        return (
+            outcome.cycles,
+            outcome.extra_tensor_bytes,
+            outcome.extra_matrix_bytes,
+        )
 
     def _run_dense_tensor(
         self,
@@ -772,6 +935,12 @@ class Tensaurus:
         if tensor.ndim != 3:
             raise KernelError("the accelerator's tensor kernels are 3-d")
         cfg = self.config
+        ctx = self._faults.begin_run(kernel)
+        if ctx is not None:
+            ctx.check_launch_abort()
+            lanes = ctx.active_lanes(cfg.rows)
+        else:
+            lanes = cfg.rows
         rest = [m for m in range(3) if m != mode]
         dims = tuple(tensor.shape[m] for m in [mode] + rest)
         base = "mttkrp" if kernel == "dmttkrp" else "ttmc"
@@ -781,11 +950,12 @@ class Tensaurus:
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
 
-        cycles = 0
         ops = 0
         tensor_bytes = 0
         matrix_bytes = 0
         output_bytes = 0
+        write_cycles = 0
+        comp_l, tb_l, mb_l, ob_l = [], [], [], []
         i_dim, j_dim, k_dim = dims
         for i_lo in range(0, i_dim, plan.i_tile):
             ix = min(plan.i_tile, i_dim - i_lo)
@@ -797,7 +967,7 @@ class Tensaurus:
                     headers = ix
                     fibers = ix * jx
                     compute, tile_ops = self._dense_tile_stats(
-                        costs, records, headers, fibers
+                        costs, records, headers, fibers, lanes
                     )
                     t_bytes = records * dw
                     if kernel == "dttmc":
@@ -807,8 +977,10 @@ class Tensaurus:
                     o_bytes = 0
                     if plan.msu_mode == "direct":
                         o_bytes = ix * out_elems * dw * 2
-                    mem = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-                    cycles += max(compute, mem) + self._tile_overhead
+                    comp_l.append(compute)
+                    tb_l.append(t_bytes)
+                    mb_l.append(m_bytes)
+                    ob_l.append(o_bytes)
                     ops += tile_ops
                     tensor_bytes += t_bytes
                     matrix_bytes += m_bytes
@@ -816,7 +988,14 @@ class Tensaurus:
             if plan.msu_mode == "buffered":
                 write = ix * out_elems * dw
                 output_bytes += write
-                cycles += math.ceil(write / self._bpc)
+                write_cycles += math.ceil(write / self._bpc)
+
+        tile_cycles, extra_t, extra_m = self._fold_dense_tiles(
+            comp_l, tb_l, mb_l, ob_l, ctx
+        )
+        cycles = tile_cycles + write_cycles
+        tensor_bytes += extra_t
+        matrix_bytes += extra_m
 
         cycles *= plan.passes
         ops *= plan.passes
@@ -841,6 +1020,8 @@ class Tensaurus:
             clock_ghz=cfg.clock_ghz,
             output=output,
             detail={"msu_mode": plan.msu_mode, "passes": plan.passes},
+            faults=ctx.finish(plan.passes) if ctx is not None else {},
+            fault_events=list(ctx.events) if ctx is not None else [],
         )
 
     def _run_dense_matrix(
@@ -852,6 +1033,12 @@ class Tensaurus:
         compute_output: bool,
     ) -> SimReport:
         cfg = self.config
+        ctx = self._faults.begin_run(kernel)
+        if ctx is not None:
+            ctx.check_launch_abort()
+            lanes = ctx.active_lanes(cfg.rows)
+        else:
+            lanes = cfg.rows
         a = np.asarray(a, dtype=np.float64)
         dims = a.shape
         ncols = dense_operand.shape[1] if kernel == "gemm" else 1
@@ -862,11 +1049,12 @@ class Tensaurus:
         dw = cfg.data_width
         out_elems = self._out_elems(plan)
 
-        cycles = 0
         ops = 0
         tensor_bytes = 0
         matrix_bytes = 0
         output_bytes = 0
+        write_cycles = 0
+        comp_l, tb_l, mb_l, ob_l = [], [], [], []
         i_dim, j_dim = dims
         for i_lo in range(0, i_dim, plan.i_tile):
             ix = min(plan.i_tile, i_dim - i_lo)
@@ -875,15 +1063,17 @@ class Tensaurus:
                 records = ix * jx
                 headers = ix
                 compute, tile_ops = self._dense_tile_stats(
-                    costs, records, headers, 0
+                    costs, records, headers, 0, lanes
                 )
                 t_bytes = records * dw
                 m_bytes = jx * plan.fiber_elems * dw
                 o_bytes = 0
                 if plan.msu_mode == "direct":
                     o_bytes = ix * out_elems * dw * 2
-                mem = math.ceil((t_bytes + m_bytes + o_bytes) / self._bpc)
-                cycles += max(compute, mem) + self._tile_overhead
+                comp_l.append(compute)
+                tb_l.append(t_bytes)
+                mb_l.append(m_bytes)
+                ob_l.append(o_bytes)
                 ops += tile_ops
                 tensor_bytes += t_bytes
                 matrix_bytes += m_bytes
@@ -891,7 +1081,14 @@ class Tensaurus:
             if plan.msu_mode == "buffered":
                 write = ix * out_elems * dw
                 output_bytes += write
-                cycles += math.ceil(write / self._bpc)
+                write_cycles += math.ceil(write / self._bpc)
+
+        tile_cycles, extra_t, extra_m = self._fold_dense_tiles(
+            comp_l, tb_l, mb_l, ob_l, ctx
+        )
+        cycles = tile_cycles + write_cycles
+        tensor_bytes += extra_t
+        matrix_bytes += extra_m
 
         cycles *= plan.passes
         ops *= plan.passes
@@ -915,4 +1112,6 @@ class Tensaurus:
             clock_ghz=cfg.clock_ghz,
             output=output,
             detail={"msu_mode": plan.msu_mode, "passes": plan.passes},
+            faults=ctx.finish(plan.passes) if ctx is not None else {},
+            fault_events=list(ctx.events) if ctx is not None else [],
         )

@@ -11,7 +11,9 @@ is a scratchpad access, so ``512 * 2 GHz * 0.5 = 512 GOP/s``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from repro.sim.faults import FaultPlan
 from repro.util.errors import ConfigError
 
 
@@ -99,6 +101,11 @@ class TensaurusConfig:
     #: LRU capacity of the per-accelerator encoding cache (tile partitions,
     #: permuted coordinates, batched lane statistics). 0 disables caching.
     encoding_cache_entries: int = 64
+    #: optional fault-injection plan (see :mod:`repro.sim.faults`). ``None``
+    #: or an all-zero-rate plan leaves every report bit-identical to the
+    #: fault-free simulator. Being a config field, it sweeps through
+    #: :func:`repro.sim.sweep.sweep_configs` grids like any other knob.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         for attr in ("rows", "cols", "vlen", "spm_kb", "spm_first_col_kb",
@@ -158,9 +165,15 @@ class TensaurusConfig:
         side_bytes = self.msu_kb * 1024
         return max(1, side_bytes // (fiber_elems * self.data_width))
 
-    def ciss_entry_bytes(self, index_fields: int = 2) -> int:
-        """Bytes per CISS entry: (dw + index_fields*iw) * rows."""
-        return (self.data_width + index_fields * self.index_width) * self.rows
+    def ciss_entry_bytes(self, index_fields: int = 2,
+                         lanes: Optional[int] = None) -> int:
+        """Bytes per CISS entry: (dw + index_fields*iw) * lanes.
+
+        ``lanes`` defaults to the full PE-row count; the fault layer passes
+        the surviving lane count when PE-lane dropouts narrow the stream.
+        """
+        width = lanes if lanes is not None else self.rows
+        return (self.data_width + index_fields * self.index_width) * width
 
     def with_memory(self, memory: MemoryConfig) -> "TensaurusConfig":
         return replace(self, memory=memory)

@@ -18,19 +18,22 @@ configured mode — and surfaces violations as :class:`ProgramError`.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.resilience import RetryPolicy, retry_call
 from repro.sim.accelerator import Tensaurus
 from repro.sim.config import TensaurusConfig
 from repro.sim.costs import ALL_KERNELS
+from repro.sim.faults import LAUNCH_ABORT, WATCHDOG, FaultEvent, FaultPlan
 from repro.sim.report import SimReport
 from repro.tensor import SparseTensor
-from repro.util.errors import ReproError
+from repro.util.errors import FaultError, ReproError, SimulationError
 
 
 class ProgramError(ReproError, ValueError):
@@ -83,12 +86,48 @@ class DeviceState:
 
 
 class TensaurusDevice:
-    """The accelerator behind its driver-visible instruction interface."""
+    """The accelerator behind its driver-visible instruction interface.
 
-    def __init__(self, config: Optional[TensaurusConfig] = None) -> None:
-        self._accelerator = Tensaurus(config)
+    Robustness knobs (all optional, all off by default):
+
+    - ``fault_plan`` arms the simulator's fault-injection layer;
+    - ``watchdog_timeout_s`` bounds a launch's host wall-clock; a breach
+      is surfaced as a :class:`FaultError` (and retried like one);
+    - ``retry_policy`` turns launch faults into RESET-and-retry with
+      backoff: the device resets the accelerator (cache cleared, fault
+      epoch advanced so the retry re-draws its faults), sleeps the
+      policy's delay, and relaunches — raising
+      :class:`~repro.util.errors.RetryExhaustedError` when the policy
+      runs out. With no policy, faults propagate unchanged (the
+      pre-resilience behaviour).
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TensaurusConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        watchdog_timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._accelerator = Tensaurus(config, fault_plan=fault_plan)
         self._state = DeviceState()
         self._launch_count = 0
+        self._watchdog_timeout_s = watchdog_timeout_s
+        self._retry_policy = retry_policy
+        self._clock = clock
+        self._sleep = sleep
+        self.stats: Dict[str, int] = {
+            "launches": 0,
+            "faults": 0,
+            "retries": 0,
+            "watchdog_trips": 0,
+            "resets": 0,
+        }
+        self.fault_log: List[FaultEvent] = []
 
     # ------------------------------------------------------------------
     @property
@@ -96,11 +135,24 @@ class TensaurusDevice:
         return self._state
 
     @property
+    def accelerator(self) -> Tensaurus:
+        return self._accelerator
+
+    @property
     def launches(self) -> int:
         return self._launch_count
 
     def reset(self) -> None:
+        """RESET semantics: clear the device registers and put the
+        accelerator back in a clean state (cache dropped, fault epoch
+        advanced so post-reset launches draw fresh fault streams)."""
         self._state = DeviceState()
+        self._reset_accelerator()
+
+    def _reset_accelerator(self) -> None:
+        self.stats["resets"] += 1
+        self._accelerator.clear_cache()
+        self._accelerator.advance_fault_epoch()
 
     # ------------------------------------------------------------------
     def execute(self, program: List[Instruction]) -> List[SimReport]:
@@ -172,6 +224,7 @@ class TensaurusDevice:
             raise ProgramError("no operand bound to the sparse/tensor slot")
         self._check_dims(sparse, st.dims)
         self._launch_count += 1
+        self.stats["launches"] += 1
         kernel = st.kernel
         if kernel in ("spmttkrp", "dmttkrp", "spttmc", "dttmc"):
             b = st.operands.get(SLOT_DENSE_B)
@@ -186,19 +239,83 @@ class TensaurusDevice:
                 if kernel.endswith("mttkrp")
                 else self._accelerator.run_ttmc
             )
-            return runner(
-                sparse, b, c, mode=st.target_mode, msu_mode=st.msu_mode
-            )
-        if kernel in ("spmm", "gemm"):
+
+            def run() -> SimReport:
+                return runner(
+                    sparse, b, c, mode=st.target_mode, msu_mode=st.msu_mode
+                )
+
+        elif kernel in ("spmm", "gemm"):
             b = st.operands.get(SLOT_DENSE_B)
             if b is None:
                 raise ProgramError(f"{kernel} needs a dense operand B")
-            return self._accelerator.run_spmm(sparse, b, msu_mode=st.msu_mode)
-        # spmv / gemv
-        x = st.operands.get(SLOT_VECTOR)
-        if x is None:
-            raise ProgramError(f"{kernel} needs a vector operand")
-        return self._accelerator.run_spmv(sparse, x, msu_mode=st.msu_mode)
+
+            def run() -> SimReport:
+                return self._accelerator.run_spmm(
+                    sparse, b, msu_mode=st.msu_mode
+                )
+
+        else:  # spmv / gemv
+            x = st.operands.get(SLOT_VECTOR)
+            if x is None:
+                raise ProgramError(f"{kernel} needs a vector operand")
+
+            def run() -> SimReport:
+                return self._accelerator.run_spmv(
+                    sparse, x, msu_mode=st.msu_mode
+                )
+
+        return self._guarded_run(run)
+
+    def _guarded_run(self, run: Callable[[], SimReport]) -> SimReport:
+        """Execute one launch under the watchdog; with a retry policy,
+        RESET-and-retry on faults instead of propagating them."""
+
+        def attempt(attempt_idx: int) -> SimReport:
+            start = self._clock()
+            try:
+                report = run()
+            except (FaultError, SimulationError) as exc:
+                self.stats["faults"] += 1
+                self.fault_log.append(
+                    FaultEvent(
+                        LAUNCH_ABORT,
+                        ("launch", self._launch_count),
+                        info=str(exc),
+                    )
+                )
+                raise
+            elapsed = self._clock() - start
+            timeout = self._watchdog_timeout_s
+            if timeout is not None and elapsed > timeout:
+                self.stats["watchdog_trips"] += 1
+                self.fault_log.append(
+                    FaultEvent(
+                        WATCHDOG,
+                        ("launch", self._launch_count),
+                        info=f"{elapsed:.3f}s > {timeout:.3f}s",
+                    )
+                )
+                raise FaultError(
+                    f"watchdog: launch took {elapsed:.3f}s "
+                    f"(timeout {timeout:.3f}s)"
+                )
+            return report
+
+        if self._retry_policy is None:
+            return attempt(0)
+
+        def on_retry(attempt_idx: int, exc: BaseException) -> None:
+            self.stats["retries"] += 1
+            self._reset_accelerator()
+
+        return retry_call(
+            attempt,
+            self._retry_policy,
+            retry_on=(FaultError, SimulationError),
+            sleep=self._sleep,
+            on_retry=on_retry,
+        )
 
     @staticmethod
     def _check_dims(operand: OperandData, dims: Tuple[int, ...]) -> None:

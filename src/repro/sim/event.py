@@ -32,6 +32,7 @@ import numpy as np
 from repro.formats.ciss import KIND_HEADER, KIND_NNZ, KIND_PAD
 from repro.sim.config import TensaurusConfig
 from repro.sim.costs import KernelCosts
+from repro.sim.faults import HBM_STALL, MAX_EVENTS_PER_RUN, FaultEvent, FaultPlan
 from repro.util.errors import SimulationError
 
 #: PE row states.
@@ -90,13 +91,20 @@ class EventSimResult:
     msu_stalls: int
     tlu_stall_cycles: int
     lane_busy_cycles: np.ndarray
+    #: cycles the TLU sat idle on injected HBM channel stalls (fault layer).
+    injected_stall_cycles: int = 0
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
 
 class EventDrivenTensaurus:
     """Cycle-stepped model of the PE array executing one CISS tile.
 
     Parameters mirror the vectorized engine: a cost table, the dense
-    operand sources, and the OSR depth for TTMc.
+    operand sources, and the OSR depth for TTMc. An optional ``fault_plan``
+    injects deterministic HBM channel stalls *structurally*: a stalled
+    entry holds the TLU for ``hbm_stall_cycles`` before it issues, and the
+    back-pressure ripples through the lane queues the same way a real
+    wedged channel would. Functional output is never perturbed.
     """
 
     def __init__(
@@ -107,6 +115,7 @@ class EventDrivenTensaurus:
         fiber1: Optional[np.ndarray] = None,
         f1_tile: int = 0,
         queue_depth: int = 4,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.costs = costs
@@ -114,6 +123,7 @@ class EventDrivenTensaurus:
         self.fiber1 = None if fiber1 is None else np.asarray(fiber1, dtype=np.float64)
         self.f1_tile = f1_tile
         self.queue_depth = queue_depth
+        self.fault_plan = fault_plan
         if costs.uses_fibers and self.fiber1 is None:
             raise SimulationError(f"{costs.kernel} needs a fiber1 source")
 
@@ -136,12 +146,37 @@ class EventDrivenTensaurus:
         cycle = 0
         max_cycles = 1000 + self._cycle_budget(kinds)
 
+        # Deterministic per-entry HBM stall draws (fault layer).
+        plan = self.fault_plan
+        stall_flags = None
+        stall_cycles_each = 0
+        if plan is not None and plan.hbm_stall_rate > 0 and entries > 0:
+            stall_flags = (
+                plan.uniforms(entries, "event-hbm", entries)
+                < plan.hbm_stall_rate
+            )
+            stall_cycles_each = plan.hbm_stall_cycles
+            max_cycles += int(stall_flags.sum()) * stall_cycles_each
+        stall_remaining = 0
+        injected_stall_cycles = 0
+        fault_events: List[FaultEvent] = []
+
         while True:
             if entries == 0:
                 break
             # --- TLU: push the next entry if every lane queue has space.
             if next_entry < entries:
-                if all(len(r.queue) < self.queue_depth for r in rows):
+                if stall_flags is not None and stall_flags[next_entry]:
+                    stall_flags[next_entry] = False
+                    stall_remaining += stall_cycles_each
+                    if len(fault_events) < MAX_EVENTS_PER_RUN:
+                        fault_events.append(
+                            FaultEvent(HBM_STALL, ("entry", int(next_entry)))
+                        )
+                if stall_remaining > 0:
+                    stall_remaining -= 1
+                    injected_stall_cycles += 1
+                elif all(len(r.queue) < self.queue_depth for r in rows):
                     for lane in range(lanes):
                         kind = int(kinds[next_entry, lane])
                         if kind == KIND_PAD:
@@ -236,6 +271,8 @@ class EventDrivenTensaurus:
             msu_stalls=msu_stalls,
             tlu_stall_cycles=tlu_stalls,
             lane_busy_cycles=busy,
+            injected_stall_cycles=injected_stall_cycles,
+            fault_events=fault_events,
         )
 
     # ------------------------------------------------------------------

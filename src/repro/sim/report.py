@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
+
+from repro.sim.faults import FaultEvent
 
 
 @dataclass
@@ -13,7 +15,10 @@ class SimReport:
     """Outcome of one kernel execution on the simulated accelerator.
 
     The per-stream byte counts let the rooflines and the energy model work
-    from the same numbers the timing used.
+    from the same numbers the timing used. ``faults`` itemizes the
+    fault-injection layer's accounting (injected faults, detection cost,
+    replay/recovery cycles) and is empty on fault-free runs;
+    ``fault_events`` carries the typed per-fault records (capped per run).
     """
 
     kernel: str
@@ -25,6 +30,8 @@ class SimReport:
     clock_ghz: float
     output: Optional[np.ndarray] = None
     detail: Dict[str, float] = field(default_factory=dict)
+    faults: Dict[str, int] = field(default_factory=dict)
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
@@ -54,8 +61,22 @@ class SimReport:
             return float("inf")
         return self.ops / self.total_bytes
 
+    @property
+    def recovery_cycles(self) -> int:
+        """Cycles this run spent on fault detection and recovery: the
+        difference to the fault-free schedule of the same workload."""
+        return int(self.faults.get("fault_overhead_cycles", 0))
+
+    @property
+    def fault_free_cycles(self) -> int:
+        """The schedule with the fault layer's overhead removed."""
+        return self.cycles - self.recovery_cycles
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.kernel}: {self.cycles} cycles, {self.gops:.1f} GOP/s, "
             f"{self.achieved_bw_gbs:.1f} GB/s, OI={self.op_intensity:.2f}"
         )
+        if self.faults:
+            text += f", {self.recovery_cycles} recovery cycles"
+        return text

@@ -5,14 +5,24 @@ re-simulates a workload across a grid of config variations so the scaling
 ablations (and downstream users sizing their own deployment) get a uniform
 interface: give it a base config, a dict of parameter lists, and a runner,
 and it returns one record per design point.
+
+Robustness: a point whose simulation faults (an armed
+:class:`~repro.sim.faults.FaultPlan`, or any
+:class:`~repro.util.errors.SimulationError`) can be retried
+(``max_retries``, each attempt on a fresh fault epoch) and bounded in wall
+clock (``timeout_s``). With ``allow_partial=True`` exhausted points are
+recorded as :class:`SweepFailure` entries on the returned
+:class:`SweepResult` instead of aborting the whole grid.
 """
 
 from __future__ import annotations
 
 import itertools
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -20,7 +30,12 @@ from repro.analysis.tables import format_table
 from repro.sim.accelerator import Tensaurus
 from repro.sim.config import TensaurusConfig
 from repro.sim.report import SimReport
-from repro.util.errors import ConfigError
+from repro.util.errors import (
+    ConfigError,
+    FaultError,
+    RetryExhaustedError,
+    SimulationError,
+)
 
 
 @dataclass(frozen=True)
@@ -41,12 +56,46 @@ class DesignPoint:
         return self.report.gops / max(self.config.mac_units, 1)
 
 
+@dataclass(frozen=True)
+class SweepFailure:
+    """One design point the sweep could not evaluate."""
+
+    params: Dict[str, object]
+    config: TensaurusConfig
+    reason: str
+    attempts: int
+
+
+class SweepResult(List[DesignPoint]):
+    """The sweep's design points (a list, in grid order) plus bookkeeping:
+    ``failures`` holds the points that exhausted their retries or timed
+    out (``allow_partial=True``), ``fallback_reason`` records why a
+    parallel sweep fell back to serial evaluation (unpicklable runner)."""
+
+    def __init__(self, points: Sequence[DesignPoint] = ()) -> None:
+        super().__init__(points)
+        self.failures: List[SweepFailure] = []
+        self.fallback_reason: Optional[str] = None
+
+
 def _evaluate_point(
-    item: Tuple[TensaurusConfig, Callable[[Tensaurus], SimReport]]
-) -> SimReport:
-    """Worker body: run one design point (module-level, so it pickles)."""
-    config, runner = item
-    return runner(Tensaurus(config))
+    item: Tuple[TensaurusConfig, Callable[[Tensaurus], SimReport], int]
+) -> Tuple[str, object, int]:
+    """Worker body: run one design point (module-level, so it pickles).
+
+    Returns ``("ok", report, attempts)`` or ``("fail", reason, attempts)``.
+    Each retry runs on a fresh fault epoch, so an armed fault plan does not
+    deterministically re-fail the point.
+    """
+    config, runner, max_retries = item
+    last: Optional[BaseException] = None
+    for attempt in range(max_retries + 1):
+        try:
+            report = runner(Tensaurus(config, fault_epoch=attempt))
+            return ("ok", report, attempt + 1)
+        except (FaultError, SimulationError) as exc:
+            last = exc
+    return ("fail", repr(last), max_retries + 1)
 
 
 def sweep_configs(
@@ -54,7 +103,10 @@ def sweep_configs(
     grid: Dict[str, Sequence],
     runner: Callable[[Tensaurus], SimReport],
     workers: Optional[int] = None,
-) -> List[DesignPoint]:
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+    allow_partial: bool = False,
+) -> SweepResult:
     """Evaluate ``runner`` at every point of the parameter grid.
 
     ``grid`` maps :class:`TensaurusConfig` field names to value lists; the
@@ -63,12 +115,25 @@ def sweep_configs(
 
     ``workers`` > 1 fans the points out over a process pool. Results come
     back in grid order regardless of completion order, so parallel and
-    serial sweeps return identical lists. The runner (and everything it
-    closes over) must pickle; if it does not, the sweep warns and falls
-    back to serial evaluation rather than failing mid-grid.
+    serial sweeps return identical lists (fault injection included: every
+    point draws from streams keyed by its own config and attempt, never by
+    scheduling). The runner (and everything it closes over) must pickle;
+    if it does not, the sweep warns with the pickling error, records it as
+    ``fallback_reason``, and falls back to serial evaluation.
+
+    ``max_retries`` re-attempts a faulting point (fresh fault epoch each
+    time); ``timeout_s`` bounds one point's evaluation — enforced
+    preemptively in parallel mode, detected after the fact in serial mode
+    (the point still runs to completion but is reported as timed out).
+    A point that stays failed raises (``allow_partial=False``) or is
+    recorded on ``SweepResult.failures`` (``allow_partial=True``).
     """
     if not grid:
         raise ConfigError("empty parameter grid")
+    if max_retries < 0:
+        raise ConfigError("max_retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigError("timeout_s must be positive")
     for name in grid:
         if not hasattr(base, name):
             raise ConfigError(f"unknown config field {name!r}")
@@ -78,35 +143,79 @@ def sweep_configs(
         params = dict(zip(names, combo))
         combos.append((params, base.scaled(**params)))
 
-    reports: Optional[List[SimReport]] = None
+    result = SweepResult()
+    outcomes: Optional[List[Tuple[str, object, int]]] = None
     if workers is not None and workers > 1 and len(combos) > 1:
         try:
             pickle.dumps(runner)
-        except Exception:
+        except Exception as exc:
+            result.fallback_reason = repr(exc)
             warnings.warn(
                 "sweep_configs runner is not picklable; falling back to "
-                "serial evaluation",
+                f"serial evaluation ({exc!r})",
                 RuntimeWarning,
                 stacklevel=2,
             )
         else:
             max_workers = min(workers, len(combos))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                # Executor.map preserves submission order: deterministic.
-                reports = list(
-                    pool.map(
-                        _evaluate_point,
-                        [(config, runner) for _, config in combos],
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            try:
+                futures = [
+                    pool.submit(
+                        _evaluate_point, (config, runner, max_retries)
                     )
+                    for _, config in combos
+                ]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(future.result(timeout=timeout_s))
+                    except FutureTimeoutError:
+                        future.cancel()
+                        outcomes.append(
+                            ("fail", f"timeout after {timeout_s}s", 1)
+                        )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+    if outcomes is None:
+        outcomes = []
+        for _, config in combos:
+            start = time.monotonic()
+            outcome = _evaluate_point((config, runner, max_retries))
+            elapsed = time.monotonic() - start
+            if (
+                timeout_s is not None
+                and elapsed > timeout_s
+                and outcome[0] == "ok"
+            ):
+                outcome = (
+                    "fail",
+                    f"timeout after {timeout_s}s ({elapsed:.3f}s)",
+                    outcome[2],
                 )
-    if reports is None:
-        reports = [
-            _evaluate_point((config, runner)) for _, config in combos
-        ]
-    return [
-        DesignPoint(params=params, config=config, report=report)
-        for (params, config), report in zip(combos, reports)
-    ]
+            outcomes.append(outcome)
+
+    for (params, config), (status, payload, attempts) in zip(combos, outcomes):
+        if status == "ok":
+            result.append(
+                DesignPoint(params=params, config=config, report=payload)
+            )
+        elif allow_partial:
+            result.failures.append(
+                SweepFailure(
+                    params=params,
+                    config=config,
+                    reason=str(payload),
+                    attempts=attempts,
+                )
+            )
+        else:
+            raise RetryExhaustedError(
+                f"design point {params} failed after {attempts} "
+                f"attempt(s): {payload}",
+                attempts=attempts,
+            )
+    return result
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.energy.model import accelerator_energy
+from repro.sim.faults import FaultEvent
 from repro.sim.report import SimReport
 from repro.util.errors import ConfigError
 
@@ -38,13 +39,21 @@ class Timeline:
 
     peak_gops: float = 512.0
     entries: List[TimelineEntry] = field(default_factory=list)
+    #: every fault surfaced by the launches plus host-level events recorded
+    #: via :meth:`record_fault` (watchdog trips, resets, chip failures).
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     def add(self, label: str, report: SimReport) -> TimelineEntry:
         """Append a launch (runs back-to-back after the previous one)."""
         start = self.entries[-1].end_s if self.entries else 0.0
         entry = TimelineEntry(label=label, report=report, start_s=start)
         self.entries.append(entry)
+        self.fault_events.extend(report.fault_events)
         return entry
+
+    def record_fault(self, event: FaultEvent) -> None:
+        """Attach a host-level fault (outside any one launch's report)."""
+        self.fault_events.append(event)
 
     # ------------------------------------------------------------------
     @property
@@ -77,6 +86,29 @@ class Timeline:
         if self.peak_gops <= 0:
             raise ConfigError("peak_gops must be positive")
         return self.average_gops / self.peak_gops
+
+    @property
+    def total_recovery_cycles(self) -> int:
+        """Cycles all launches together spent on fault recovery."""
+        return sum(e.report.recovery_cycles for e in self.entries)
+
+    @property
+    def total_recovery_seconds(self) -> float:
+        return sum(
+            e.report.recovery_cycles / (e.report.clock_ghz * 1.0e9)
+            for e in self.entries
+        )
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Aggregated ``SimReport.faults`` counters across every launch."""
+        out: Dict[str, int] = {}
+        for e in self.entries:
+            for key, value in e.report.faults.items():
+                if key in ("active_lanes",):  # structural, not additive
+                    out[key] = int(value)
+                else:
+                    out[key] = out.get(key, 0) + int(value)
+        return out
 
     def bottleneck(self) -> Optional[TimelineEntry]:
         """The single longest launch."""
@@ -115,4 +147,10 @@ class Timeline:
             f"avg {self.average_gops:.0f} GOP/s "
             f"({self.average_utilization:.0%} of peak)"
         )
+        if self.fault_events or self.total_recovery_cycles:
+            summary += (
+                f"\nfaults: {len(self.fault_events)} events, "
+                f"{self.total_recovery_cycles} recovery cycles "
+                f"({self.total_recovery_seconds * 1e6:.1f} us)"
+            )
         return table + "\n" + summary

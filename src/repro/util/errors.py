@@ -28,3 +28,32 @@ class KernelError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulator reached an inconsistent internal state."""
+
+
+class FaultError(SimulationError):
+    """An injected or detected hardware fault interrupted execution.
+
+    Raised by the fault-injection layer (:mod:`repro.sim.faults`) for
+    host-visible faults — aborted launches, watchdog expiries, whole-chip
+    failures — that a resilient caller is expected to recover from via
+    retry or checkpoint-resume. Subclasses :class:`SimulationError`, so
+    pre-existing ``except SimulationError`` handlers keep working.
+    """
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A retried operation failed on every permitted attempt.
+
+    Carries the attempt count and the last underlying error so callers can
+    distinguish "the fault persisted" from "the policy was too tight".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: "BaseException | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

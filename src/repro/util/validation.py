@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable
 
 from repro.util.errors import ConfigError, ShapeError
 
@@ -33,8 +33,21 @@ def check_shape_match(name_a: str, dim_a: int, name_b: str, dim_b: int) -> None:
         )
 
 
-def check_sorted_unique(name: str, values: Sequence[int]) -> None:
-    """Raise :class:`ShapeError` unless ``values`` is strictly increasing."""
-    for prev, cur in zip(values, list(values)[1:]):
+def check_sorted_unique(name: str, values: Iterable[int]) -> None:
+    """Raise :class:`ShapeError` unless ``values`` is strictly increasing.
+
+    Accepts any iterable (including one-shot generators) and walks it in a
+    single pass without materializing a copy.
+    """
+    it = iter(values)
+    try:
+        prev = next(it)
+    except StopIteration:
+        return
+    for pos, cur in enumerate(it, start=1):
         if cur <= prev:
-            raise ShapeError(f"{name} must be strictly increasing, got {list(values)!r}")
+            raise ShapeError(
+                f"{name} must be strictly increasing, but "
+                f"values[{pos}]={cur!r} <= values[{pos - 1}]={prev!r}"
+            )
+        prev = cur

@@ -100,6 +100,39 @@ class TestAcceleratorCache:
             fresh.run_mttkrp(t2, b, c, compute_output=False)
         )
 
+    def test_inplace_value_mutation_invalidates(self):
+        # Staleness: fingerprints cover the value arrays, so mutating a
+        # tensor's values in place (same structure, same object identity)
+        # must miss the cache, never serve the stale encoding.
+        acc = Tensaurus()
+        rng = make_rng(21)
+        t = random_tensor(shape=(30, 20, 15), density=0.1, seed=20)
+        b, c = rng.random((20, 8)), rng.random((15, 8))
+        acc.run_mttkrp(t, b, c, compute_output=False)
+        info = acc.cache_info()
+        # The public array is read-only; force the mutation the way buggy
+        # caller code could, bypassing the immutability guard.
+        t.values.flags.writeable = True
+        t.values[0] *= 2.0
+        t.values.flags.writeable = False
+        acc.run_mttkrp(t, b, c, compute_output=False)
+        assert acc.cache_info()["misses"] > info["misses"]
+
+    def test_inplace_matrix_value_mutation_invalidates(self):
+        from repro.formats import COOMatrix
+        from repro.formats.csr import CSRMatrix
+
+        acc = Tensaurus()
+        rng = make_rng(22)
+        dense = (rng.random((24, 18)) < 0.3) * (rng.random((24, 18)) + 0.1)
+        coo = COOMatrix.from_dense(dense)
+        b = rng.random((18, 8))
+        acc.run_spmm(CSRMatrix.from_coo(coo), b, compute_output=False)
+        info = acc.cache_info()
+        coo.vals[0] *= 2.0
+        acc.run_spmm(CSRMatrix.from_coo(coo), b, compute_output=False)
+        assert acc.cache_info()["misses"] > info["misses"]
+
     def test_cache_disabled_reports_identical(self):
         rng = make_rng(9)
         t = random_tensor(shape=(30, 20, 15), density=0.1, seed=6)

@@ -85,3 +85,11 @@ class TestValidation:
             check_sorted_unique("s", [1, 1, 2])
         with pytest.raises(ShapeError):
             check_sorted_unique("s", [3, 2])
+
+    def test_check_sorted_unique_single_pass_iterables(self):
+        # One-shot generators are accepted and walked exactly once.
+        check_sorted_unique("s", iter([]))
+        check_sorted_unique("s", iter([7]))
+        check_sorted_unique("s", (i * 2 for i in range(5)))
+        with pytest.raises(ShapeError, match=r"values\[2\]=3"):
+            check_sorted_unique("s", (x for x in [1, 3, 3]))
