@@ -7,20 +7,37 @@ same rows/series the paper reports, asserts the paper's qualitative claims
 ``benchmarks/results/`` for EXPERIMENTS.md.
 
 Run with ``pytest benchmarks/ --benchmark-only``. Heavy artifacts (datasets,
-simulator runs) are cached in session-scoped fixtures; pytest-benchmark
-timings use single-round pedantic mode since each "iteration" is itself a
-full simulation.
+simulator runs, baseline workload scans) are memoized in an on-disk
+:class:`repro.artifacts.ArtifactStore` (``benchmarks/.artifacts`` by
+default), so a warm regeneration replays fingerprint-keyed pickles instead
+of re-simulating. Harness options:
+
+``--artifact-dir DIR``
+    Store location (default ``$REPRO_ARTIFACTS_DIR`` or
+    ``benchmarks/.artifacts``).
+``--no-artifact-cache``
+    Disable the store: regenerate everything from scratch.
+``--regen-workers N``
+    Fan the figure modules over ``N`` pytest subprocesses sharing one
+    artifact directory (safe: writes are atomic renames).
+
+pytest-benchmark timings use single-round pedantic mode since each
+"iteration" is itself a full simulation.
 """
 
 from __future__ import annotations
 
 import functools
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import datasets
+from repro.artifacts import ArtifactStore, MemoizedTensaurus, default_artifact_root
 from repro.baselines import (
     CambriconXBaseline,
     CPUBaseline,
@@ -30,6 +47,13 @@ from repro.baselines import (
 from repro.sim import Tensaurus
 from repro.util.rng import make_rng
 
+# pytest imports this conftest under its own rootdir-derived module name,
+# while figure modules `from benchmarks.conftest import ...`. Alias the two
+# so there is exactly one module instance (and one ``_STORE``): whichever
+# loads first (always the conftest — pytest loads it before collection)
+# registers itself as ``benchmarks.conftest``.
+sys.modules.setdefault("benchmarks.conftest", sys.modules[__name__])
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Experiment rank parameters (documented in EXPERIMENTS.md).
@@ -37,6 +61,101 @@ MTTKRP_RANK = 32
 TTMC_RANKS = (32, 32)
 SPMM_CNN_COLS = 256
 SPMM_GRAPH_COLS = 128
+
+#: Environment guard marking a ``--regen-workers`` child process, so the
+#: fan-out hook never recurses.
+_CHILD_ENV = "REPRO_REGEN_CHILD"
+
+#: The session's artifact store. Module-level because the dataset helpers
+#: below are plain functions (imported by figure modules), not fixtures.
+_STORE = ArtifactStore()
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-regen", "figure regeneration harness")
+    group.addoption(
+        "--artifact-dir", default=None,
+        help="artifact cache directory (default: benchmarks/.artifacts)",
+    )
+    group.addoption(
+        "--no-artifact-cache", action="store_true", default=False,
+        help="disable the on-disk artifact cache for this run",
+    )
+    group.addoption(
+        "--regen-workers", type=int, default=0,
+        help="fan benchmark modules over N pytest worker subprocesses",
+    )
+
+
+def pytest_configure(config):
+    global _STORE
+    root = config.getoption("--artifact-dir") or default_artifact_root()
+    enabled = not config.getoption("--no-artifact-cache")
+    _STORE = ArtifactStore(root=root, enabled=enabled)
+
+
+def pytest_cmdline_main(config):
+    """``--regen-workers N``: run each benchmark module in its own pytest
+    subprocess (N at a time) against the shared artifact store."""
+    try:
+        workers = config.getoption("--regen-workers")
+    except ValueError:
+        return None
+    if not workers or workers <= 1 or os.environ.get(_CHILD_ENV):
+        return None
+
+    modules = sorted(Path(__file__).parent.glob("test_*.py"))
+    passthrough = []
+    artifact_dir = config.getoption("--artifact-dir")
+    if artifact_dir:
+        passthrough.append(f"--artifact-dir={artifact_dir}")
+    if config.getoption("--no-artifact-cache"):
+        passthrough.append("--no-artifact-cache")
+
+    import tempfile
+
+    env = dict(os.environ, **{_CHILD_ENV: "1"})
+    failures = []
+    pending = list(modules)
+    running = []
+    while pending or running:
+        while pending and len(running) < workers:
+            module = pending.pop(0)
+            log = tempfile.TemporaryFile(mode="w+")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "pytest", str(module), "-q", "-p",
+                 "no:cacheprovider", *passthrough],
+                env=env,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+            )
+            running.append((module, proc, log))
+        module, proc, log = running.pop(0)
+        proc.wait()
+        status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+        print(f"[regen] {module.name}: {status}")
+        if proc.returncode != 0:
+            failures.append(module.name)
+            log.seek(0)
+            print(log.read())
+        log.close()
+    print(f"[regen] {len(modules) - len(failures)}/{len(modules)} modules ok")
+    return 1 if failures else 0
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not os.environ.get(_CHILD_ENV):
+        terminalreporter.write_line(_STORE.report_line())
+
+
+def artifact_store_instance() -> ArtifactStore:
+    """The session's store (module-level accessor for figure modules)."""
+    return _STORE
+
+
+@pytest.fixture(scope="session")
+def artifact_store() -> ArtifactStore:
+    return _STORE
 
 
 def record_result(name: str, text: str) -> None:
@@ -51,9 +170,15 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def make_accelerator(config=None) -> MemoizedTensaurus:
+    """A memoized accelerator for ablation modules that sweep configs."""
+    inner = Tensaurus(config) if config is not None else Tensaurus()
+    return MemoizedTensaurus(inner, _STORE)
+
+
 @pytest.fixture(scope="session")
-def accelerator() -> Tensaurus:
-    return Tensaurus()
+def accelerator() -> MemoizedTensaurus:
+    return make_accelerator()
 
 
 @pytest.fixture(scope="session")
@@ -83,17 +208,17 @@ def rng() -> np.random.Generator:
 
 @functools.lru_cache(maxsize=None)
 def tensor_dataset(name: str):
-    return datasets.load_tensor(name)
+    return datasets.load_tensor(name, store=_STORE)
 
 
 @functools.lru_cache(maxsize=None)
 def matrix_dataset(name: str):
-    return datasets.load_matrix(name)
+    return datasets.load_matrix(name, store=_STORE)
 
 
 @functools.lru_cache(maxsize=None)
 def cnn_layer(name: str):
-    return datasets.load_cnn_layer(name)
+    return datasets.load_cnn_layer(name, store=_STORE)
 
 
 @functools.lru_cache(maxsize=None)

@@ -11,10 +11,10 @@ import pytest
 
 from repro.analysis import format_table
 from repro.datasets import random_sparse_tensor
-from repro.sim import Tensaurus, TensaurusConfig
+from repro.sim import TensaurusConfig
 from repro.util.rng import make_rng
 
-from benchmarks.conftest import record_result, run_once
+from benchmarks.conftest import make_accelerator, record_result, run_once
 
 RANK = 32
 
@@ -29,7 +29,7 @@ def runs():
     dense_b = rng.random((512, 256))
     out = {}
     for dw in (4, 2):
-        acc = Tensaurus(TensaurusConfig(data_width=dw))
+        acc = make_accelerator(TensaurusConfig(data_width=dw))
         out[dw] = {
             "sparse": acc.run_mttkrp(
                 sparse, fb, fc, msu_mode="direct", compute_output=False

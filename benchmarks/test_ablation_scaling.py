@@ -11,10 +11,10 @@ import pytest
 
 from repro.analysis import format_table
 from repro.datasets import random_sparse_tensor
-from repro.sim import Tensaurus, TensaurusConfig
+from repro.sim import TensaurusConfig
 from repro.util.rng import make_rng
 
-from benchmarks.conftest import record_result, run_once
+from benchmarks.conftest import make_accelerator, record_result, run_once
 
 ROW_SWEEP = (2, 4, 8, 16)
 RANK = 32
@@ -30,7 +30,7 @@ def sweep():
     fc = rng.random((400, RANK))
     rows = []
     for r in ROW_SWEEP:
-        acc = Tensaurus(TensaurusConfig(rows=r))
+        acc = make_accelerator(TensaurusConfig(rows=r))
         gemm = acc.run_spmm(dense_a, dense_b, compute_output=False)
         sp = acc.run_mttkrp(sparse, fb, fc, msu_mode="direct", compute_output=False)
         rows.append((r, acc.config.peak_gops, gemm, sp))

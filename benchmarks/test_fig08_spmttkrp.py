@@ -13,6 +13,7 @@ from repro.energy import accelerator_energy
 
 from benchmarks.conftest import (
     MTTKRP_RANK,
+    artifact_store_instance,
     factor_pair,
     record_result,
     run_once,
@@ -31,7 +32,10 @@ def rows(accelerator, cpu, gpu):
             rest = [m for m in range(3) if m != mode]
             b, c = factor_pair(t.shape[rest[0]], t.shape[rest[1]], MTTKRP_RANK)
             rep = accelerator.run_mttkrp(t, b, c, mode=mode, compute_output=False)
-            stats = tensor_workload("mttkrp", t, MTTKRP_RANK, mode=mode)
+            stats = tensor_workload(
+                "mttkrp", t, MTTKRP_RANK, mode=mode,
+                store=artifact_store_instance(),
+            )
             r_cpu = cpu.run(stats)
             r_gpu = gpu.run(stats)
             out.append(

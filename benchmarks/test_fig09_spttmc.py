@@ -16,6 +16,7 @@ from repro.energy import accelerator_energy
 
 from benchmarks.conftest import (
     TTMC_RANKS,
+    artifact_store_instance,
     factor_pair,
     record_result,
     run_once,
@@ -34,7 +35,10 @@ def rows(accelerator, cpu, gpu):
             rest = [m for m in range(3) if m != mode]
             b, c = factor_pair(t.shape[rest[0]], t.shape[rest[1]], TTMC_RANKS[0])
             rep = accelerator.run_ttmc(t, b, c, mode=mode, compute_output=False)
-            stats = tensor_workload("ttmc", t, *TTMC_RANKS, mode=mode)
+            stats = tensor_workload(
+                "ttmc", t, *TTMC_RANKS, mode=mode,
+                store=artifact_store_instance(),
+            )
             r_cpu = cpu.run(stats)
             r_gpu = gpu.run(stats)
             out.append(

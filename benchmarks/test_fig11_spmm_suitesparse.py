@@ -16,6 +16,7 @@ from repro.util.rng import make_rng
 
 from benchmarks.conftest import (
     SPMM_GRAPH_COLS,
+    artifact_store_instance,
     matrix_dataset,
     record_result,
     run_once,
@@ -30,7 +31,9 @@ def rows(accelerator, cpu, gpu, cambricon):
         m = matrix_dataset(mname)
         b = rng.random((m.shape[1], SPMM_GRAPH_COLS))
         rep = accelerator.run_spmm(m, b, compute_output=False)
-        stats = matrix_workload("spmm", m, SPMM_GRAPH_COLS)
+        stats = matrix_workload(
+            "spmm", m, SPMM_GRAPH_COLS, store=artifact_store_instance()
+        )
         times = {"tensaurus": rep.time_s}
         energies = {
             "tensaurus": accelerator_energy(rep, accelerator.config.peak_gops)

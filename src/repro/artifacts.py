@@ -1,0 +1,302 @@
+"""Content-addressed on-disk artifact store for the benchmark harness.
+
+Every figure/ablation module in ``benchmarks/`` regenerates the same
+expensive intermediates: synthetic datasets, CISS encodings, baseline
+workload statistics and full simulator reports. This module memoizes them
+across modules *and across pytest sessions* in a directory of pickle files
+keyed by content fingerprints — the same blake2b scheme
+:class:`repro.sim.batch.EncodingCache` uses in memory, extended to whole
+values (tensors, matrices, configs, argument tuples). A key never aliases:
+it digests the operand *contents*, so regenerating with different data
+misses instead of returning a stale artifact.
+
+Pieces:
+
+- :func:`fingerprint_value` — stable hex digest of an arbitrary composite
+  of arrays / sparse operands / scalars / containers.
+- :class:`ArtifactStore` — ``get(namespace, parts, builder)`` with
+  hit/miss/byte counters, atomic writes and corruption-tolerant reads.
+- :class:`MemoizedTensaurus` — a transparent :class:`repro.sim.Tensaurus`
+  wrapper whose ``run_*`` kernels are memoized by (config, operands,
+  arguments). Fault-injecting accelerators are never memoized: with a
+  :class:`FaultPlan` armed, successive runs advance the fault stream, so
+  replaying a cached report would change observable behavior.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.sim.batch import fingerprint_arrays
+
+_SCHEMA_VERSION = 1
+
+
+def default_artifact_root() -> Path:
+    """Store location: ``$REPRO_ARTIFACTS_DIR`` or ``benchmarks/.artifacts``."""
+    env = os.environ.get("REPRO_ARTIFACTS_DIR")
+    if env:
+        return Path(env)
+    return Path("benchmarks") / ".artifacts"
+
+
+def _feed(h: "hashlib._Hash", part: Any) -> None:
+    """Recursively mix one key part into the digest, type-tagged."""
+    if part is None:
+        h.update(b"\x00N")
+    elif isinstance(part, np.ndarray):
+        h.update(b"\x00A")
+        h.update(fingerprint_arrays(part))
+    elif isinstance(part, (bytes, bytearray)):
+        h.update(b"\x00B")
+        h.update(bytes(part))
+    elif isinstance(part, str):
+        h.update(b"\x00S")
+        h.update(part.encode())
+    elif isinstance(part, bool):
+        h.update(b"\x00b" + (b"1" if part else b"0"))
+    elif isinstance(part, (int, float, complex)):
+        h.update(b"\x00n" + repr(part).encode())
+    elif isinstance(part, (tuple, list)):
+        h.update(b"\x00T" + str(len(part)).encode())
+        for item in part:
+            _feed(h, item)
+    elif isinstance(part, dict):
+        h.update(b"\x00D" + str(len(part)).encode())
+        for key in sorted(part, key=repr):
+            _feed(h, key)
+            _feed(h, part[key])
+    elif hasattr(part, "coords") and hasattr(part, "values"):
+        # SparseTensor (duck-typed to avoid import cycles)
+        h.update(b"\x00t")
+        _feed(h, tuple(part.shape))
+        h.update(fingerprint_arrays(part.coords, part.values))
+    elif hasattr(part, "rows") and hasattr(part, "cols") and hasattr(part, "vals"):
+        # COOMatrix
+        h.update(b"\x00m")
+        _feed(h, tuple(part.shape))
+        h.update(fingerprint_arrays(part.rows, part.cols, part.vals))
+    elif hasattr(part, "indptr") and hasattr(part, "indices"):
+        # CSRMatrix / CSCMatrix
+        h.update(b"\x00c" + type(part).__name__.encode())
+        _feed(h, tuple(part.shape))
+        h.update(fingerprint_arrays(part.indptr, part.indices, part.data))
+    else:
+        # Frozen dataclasses (TensaurusConfig, WorkloadStats, specs with
+        # stable fields) fall through to their deterministic repr.
+        h.update(b"\x00R")
+        h.update(repr(part).encode())
+
+
+def fingerprint_value(*parts: Any) -> str:
+    """Stable hex digest of a composite key (arrays digested by content)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"repro-artifact-v%d" % _SCHEMA_VERSION)
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+class ArtifactStore:
+    """A directory of content-fingerprint-keyed pickled artifacts.
+
+    ``get`` either loads ``<root>/<namespace>/<digest>.pkl`` or calls the
+    builder and persists its result (atomic rename, so concurrent
+    ``--regen-workers`` processes never observe torn files). A disabled
+    store (``enabled=False``) counts misses but touches no disk — the
+    escape hatch for ``--no-artifact-cache`` runs.
+    """
+
+    def __init__(self, root: os.PathLike | str | None = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_artifact_root()
+        self.enabled = bool(enabled)
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_errors = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, namespace: str, parts: Iterable[Any]) -> Path:
+        return self.root / namespace / f"{fingerprint_value(*parts)}.pkl"
+
+    def get(
+        self, namespace: str, parts: Iterable[Any], builder: Callable[[], Any]
+    ) -> Any:
+        """Return the cached artifact for ``parts``, building it on miss."""
+        parts = tuple(parts)
+        if not self.enabled:
+            self.misses += 1
+            return builder()
+        path = self.path_for(namespace, parts)
+        if path.exists():
+            try:
+                blob = path.read_bytes()
+                value = pickle.loads(blob)
+            except Exception:
+                # Torn/corrupt entry (e.g. killed writer): rebuild below.
+                self.read_errors += 1
+            else:
+                self.hits += 1
+                self.bytes_read += len(blob)
+                return value
+        value = builder()
+        self.misses += 1
+        self._write(path, value)
+        return value
+
+    def _write(self, path: Path, value: Any) -> None:
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # unpicklable artifacts simply aren't persisted
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.bytes_written += len(blob)
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def total_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete all stored artifacts; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "read_errors": self.read_errors,
+        }
+
+    def report_line(self) -> str:
+        """One-line summary for session logs / CI output."""
+        state = "" if self.enabled else " (disabled)"
+        return (
+            f"artifact cache{state}: {self.hits} hits, {self.misses} misses, "
+            f"{self.bytes_read / 1e6:.1f} MB read, "
+            f"{self.bytes_written / 1e6:.1f} MB written, "
+            f"{self.entry_count()} entries ({self.total_bytes() / 1e6:.1f} MB) "
+            f"in {self.root}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactStore(root={str(self.root)!r}, enabled={self.enabled}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def _operand_key(operand: Any) -> Any:
+    """Normalize a kernel operand into a fingerprintable key part."""
+    if isinstance(operand, np.ndarray):
+        return np.ascontiguousarray(operand, dtype=np.float64)
+    return operand
+
+
+class MemoizedTensaurus:
+    """Transparent ``Tensaurus`` wrapper memoizing kernel reports on disk.
+
+    Keys combine the kernel name, the config's deterministic repr and the
+    content fingerprints of every operand and keyword argument, so a cached
+    :class:`repro.sim.SimReport` (cycles, bytes, numeric output) is only
+    replayed for an identical simulation. Accelerators with an armed fault
+    plan run live — their per-run fault stream makes replay incorrect.
+
+    Everything else (``config``, ``cache_info``, ``clear_cache``, ...)
+    passes through to the wrapped instance.
+    """
+
+    def __init__(self, inner: Any, store: ArtifactStore):
+        self._inner = inner
+        self._store = store
+
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> Any:
+        return self._inner
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self._store
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def _memoized(self, kernel: str, operands: tuple, kwargs: dict, runner):
+        if self._inner.fault_plan is not None:
+            return runner()
+        parts = (
+            "simreport",
+            _SCHEMA_VERSION,
+            kernel,
+            repr(self._inner.config),
+            tuple(_operand_key(op) for op in operands),
+            {k: _operand_key(v) for k, v in kwargs.items()},
+        )
+        return self._store.get("simreport", parts, runner)
+
+    # ------------------------------------------------------------------
+    def run_mttkrp(self, tensor, mat_b, mat_c, mode=0, msu_mode="auto",
+                   compute_output=True):
+        kwargs = dict(mode=mode, msu_mode=msu_mode, compute_output=compute_output)
+        return self._memoized(
+            "mttkrp", (tensor, mat_b, mat_c), kwargs,
+            lambda: self._inner.run_mttkrp(tensor, mat_b, mat_c, **kwargs),
+        )
+
+    def run_ttmc(self, tensor, mat_b, mat_c, mode=0, msu_mode="auto",
+                 compute_output=True):
+        kwargs = dict(mode=mode, msu_mode=msu_mode, compute_output=compute_output)
+        return self._memoized(
+            "ttmc", (tensor, mat_b, mat_c), kwargs,
+            lambda: self._inner.run_ttmc(tensor, mat_b, mat_c, **kwargs),
+        )
+
+    def run_spmm(self, a, mat_b, msu_mode="auto", compute_output=True):
+        kwargs = dict(msu_mode=msu_mode, compute_output=compute_output)
+        return self._memoized(
+            "spmm", (a, mat_b), kwargs,
+            lambda: self._inner.run_spmm(a, mat_b, **kwargs),
+        )
+
+    def run_spmv(self, a, vec, msu_mode="auto", compute_output=True):
+        kwargs = dict(msu_mode=msu_mode, compute_output=compute_output)
+        return self._memoized(
+            "spmv", (a, vec), kwargs,
+            lambda: self._inner.run_spmv(a, vec, **kwargs),
+        )
+
+    def __repr__(self) -> str:
+        return f"MemoizedTensaurus({self._inner!r}, store={self._store!r})"

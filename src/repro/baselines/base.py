@@ -99,10 +99,22 @@ def tensor_workload(
     rank: int,
     rank2: int = 0,
     mode: int = 0,
+    store=None,
 ) -> WorkloadStats:
-    """Build stats for MTTKRP (``rank``) or TTMc (``rank``, ``rank2``)."""
+    """Build stats for MTTKRP (``rank``) or TTMc (``rank``, ``rank2``).
+
+    ``store`` (an :class:`repro.artifacts.ArtifactStore`) memoizes the
+    extraction — the unique-fiber scan is the expensive part — keyed on the
+    operand's content fingerprint and the arguments.
+    """
     if kernel not in ("mttkrp", "ttmc"):
         raise KernelError(f"tensor_workload got {kernel!r}")
+    if store is not None:
+        return store.get(
+            "workload",
+            ("tensor", kernel, rank, rank2, mode, tensor),
+            lambda: tensor_workload(kernel, tensor, rank, rank2, mode),
+        )
     if isinstance(tensor, SparseTensor):
         rest = [m for m in range(3) if m != mode]
         perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
@@ -141,10 +153,20 @@ def matrix_workload(
     kernel: str,
     a: Union[CSRMatrix, COOMatrix, np.ndarray],
     ncols: int = 1,
+    store=None,
 ) -> WorkloadStats:
-    """Build stats for SpMM/GEMM (``ncols``) or SpMV/GEMV."""
+    """Build stats for SpMM/GEMM (``ncols``) or SpMV/GEMV.
+
+    ``store`` memoizes the extraction like :func:`tensor_workload`.
+    """
     if kernel not in ("spmm", "gemm", "spmv", "gemv"):
         raise KernelError(f"matrix_workload got {kernel!r}")
+    if store is not None:
+        return store.get(
+            "workload",
+            ("matrix", kernel, ncols, a),
+            lambda: matrix_workload(kernel, a, ncols),
+        )
     if isinstance(a, np.ndarray):
         rows, cols = a.shape
         return WorkloadStats(

@@ -12,6 +12,12 @@ Commands
     Run a kernel across datasets and draw the ASCII roofline.
 ``info``
     Print the accelerator design point and derived peaks.
+``artifacts``
+    Inspect or clear the on-disk artifact cache used by the benchmark
+    harness (``repro.artifacts``).
+``regen``
+    Regenerate the ``benchmarks/`` figure data, optionally fanning the
+    figure modules over worker processes and reusing cached artifacts.
 """
 
 from __future__ import annotations
@@ -63,6 +69,29 @@ def _build_parser() -> argparse.ArgumentParser:
     conv.add_argument("format", help="target format (see repro.formats)")
     conv.add_argument("--lanes", type=int, default=8)
     conv.add_argument("--block", type=int, default=128)
+
+    art = sub.add_parser("artifacts", help="inspect/clear the artifact cache")
+    art.add_argument("action", choices=("info", "clear"))
+    art.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: $REPRO_ARTIFACTS_DIR or benchmarks/.artifacts)",
+    )
+
+    regen = sub.add_parser(
+        "regen", help="regenerate benchmarks/ figure data (memoized)"
+    )
+    regen.add_argument(
+        "--workers", type=int, default=1,
+        help="fan figure modules over N pytest worker processes",
+    )
+    regen.add_argument(
+        "--artifact-dir", default=None,
+        help="artifact cache directory to reuse across runs",
+    )
+    regen.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="regenerate everything from scratch (no memoization)",
+    )
     return parser
 
 
@@ -222,6 +251,40 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactStore
+
+    store = ArtifactStore(root=args.dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    print(
+        f"artifact cache at {store.root}: {store.entry_count()} entries, "
+        f"{store.total_bytes() / 1e6:.1f} MB"
+    )
+    if store.root.is_dir():
+        for ns_dir in sorted(p for p in store.root.iterdir() if p.is_dir()):
+            entries = list(ns_dir.glob("*.pkl"))
+            size = sum(p.stat().st_size for p in entries)
+            print(f"  {ns_dir.name}: {len(entries)} entries, {size / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_regen(args: argparse.Namespace) -> int:
+    import subprocess
+
+    cmd = [sys.executable, "-m", "pytest", "benchmarks/", "-q"]
+    if args.workers and args.workers > 1:
+        cmd.append(f"--regen-workers={args.workers}")
+    if args.artifact_dir:
+        cmd.append(f"--artifact-dir={args.artifact_dir}")
+    if args.no_artifact_cache:
+        cmd.append("--no-artifact-cache")
+    print("+ " + " ".join(cmd))
+    return subprocess.call(cmd)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -234,6 +297,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_roofline(args)
     if args.command == "convert":
         return _cmd_convert(args)
+    if args.command == "artifacts":
+        return _cmd_artifacts(args)
+    if args.command == "regen":
+        return _cmd_regen(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

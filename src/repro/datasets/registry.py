@@ -58,6 +58,14 @@ class TensorSpec:
     def load(self) -> SparseTensor:
         return self.generator(self)
 
+    @property
+    def cache_token(self) -> Tuple:
+        """Stable artifact-store key: every field that shapes the generated
+        instance, *excluding* the generator callable (its repr carries a
+        memory address). The generator's identity is captured by ``name``.
+        """
+        return ("tensor", self.name, self.full_dims, self.full_nnz, self.scale)
+
 
 @dataclass(frozen=True)
 class MatrixSpec:
@@ -93,6 +101,13 @@ class MatrixSpec:
                 seed=derive_seed(0, self.name),
             )
         raise ConfigError(f"unknown matrix kind {self.kind!r}")
+
+    @property
+    def cache_token(self) -> Tuple:
+        return (
+            "matrix", self.name, self.full_dims, self.full_nnz,
+            self.scale, self.kind,
+        )
 
 
 def _web_tensor(spec: TensorSpec) -> SparseTensor:
@@ -197,6 +212,13 @@ class CNNLayerSpec:
             self.rows, self.cols, self.density, seed=derive_seed(0, self.name)
         )
 
+    @property
+    def cache_token(self) -> Tuple:
+        return (
+            "cnn-layer", self.name, self.rows, self.cols,
+            self.density, self.is_fc,
+        )
+
 
 CNN_LAYERS: Dict[str, CNNLayerSpec] = {
     f"{net}-{layer}": CNNLayerSpec(net, layer, rows, cols, dens, is_fc)
@@ -217,22 +239,29 @@ def list_cnn_layers(network: str | None = None) -> List[str]:
     return names
 
 
-def load_tensor(name: str) -> SparseTensor:
+def _load_spec(spec, store):
+    """Generate, or replay from an artifact store keyed by the spec token."""
+    if store is None:
+        return spec.load()
+    return store.get("dataset", spec.cache_token, spec.load)
+
+
+def load_tensor(name: str, store=None) -> SparseTensor:
     if name not in TENSOR_DATASETS:
         raise ConfigError(f"unknown tensor dataset {name!r}; see list_tensors()")
-    return TENSOR_DATASETS[name].load()
+    return _load_spec(TENSOR_DATASETS[name], store)
 
 
-def load_matrix(name: str) -> COOMatrix:
+def load_matrix(name: str, store=None) -> COOMatrix:
     if name not in SUITESPARSE_DATASETS:
         raise ConfigError(f"unknown matrix dataset {name!r}; see list_matrices()")
-    return SUITESPARSE_DATASETS[name].load()
+    return _load_spec(SUITESPARSE_DATASETS[name], store)
 
 
-def load_cnn_layer(name: str) -> COOMatrix:
+def load_cnn_layer(name: str, store=None) -> COOMatrix:
     if name not in CNN_LAYERS:
         raise ConfigError(f"unknown CNN layer {name!r}; see list_cnn_layers()")
-    return CNN_LAYERS[name].load()
+    return _load_spec(CNN_LAYERS[name], store)
 
 
 @dataclass(frozen=True)
@@ -257,6 +286,10 @@ class NDTensorSpec:
         return random_sparse_tensor_nd(
             self.dims, self.nnz, skew=1.1, seed=derive_seed(0, self.name)
         )
+
+    @property
+    def cache_token(self) -> Tuple:
+        return ("tensor-4d", self.name, self.dims, self.nnz)
 
 
 #: FROSTT 4-d tensors (for the CISS N-d generalization experiments).
@@ -284,9 +317,9 @@ def list_tensors_4d() -> List[str]:
     return sorted(TENSOR4D_DATASETS)
 
 
-def load_tensor_4d(name: str) -> SparseTensor:
+def load_tensor_4d(name: str, store=None) -> SparseTensor:
     if name not in TENSOR4D_DATASETS:
         raise ConfigError(
             f"unknown 4-d tensor dataset {name!r}; see list_tensors_4d()"
         )
-    return TENSOR4D_DATASETS[name].load()
+    return _load_spec(TENSOR4D_DATASETS[name], store)

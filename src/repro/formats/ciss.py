@@ -20,10 +20,22 @@ The hardware discriminates headers by ``nnz == 0``; this implementation also
 carries an explicit ``kind`` plane (header / nonzero / padding) so that the
 simulator and the decoders never rely on floating-point comparison, and so
 padding at the tail of short lanes is explicit and measurable.
+
+Two encoder engines produce bit-identical streams:
+
+- ``"fast"`` (the default) replays the least-loaded deal with an
+  integer-encoded heap (``load * num_lanes + lane``, so the heap minimum is
+  exactly the least-loaded / lowest-lane choice) and scatters all record
+  planes in one vectorized pass.
+- ``"legacy"`` is the original per-group reference encoder, kept selectable
+  via the ``engine=`` argument, :func:`set_encoder_engine`, or the
+  ``REPRO_ENCODER_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -36,6 +48,46 @@ from repro.util.errors import FormatError, ShapeError
 KIND_HEADER = 0
 KIND_NNZ = 1
 KIND_PAD = 2
+
+_ENGINES = ("fast", "legacy")
+_default_engine = os.environ.get("REPRO_ENCODER_ENGINE", "fast")
+if _default_engine not in _ENGINES:
+    raise ValueError(
+        f"REPRO_ENCODER_ENGINE must be one of {_ENGINES}, not {_default_engine!r}"
+    )
+
+
+def default_encoder_engine() -> str:
+    """The engine used when ``encode(..., engine=None)``."""
+    return _default_engine
+
+
+def set_encoder_engine(engine: str) -> str:
+    """Select the process-wide default encoder engine; returns the previous one."""
+    global _default_engine
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, not {engine!r}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def _resolve_engine(engine: str | None) -> str:
+    """Validate/default an ``engine=`` argument (shared by all encoders)."""
+    if engine is None:
+        engine = _default_engine
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, not {engine!r}")
+    return engine
+
+
+def _resolve_ciss_engine(engine: str | None) -> str:
+    engine = _resolve_engine(engine)
+    if engine == "fast" and _schedule_groups is not _REFERENCE_SCHEDULER:
+        # An ablation has patched the scheduler seam; only the legacy
+        # encoder routes through it.
+        return "legacy"
+    return engine
 
 
 @dataclass(frozen=True)
@@ -51,7 +103,7 @@ class LaneRecord:
 class _CISSBase:
     """Shared storage and lane mechanics for CISS matrices and tensors."""
 
-    __slots__ = ("shape", "num_lanes", "kinds", "a_idx", "k_idx", "vals")
+    __slots__ = ("shape", "num_lanes", "kinds", "a_idx", "k_idx", "vals", "_memo")
 
     #: number of index fields per record (2 for tensors: i/j and k; 1 for
     #: matrices: i/j only). Subclasses override.
@@ -74,17 +126,17 @@ class _CISSBase:
         self.a_idx = np.asarray(a_idx, dtype=np.int64)
         self.k_idx = np.asarray(k_idx, dtype=np.int64)
         self.vals = np.asarray(vals, dtype=np.float64)
+        self._memo = {}
         expected = self.kinds.shape
         if len(expected) != 2 or expected[1] != self.num_lanes:
             raise FormatError("record planes must be (entries, num_lanes)")
         for plane in (self.a_idx, self.k_idx, self.vals):
             if plane.shape != expected:
                 raise FormatError("record planes must all have the same shape")
-        header_vals = self.vals[self.kinds == KIND_HEADER]
-        if header_vals.size and np.any(header_vals != 0.0):
+        nonzero = self.vals != 0.0
+        if np.any(nonzero & (self.kinds == KIND_HEADER)):
             raise FormatError("header records must carry value 0 (nnz==0 sentinel)")
-        nnz_vals = self.vals[self.kinds == KIND_NNZ]
-        if nnz_vals.size and np.any(nnz_vals == 0.0):
+        if np.any(~nonzero & (self.kinds == KIND_NNZ)):
             raise FormatError("nonzero records must carry a nonzero value")
 
     # ------------------------------------------------------------------
@@ -120,19 +172,28 @@ class _CISSBase:
         """Nonzero records per lane — the scheduler's balance target."""
         return np.count_nonzero(self.kinds == KIND_NNZ, axis=0)
 
-    def lane_records(self, lane: int) -> List[LaneRecord]:
-        """Decoded record list for one lane (headers, nonzeros, pads)."""
+    def lane_records(self, lane: int) -> Tuple[LaneRecord, ...]:
+        """Decoded record tuple for one lane (headers, nonzeros, pads).
+
+        The decode is materialized once per lane and cached on the stream
+        (the planes are immutable), so repeated calls — the PE interpreter,
+        trace charts, tests — stop rebuilding per-entry Python objects.
+        """
         if not 0 <= lane < self.num_lanes:
             raise ShapeError(f"lane {lane} out of range")
-        return [
-            LaneRecord(
-                int(self.kinds[t, lane]),
-                int(self.a_idx[t, lane]),
-                int(self.k_idx[t, lane]),
-                float(self.vals[t, lane]),
+        key = ("lane", lane)
+        cached = self._memo.get(key)
+        if cached is None:
+            kinds = self.kinds[:, lane].tolist()
+            a_col = self.a_idx[:, lane].tolist()
+            k_col = self.k_idx[:, lane].tolist()
+            val_col = self.vals[:, lane].tolist()
+            cached = tuple(
+                LaneRecord(kind, a, k, val)
+                for kind, a, k, val in zip(kinds, a_col, k_col, val_col)
             )
-            for t in range(self.num_entries)
-        ]
+            self._memo[key] = cached
+        return cached
 
     def pe_address_trace(
         self,
@@ -140,21 +201,74 @@ class _CISSBase:
         data_width: int = 4,
         index_width: int = 2,
         base_address: int = 0,
-    ) -> List[List[Tuple[int, int]]]:
+    ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
         """Per-cycle ``(address, size)`` requests when streaming the format.
 
         All lanes' data for entry ``t`` is one contiguous block, so each
         cycle issues a single wide request — the access pattern that lets
-        CISS saturate bandwidth in Fig. 3e.
+        CISS saturate bandwidth in Fig. 3e. Cached per parameterization.
         """
         if num_pes is not None and num_pes != self.num_lanes:
             raise ShapeError(
                 f"stream encoded for {self.num_lanes} lanes, not {num_pes}"
             )
-        size = self.entry_bytes(data_width, index_width)
-        return [
-            [(base_address + t * size, size)] for t in range(self.num_entries)
-        ]
+        key = ("trace", data_width, index_width, base_address)
+        cached = self._memo.get(key)
+        if cached is None:
+            size = self.entry_bytes(data_width, index_width)
+            cached = tuple(
+                ((base_address + t * size, size),) for t in range(self.num_entries)
+            )
+            self._memo[key] = cached
+        return cached
+
+
+def least_loaded_deal(
+    costs: np.ndarray, num_lanes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized replay of the least-loaded greedy deal.
+
+    Groups are dealt in order; group ``g`` (costing ``costs[g]`` lane slots)
+    goes to the currently least-loaded lane, ties broken toward the lowest
+    lane index — exactly the policy of :func:`_schedule_groups`. Returns
+    ``(g_lane, g_off)``: the lane each group landed on and the entry row of
+    its first slot (its running offset within that lane).
+
+    Two fast strategies cover the real cases:
+
+    - **uniform costs** (every group the same size, e.g. dense rows or
+      rank-``r`` tile groups): the deal degenerates to round-robin —
+      ``lane = g % P``, ``offset = (g // P) * cost`` — provable by
+      induction since all lane loads stay within one cost of each other.
+    - otherwise an **integer-encoded heap** holds ``load * P + lane`` per
+      lane; the heap minimum is the lexicographic (load, lane) minimum, so
+      popping and pushing back ``+ cost * P`` replays the exact greedy
+      choice in ``O(G log P)`` without per-group Python list scans.
+    """
+    if num_lanes <= 0:
+        raise ShapeError("num_lanes must be positive")
+    costs = np.ascontiguousarray(costs, dtype=np.int64)
+    num_groups = int(costs.shape[0])
+    if num_groups == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    if num_lanes == 1:
+        ends = np.cumsum(costs)
+        return np.zeros(num_groups, dtype=np.int64), ends - costs
+    if costs.min() == costs.max():
+        cost = int(costs[0])
+        grp = np.arange(num_groups, dtype=np.int64)
+        return grp % num_lanes, (grp // num_lanes) * cost
+    heap = list(range(num_lanes))
+    encoded: List[int] = []
+    append = encoded.append
+    replace = heapq.heapreplace
+    for step in (costs * num_lanes).tolist():
+        value = heap[0]
+        append(value)
+        replace(heap, value + step)
+    enc = np.array(encoded, dtype=np.int64)
+    return enc % num_lanes, enc // num_lanes
 
 
 def _schedule_groups(
@@ -171,13 +285,16 @@ def _schedule_groups(
     """
     if num_lanes <= 0:
         raise ShapeError("num_lanes must be positive")
-    loads = [0] * num_lanes
+    loads = np.zeros(num_lanes, dtype=np.int64)
     assignment: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_lanes)]
     for gid, lo, hi in zip(group_ids, group_start[:-1], group_start[1:]):
-        lane = min(range(num_lanes), key=lambda p: loads[p])
+        lane = int(np.argmin(loads))
         loads[lane] += 1 + int(hi - lo)
         assignment[lane].append((int(gid), int(lo), int(hi)))
     return assignment
+
+
+_REFERENCE_SCHEDULER = _schedule_groups
 
 
 def _build_planes(
@@ -187,7 +304,7 @@ def _build_planes(
     k_src: np.ndarray | None,
     val_src: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Materialize the record planes from a lane assignment (vectorized).
+    """Materialize the record planes from a lane assignment (legacy engine).
 
     ``assignment[lane]`` lists ``(group_id, lo, hi)`` record ranges;
     ``a_src``/``k_src``/``val_src`` are the source columns nonzero records
@@ -228,6 +345,72 @@ def _build_planes(
     return kinds, a_idx, k_idx, vals
 
 
+def _contiguous_groups(
+    leading: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length encode a sorted leading-index column.
+
+    Returns ``(group_ids, group_first, group_sizes)`` where ``group_first``
+    is each run's first record position. Records are canonically sorted, so
+    every nonempty slice/row is exactly one run, in increasing id order —
+    the same group sequence the legacy encoder derives from nnz counts.
+    """
+    n = int(leading.shape[0])
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(leading[1:], leading[:-1], out=new_group[1:])
+    first = np.flatnonzero(new_group)
+    sizes = np.diff(np.append(first, n))
+    return leading[first], first, sizes
+
+
+def _build_planes_fast(
+    num_lanes: int,
+    group_ids: np.ndarray,
+    group_first: np.ndarray,
+    group_sizes: np.ndarray,
+    a_src: np.ndarray,
+    k_src: np.ndarray | None,
+    val_src: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized plane build: heap deal + one scatter per plane.
+
+    Bit-identical to ``_schedule_groups`` + ``_build_planes``: the deal
+    offsets *are* each lane's running cumsum (groups land on a lane in deal
+    order), so scattering header slots at ``(g_off, g_lane)`` and record
+    ``r`` of group ``g`` at ``(g_off + 1 + r, g_lane)`` reproduces the
+    legacy layout exactly, including tail padding.
+    """
+    g_lane, g_off = least_loaded_deal(1 + group_sizes, num_lanes)
+    num_groups = int(group_ids.shape[0])
+    depth = int((g_off + 1 + group_sizes).max()) if num_groups else 0
+    kinds = np.full((depth, num_lanes), KIND_PAD, dtype=np.uint8)
+    a_idx = np.full((depth, num_lanes), -1, dtype=np.int64)
+    k_idx = np.full((depth, num_lanes), -1, dtype=np.int64)
+    vals = np.zeros((depth, num_lanes), dtype=np.float64)
+    if num_groups:
+        head_flat = g_off * num_lanes + g_lane
+        kinds.ravel()[head_flat] = KIND_HEADER
+        a_idx.ravel()[head_flat] = group_ids
+        # Record ``t`` of group ``g`` lands at flat position
+        # ``(g_off[g] + 1 + t - group_first[g]) * P + g_lane[g]``: a
+        # per-group base (repeated over its records) plus ``t * P``.
+        total = int(group_first[-1] + group_sizes[-1])
+        flat = np.repeat(
+            (g_off - group_first + 1) * num_lanes + g_lane, group_sizes
+        )
+        flat += np.arange(total, dtype=np.int64) * num_lanes
+        kinds.ravel()[flat] = KIND_NNZ
+        a_idx.ravel()[flat] = a_src
+        if k_src is not None:
+            k_idx.ravel()[flat] = k_src
+        vals.ravel()[flat] = val_src
+    return kinds, a_idx, k_idx, vals
+
+
 class CISSTensor(_CISSBase):
     """CISS encoding of a 3-d sparse tensor, sliced along a chosen mode."""
 
@@ -245,13 +428,19 @@ class CISSTensor(_CISSBase):
 
     @classmethod
     def from_sparse(
-        cls, tensor: SparseTensor, num_lanes: int, mode: int = 0
+        cls,
+        tensor: SparseTensor,
+        num_lanes: int,
+        mode: int = 0,
+        engine: str | None = None,
     ) -> "CISSTensor":
         """Encode a 3-d sparse tensor, slicing along ``mode``.
 
         MTTKRP/TTMc along mode ``n`` iterate slices ``A(i, :, :)`` of that
         mode; the encoder permutes the tensor so the slice mode leads, then
-        deals slices to lanes least-loaded-first.
+        deals slices to lanes least-loaded-first. ``engine`` selects the
+        vectorized (``"fast"``) or reference (``"legacy"``) encoder; both
+        produce bit-identical planes.
         """
         if tensor.ndim != 3:
             raise ShapeError("CISSTensor stores 3-d tensors")
@@ -259,6 +448,14 @@ class CISSTensor(_CISSBase):
             raise ShapeError("slice mode must be 0, 1 or 2")
         rest = [m for m in range(3) if m != mode]
         perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        coords = perm.coords
+        if _resolve_ciss_engine(engine) == "fast":
+            group_ids, group_first, group_sizes = _contiguous_groups(coords[:, 0])
+            planes = _build_planes_fast(
+                num_lanes, group_ids, group_first, group_sizes,
+                coords[:, 1], coords[:, 2], perm.values,
+            )
+            return cls(tensor.shape, num_lanes, *planes, mode=mode)
         counts = perm.slice_nnz_counts(0)
         nonempty = np.flatnonzero(counts)
         starts = np.zeros(perm.shape[0] + 1, dtype=np.int64)
@@ -269,7 +466,6 @@ class CISSTensor(_CISSBase):
             else np.array([0], dtype=np.int64)
         )
         assignment = _schedule_groups(nonempty, group_start, num_lanes)
-        coords = perm.coords
         planes = _build_planes(
             num_lanes, assignment, coords[:, 1], coords[:, 2], perm.values
         )
@@ -325,7 +521,16 @@ class CISSMatrix(_CISSBase):
     index_fields = 1
 
     @classmethod
-    def from_coo(cls, coo: COOMatrix, num_lanes: int) -> "CISSMatrix":
+    def from_coo(
+        cls, coo: COOMatrix, num_lanes: int, engine: str | None = None
+    ) -> "CISSMatrix":
+        if _resolve_ciss_engine(engine) == "fast":
+            group_ids, group_first, group_sizes = _contiguous_groups(coo.rows)
+            planes = _build_planes_fast(
+                num_lanes, group_ids, group_first, group_sizes,
+                coo.cols, None, coo.vals,
+            )
+            return cls(coo.shape, num_lanes, *planes)
         counts = coo.row_nnz_counts()
         nonempty = np.flatnonzero(counts)
         starts = np.zeros(coo.shape[0] + 1, dtype=np.int64)

@@ -26,7 +26,10 @@ from repro.formats.ciss import (
     KIND_HEADER,
     KIND_NNZ,
     KIND_PAD,
+    _contiguous_groups,
+    _resolve_ciss_engine,
     _schedule_groups,
+    least_loaded_deal,
 )
 from repro.tensor import SparseTensor
 from repro.util.errors import FormatError, ShapeError
@@ -117,9 +120,17 @@ class CISSTensorND:
     # ------------------------------------------------------------------
     @classmethod
     def from_sparse(
-        cls, tensor: SparseTensor, num_lanes: int, mode: int = 0
+        cls,
+        tensor: SparseTensor,
+        num_lanes: int,
+        mode: int = 0,
+        engine: str | None = None,
     ) -> "CISSTensorND":
-        """Encode, slicing along ``mode``; remaining modes keep their order."""
+        """Encode, slicing along ``mode``; remaining modes keep their order.
+
+        ``engine`` selects the vectorized (``"fast"``) or reference
+        (``"legacy"``) encoder; both produce bit-identical planes.
+        """
         ndim = tensor.ndim
         if ndim < 2:
             raise ShapeError("CISSTensorND needs at least 2 modes")
@@ -127,6 +138,8 @@ class CISSTensorND:
             raise ShapeError(f"slice mode {mode} out of range")
         rest = [m for m in range(ndim) if m != mode]
         perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
+        if _resolve_ciss_engine(engine) == "fast":
+            return cls._from_sparse_fast(tensor, perm, num_lanes, mode)
         counts = perm.slice_nnz_counts(0)
         nonempty = np.flatnonzero(counts)
         starts = np.zeros(perm.shape[0] + 1, dtype=np.int64)
@@ -167,6 +180,45 @@ class CISSTensorND:
                 kinds[pos, lane] = KIND_NNZ
                 idx[pos, lane, :] = coords[src][:, 1:]
                 vals[pos, lane] = perm.values[src]
+        return cls(tensor.shape, mode, num_lanes, kinds, idx, vals)
+
+    @classmethod
+    def _from_sparse_fast(
+        cls,
+        tensor: SparseTensor,
+        perm: SparseTensor,
+        num_lanes: int,
+        mode: int,
+    ) -> "CISSTensorND":
+        """Vectorized encoder: heap deal + one scatter per plane.
+
+        Same construction as :func:`repro.formats.ciss._build_planes_fast`
+        with an ``(entries, lanes, ndim-1)`` index plane instead of the
+        3-d ``a_idx``/``k_idx`` pair; bit-identical to the legacy loop.
+        """
+        ndim = tensor.ndim
+        coords = perm.coords
+        group_ids, group_first, group_sizes = _contiguous_groups(coords[:, 0])
+        g_lane, g_off = least_loaded_deal(1 + group_sizes, num_lanes)
+        num_groups = int(group_ids.shape[0])
+        depth = int((g_off + 1 + group_sizes).max()) if num_groups else 0
+        kinds = np.full((depth, num_lanes), KIND_PAD, dtype=np.uint8)
+        idx = np.full((depth, num_lanes, ndim - 1), -1, dtype=np.int64)
+        vals = np.zeros((depth, num_lanes), dtype=np.float64)
+        if num_groups:
+            kinds[g_off, g_lane] = KIND_HEADER
+            idx[g_off, g_lane, 0] = group_ids
+            total = int(group_first[-1] + group_sizes[-1])
+            rec_group = np.repeat(np.arange(num_groups, dtype=np.int64), group_sizes)
+            rec_row = (
+                g_off[rec_group]
+                + 1
+                + (np.arange(total, dtype=np.int64) - group_first[rec_group])
+            )
+            rec_col = g_lane[rec_group]
+            kinds[rec_row, rec_col] = KIND_NNZ
+            idx[rec_row, rec_col, :] = coords[:, 1:]
+            vals[rec_row, rec_col] = perm.values
         return cls(tensor.shape, mode, num_lanes, kinds, idx, vals)
 
     def to_sparse(self) -> SparseTensor:

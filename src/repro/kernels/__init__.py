@@ -24,8 +24,10 @@ from repro.kernels.ttmc import (
 )
 from repro.kernels.matmul import gemm, gemv, spmm, spmv
 from repro.kernels.sf3 import (
+    SF3ArraySpec,
     SF3Spec,
     execute_sf3,
+    execute_sf3_arrays,
     sf3_spec_mttkrp,
     sf3_spec_ttmc,
     sf3_spec_spmm,
@@ -50,8 +52,10 @@ __all__ = [
     "gemv",
     "spmm",
     "spmv",
+    "SF3ArraySpec",
     "SF3Spec",
     "execute_sf3",
+    "execute_sf3_arrays",
     "sf3_spec_mttkrp",
     "sf3_spec_ttmc",
     "sf3_spec_spmm",

@@ -10,6 +10,17 @@ eight kernels are produced by the ``sf3_spec_*`` builders, and
 :func:`execute_sf3` evaluates any spec in exactly the accelerator's
 TSR-then-OSR order. Tests assert the generic executor matches every direct
 kernel, which is the paper's central claim: one pattern covers them all.
+
+Two spec layouts coexist:
+
+- :class:`SF3Spec` — the tuple/dict reference form, one Python object per
+  domain point. Kept as the readable specification of the pattern.
+- :class:`SF3ArraySpec` — the array-backed form: CSR-style ``group_ptr`` /
+  ``d1_ptr`` segment pointers over flat index/scalar arrays. Built without
+  materializing any per-point Python objects (``layout="array"`` on the
+  builders) and executed by :func:`execute_sf3_arrays`, whose ``np.add.at``
+  segment accumulations replay the reference executor's exact left-to-right
+  floating-point op order — outputs are byte-identical, not just close.
 """
 
 from __future__ import annotations
@@ -66,14 +77,139 @@ class SF3Spec:
         if (self.op is None) != (self.fiber1 is None):
             raise KernelError("fiber1 must be present exactly when op is set")
 
+    def to_array_spec(self) -> "SF3ArraySpec":
+        """Flatten the tuple/dict form into the array-backed layout."""
+        group_ids: List[int] = []
+        group_ptr: List[int] = [0]
+        d1_idx: List[int] = []
+        d1_ptr: List[int] = [0]
+        d0_idx: List[int] = []
+        d0_val: List[float] = []
+        for i, d1_points in self.groups.items():
+            group_ids.append(int(i))
+            for d1_index, d0_points in d1_points:
+                d1_idx.append(int(d1_index))
+                for d0_index, scalar in d0_points:
+                    d0_idx.append(int(d0_index))
+                    d0_val.append(float(scalar))
+                d1_ptr.append(len(d0_idx))
+            group_ptr.append(len(d1_idx))
+        return SF3ArraySpec(
+            kernel=self.kernel,
+            group_ids=np.asarray(group_ids, dtype=np.int64),
+            group_ptr=np.asarray(group_ptr, dtype=np.int64),
+            d1_idx=np.asarray(d1_idx, dtype=np.int64),
+            d1_ptr=np.asarray(d1_ptr, dtype=np.int64),
+            d0_idx=np.asarray(d0_idx, dtype=np.int64),
+            d0_val=np.asarray(d0_val, dtype=np.float64),
+            fiber0=self.fiber0,
+            fiber1=self.fiber1,
+            op=self.op,
+            out_shape=self.out_shape,
+            flop_count=self.flop_count,
+        )
 
-def execute_sf3(spec: SF3Spec) -> np.ndarray:
-    """Evaluate an :class:`SF3Spec` in the accelerator's dataflow order.
+
+@dataclass
+class SF3ArraySpec:
+    """Array-backed SF3 kernel instance (CSR-style segment pointers).
+
+    The iteration space is stored as three flat levels:
+
+    - ``group_ids[g]`` — output index of group ``g``; its D1 points are
+      ``group_ptr[g]:group_ptr[g+1]``.
+    - ``d1_idx[p]`` — fiber1 index of D1 point ``p`` (``-1`` when the
+      kernel has no fiber1); its D0 points are ``d1_ptr[p]:d1_ptr[p+1]``.
+    - ``d0_idx[q]`` / ``d0_val[q]`` — fiber0 index and scalar of D0 point
+      ``q``.
+
+    ``fiber0`` / ``fiber1`` / ``op`` / ``out_shape`` / ``flop_count`` mean
+    exactly what they do on :class:`SF3Spec`.
+    """
+
+    kernel: str
+    group_ids: np.ndarray
+    group_ptr: np.ndarray
+    d1_idx: np.ndarray
+    d1_ptr: np.ndarray
+    d0_idx: np.ndarray
+    d0_val: np.ndarray
+    fiber0: np.ndarray
+    fiber1: Optional[np.ndarray]
+    op: Optional[str]
+    out_shape: Tuple[int, ...]
+    flop_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.op not in (None, "hadamard", "kron"):
+            raise KernelError(f"unknown op {self.op!r}")
+        if (self.op is None) != (self.fiber1 is None):
+            raise KernelError("fiber1 must be present exactly when op is set")
+        self.group_ids = np.asarray(self.group_ids, dtype=np.int64)
+        self.group_ptr = np.asarray(self.group_ptr, dtype=np.int64)
+        self.d1_idx = np.asarray(self.d1_idx, dtype=np.int64)
+        self.d1_ptr = np.asarray(self.d1_ptr, dtype=np.int64)
+        self.d0_idx = np.asarray(self.d0_idx, dtype=np.int64)
+        self.d0_val = np.asarray(self.d0_val, dtype=np.float64)
+        if self.group_ptr.shape != (self.group_ids.shape[0] + 1,):
+            raise KernelError("group_ptr must have num_groups + 1 entries")
+        if self.d1_ptr.shape != (self.d1_idx.shape[0] + 1,):
+            raise KernelError("d1_ptr must have num_d1 + 1 entries")
+        if self.d0_idx.shape != self.d0_val.shape:
+            raise KernelError("d0_idx and d0_val must align")
+        for name, ptr, count in (
+            ("group_ptr", self.group_ptr, self.d1_idx.shape[0]),
+            ("d1_ptr", self.d1_ptr, self.d0_idx.shape[0]),
+        ):
+            if ptr[0] != 0 or ptr[-1] != count or np.any(np.diff(ptr) < 0):
+                raise KernelError(f"{name} is not a valid segment pointer array")
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_ids.shape[0])
+
+    @property
+    def num_d1(self) -> int:
+        return int(self.d1_idx.shape[0])
+
+    @property
+    def num_d0(self) -> int:
+        return int(self.d0_idx.shape[0])
+
+    def to_spec(self) -> SF3Spec:
+        """Expand back into the tuple/dict reference form."""
+        groups: Dict[int, List[D1Point]] = {}
+        for g in range(self.num_groups):
+            d1_points: List[D1Point] = []
+            for p in range(int(self.group_ptr[g]), int(self.group_ptr[g + 1])):
+                lo, hi = int(self.d1_ptr[p]), int(self.d1_ptr[p + 1])
+                d0_points = [
+                    (int(self.d0_idx[q]), float(self.d0_val[q]))
+                    for q in range(lo, hi)
+                ]
+                d1_points.append((int(self.d1_idx[p]), d0_points))
+            groups[int(self.group_ids[g])] = d1_points
+        return SF3Spec(
+            kernel=self.kernel,
+            groups=groups,
+            fiber0=self.fiber0,
+            fiber1=self.fiber1,
+            op=self.op,
+            out_shape=self.out_shape,
+            flop_count=self.flop_count,
+        )
+
+
+def execute_sf3(spec: "SF3Spec | SF3ArraySpec") -> np.ndarray:
+    """Evaluate an SF3 spec in the accelerator's dataflow order.
 
     Per output group: for each D1 point, the inner sum over D0 accumulates
     ``scalar * fiber0`` (the TSR contents), then ``fiber1 op TSR`` (or TSR
     itself when op is None) accumulates into the group's output (the OSR).
+    Array-backed specs dispatch to :func:`execute_sf3_arrays`.
     """
+    if isinstance(spec, SF3ArraySpec):
+        return execute_sf3_arrays(spec)
     out = np.zeros(spec.out_shape, dtype=np.float64)
     f0 = np.asarray(spec.fiber0, dtype=np.float64)
     f1 = None if spec.fiber1 is None else np.asarray(spec.fiber1, dtype=np.float64)
@@ -93,6 +229,48 @@ def execute_sf3(spec: SF3Spec) -> np.ndarray:
     return out
 
 
+def execute_sf3_arrays(spec: SF3ArraySpec) -> np.ndarray:
+    """Vectorized SF3 evaluation, byte-identical to the reference executor.
+
+    Both accumulation levels use ``np.add.at``, which adds in index order —
+    the same left-to-right floating-point fold (starting from zeros) the
+    reference executor performs, so outputs match bit for bit. (A
+    ``reduceat`` would be faster still but sums pairwise, changing the
+    rounding.) The elementwise products — ``scalar * fiber0``,
+    ``fiber1 * TSR`` (Hadamard) and the broadcast outer product (Kronecker)
+    — are the reference's exact elementary operations.
+    """
+    out = np.zeros(spec.out_shape, dtype=np.float64)
+    if spec.num_d1 == 0:
+        return out
+    f0 = np.asarray(spec.fiber0, dtype=np.float64)
+    # TSR fill: per-D1 inner sums of scalar * fiber0.
+    d1_of_d0 = np.repeat(
+        np.arange(spec.num_d1, dtype=np.int64), np.diff(spec.d1_ptr)
+    )
+    contrib = (
+        spec.d0_val * f0[spec.d0_idx]
+        if f0.ndim == 1
+        else spec.d0_val[:, None] * f0[spec.d0_idx]
+    )
+    tsr = np.zeros((spec.num_d1,) + f0.shape[1:], dtype=np.float64)
+    np.add.at(tsr, d1_of_d0, contrib)
+    # OSR drain: per-group sums of fiber1 op TSR.
+    if spec.op is None:
+        terms = tsr
+    else:
+        f1 = np.asarray(spec.fiber1, dtype=np.float64)[spec.d1_idx]
+        if spec.op == "hadamard":
+            terms = f1 * tsr
+        else:  # kron: row-wise outer products
+            terms = f1[:, :, None] * tsr[:, None, :]
+    group_of_d1 = np.repeat(
+        np.arange(spec.num_groups, dtype=np.int64), np.diff(spec.group_ptr)
+    )
+    np.add.at(out, spec.group_ids[group_of_d1], terms)
+    return out
+
+
 def _tensor_groups(tensor: SparseTensor, mode: int) -> Dict[int, List[D1Point]]:
     """Group a 3-d tensor's nonzeros as {i: [(j, [(k, val), ...]), ...]}."""
     rest = [m for m in range(3) if m != mode]
@@ -108,21 +286,97 @@ def _tensor_groups(tensor: SparseTensor, mode: int) -> Dict[int, List[D1Point]]:
     return groups
 
 
+def _tensor_array_domains(
+    tensor: SparseTensor, mode: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized tensor iteration space for the array layout.
+
+    The mode-permuted canonical order makes groups (``i`` runs) and D1
+    points (``(i, j)`` runs) contiguous, so run-boundary masks produce the
+    same domains as :func:`_tensor_groups` without any per-nonzero Python.
+    """
+    rest = [m for m in range(3) if m != mode]
+    perm = tensor.permute_modes([mode] + rest)
+    coords, vals = perm.coords, perm.values
+    n = perm.nnz
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        zero_ptr = np.zeros(1, dtype=np.int64)
+        return (
+            empty, zero_ptr, empty.copy(), zero_ptr.copy(),
+            empty.copy(), np.empty(0, dtype=np.float64),
+        )
+    i_col, j_col = coords[:, 0], coords[:, 1]
+    new_i = np.empty(n, dtype=bool)
+    new_i[0] = True
+    np.not_equal(i_col[1:], i_col[:-1], out=new_i[1:])
+    new_d1 = new_i.copy()
+    new_d1[1:] |= j_col[1:] != j_col[:-1]
+    d1_starts = np.flatnonzero(new_d1)
+    d1_ptr = np.append(d1_starts, n)
+    d1_idx = j_col[d1_starts]
+    group_first = np.flatnonzero(new_i[d1_starts])
+    group_ptr = np.append(group_first, d1_starts.shape[0])
+    group_ids = i_col[d1_starts[group_first]]
+    return group_ids, group_ptr, d1_idx, d1_ptr, coords[:, 2].copy(), vals
+
+
+def _check_layout(layout: str) -> None:
+    if layout not in ("tuple", "array"):
+        raise KernelError(f"layout must be 'tuple' or 'array', not {layout!r}")
+
+
+def _matrix_array_domains(
+    a: CSRMatrix,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Nonempty-row iteration space for SpMM/SpMV in the array layout.
+
+    One D1 point per nonempty row. Empty rows occupy zero-length CSR
+    segments, so consecutive nonempty rows' data is adjacent and the row
+    starts double as the D0 segment pointers.
+    """
+    nz_rows = np.flatnonzero(np.diff(a.indptr)).astype(np.int64)
+    group_ptr = np.arange(nz_rows.shape[0] + 1, dtype=np.int64)
+    d1_idx = np.full(nz_rows.shape[0], -1, dtype=np.int64)
+    d1_ptr = np.append(a.indptr[nz_rows], a.nnz).astype(np.int64)
+    if nz_rows.shape[0] == 0:
+        d1_ptr = np.zeros(1, dtype=np.int64)
+    return nz_rows, group_ptr, d1_idx, d1_ptr
+
+
 def sf3_spec_mttkrp(
-    tensor: SparseTensor, mat_b: np.ndarray, mat_c: np.ndarray, mode: int = 0
-) -> SF3Spec:
+    tensor: SparseTensor,
+    mat_b: np.ndarray,
+    mat_c: np.ndarray,
+    mode: int = 0,
+    layout: str = "tuple",
+) -> "SF3Spec | SF3ArraySpec":
     """Table 1 row (Sp/D)MTTKRP: fiber1=B rows, op=◦, fiber0=C rows.
 
     ``mat_b`` / ``mat_c`` are the factors for the first / second remaining
     mode in increasing mode order (matching :func:`repro.kernels.mttkrp`).
+    ``layout="array"`` returns the equivalent :class:`SF3ArraySpec`.
     """
     if tensor.ndim != 3:
         raise KernelError("SF3 MTTKRP spec is defined for 3-d tensors")
     check_mode(mode, 3)
+    _check_layout(layout)
     mat_b = np.asarray(mat_b, dtype=np.float64)
     mat_c = np.asarray(mat_c, dtype=np.float64)
-    groups = _tensor_groups(tensor, mode)
     rank = mat_b.shape[1]
+    if layout == "array":
+        gids, gptr, d1i, d1p, d0i, d0v = _tensor_array_domains(tensor, mode)
+        return SF3ArraySpec(
+            kernel="mttkrp",
+            group_ids=gids, group_ptr=gptr,
+            d1_idx=d1i, d1_ptr=d1p, d0_idx=d0i, d0_val=d0v,
+            fiber0=mat_c,
+            fiber1=mat_b,
+            op="hadamard",
+            out_shape=(tensor.shape[mode], rank),
+            flop_count=2 * tensor.nnz * rank + 2 * int(d1i.shape[0]) * rank,
+        )
+    groups = _tensor_groups(tensor, mode)
     fibers = sum(len(v) for v in groups.values())
     return SF3Spec(
         kernel="mttkrp",
@@ -136,16 +390,33 @@ def sf3_spec_mttkrp(
 
 
 def sf3_spec_ttmc(
-    tensor: SparseTensor, mat_b: np.ndarray, mat_c: np.ndarray, mode: int = 0
-) -> SF3Spec:
+    tensor: SparseTensor,
+    mat_b: np.ndarray,
+    mat_c: np.ndarray,
+    mode: int = 0,
+    layout: str = "tuple",
+) -> "SF3Spec | SF3ArraySpec":
     """Table 1 row (Sp/D)TTMc: same domains as MTTKRP but op=⊗."""
     if tensor.ndim != 3:
         raise KernelError("SF3 TTMc spec is defined for 3-d tensors")
     check_mode(mode, 3)
+    _check_layout(layout)
     mat_b = np.asarray(mat_b, dtype=np.float64)
     mat_c = np.asarray(mat_c, dtype=np.float64)
-    groups = _tensor_groups(tensor, mode)
     f1, f2 = mat_b.shape[1], mat_c.shape[1]
+    if layout == "array":
+        gids, gptr, d1i, d1p, d0i, d0v = _tensor_array_domains(tensor, mode)
+        return SF3ArraySpec(
+            kernel="ttmc",
+            group_ids=gids, group_ptr=gptr,
+            d1_idx=d1i, d1_ptr=d1p, d0_idx=d0i, d0_val=d0v,
+            fiber0=mat_c,
+            fiber1=mat_b,
+            op="kron",
+            out_shape=(tensor.shape[mode], f1, f2),
+            flop_count=2 * tensor.nnz * f2 + 2 * int(d1i.shape[0]) * f1 * f2,
+        )
+    groups = _tensor_groups(tensor, mode)
     fibers = sum(len(v) for v in groups.values())
     return SF3Spec(
         kernel="ttmc",
@@ -158,9 +429,25 @@ def sf3_spec_ttmc(
     )
 
 
-def sf3_spec_spmm(a: CSRMatrix, mat_b: np.ndarray) -> SF3Spec:
+def sf3_spec_spmm(
+    a: CSRMatrix, mat_b: np.ndarray, layout: str = "tuple"
+) -> "SF3Spec | SF3ArraySpec":
     """Table 1 row SpMM/GEMM: no fiber1/op; D0 = nonzeros of row i."""
+    _check_layout(layout)
     mat_b = np.asarray(mat_b, dtype=np.float64)
+    if layout == "array":
+        gids, gptr, d1i, d1p = _matrix_array_domains(a)
+        return SF3ArraySpec(
+            kernel="spmm",
+            group_ids=gids, group_ptr=gptr, d1_idx=d1i, d1_ptr=d1p,
+            d0_idx=a.indices.astype(np.int64, copy=False),
+            d0_val=a.data.astype(np.float64, copy=False),
+            fiber0=mat_b,
+            fiber1=None,
+            op=None,
+            out_shape=(a.shape[0], mat_b.shape[1]),
+            flop_count=2 * a.nnz * mat_b.shape[1],
+        )
     groups: Dict[int, List[D1Point]] = {}
     for i, cols, vals in a.iter_rows():
         if cols.size == 0:
@@ -177,9 +464,25 @@ def sf3_spec_spmm(a: CSRMatrix, mat_b: np.ndarray) -> SF3Spec:
     )
 
 
-def sf3_spec_spmv(a: CSRMatrix, vec: np.ndarray) -> SF3Spec:
+def sf3_spec_spmv(
+    a: CSRMatrix, vec: np.ndarray, layout: str = "tuple"
+) -> "SF3Spec | SF3ArraySpec":
     """Table 1 row SpMV/GEMV: fiber0 degenerates to vector elements."""
+    _check_layout(layout)
     vec = np.asarray(vec, dtype=np.float64)
+    if layout == "array":
+        gids, gptr, d1i, d1p = _matrix_array_domains(a)
+        return SF3ArraySpec(
+            kernel="spmv",
+            group_ids=gids, group_ptr=gptr, d1_idx=d1i, d1_ptr=d1p,
+            d0_idx=a.indices.astype(np.int64, copy=False),
+            d0_val=a.data.astype(np.float64, copy=False),
+            fiber0=vec,
+            fiber1=None,
+            op=None,
+            out_shape=(a.shape[0],),
+            flop_count=2 * a.nnz,
+        )
     groups: Dict[int, List[D1Point]] = {}
     for i, cols, vals in a.iter_rows():
         if cols.size == 0:

@@ -37,6 +37,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.formats.ciss import least_loaded_deal
 from repro.sim.costs import KernelCosts
 from repro.sim.lanes import lane_cycle_model, op_count_model
 from repro.sim.tiling import tile_count
@@ -303,20 +304,13 @@ def _greedy_lane_deal(
             g_off[gidx] = offs
             loads[active, lanes] = offs + cost[gidx]
         return g_lane, g_off
-    sizes = g_sizes.tolist()
-    bounds = set(tg_start.tolist())
-    lane_list = []
-    off_list = []
-    loads = [0] * num_lanes
-    for i in range(num_groups):
-        if i in bounds:
-            loads = [0] * num_lanes
-        lane = loads.index(min(loads))
-        lane_list.append(lane)
-        off_list.append(loads[lane])
-        loads[lane] += 1 + sizes[i]
-    g_lane[:] = lane_list
-    g_off[:] = off_list
+    # Skewed partition: run the shared exact heap deal per tile segment
+    # (loads reset at each tile boundary).
+    ends = np.append(tg_start[1:], num_groups)
+    for lo, hi in zip(tg_start.tolist(), ends.tolist()):
+        if lo == hi:
+            continue
+        g_lane[lo:hi], g_off[lo:hi] = least_loaded_deal(cost[lo:hi], num_lanes)
     return g_lane, g_off
 
 

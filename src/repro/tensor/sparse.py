@@ -200,13 +200,26 @@ class SparseTensor:
         return out
 
     def permute_modes(self, order: Sequence[int]) -> "SparseTensor":
-        """Return the tensor with modes reordered (generalized transpose)."""
+        """Return the tensor with modes reordered (generalized transpose).
+
+        The canonical invariant makes this cheap: the permuted coordinates
+        are unique and in-range by construction, so a stable lexsort is all
+        that is needed — no duplicate-summing or zero-dropping pass. An
+        identity permutation returns ``self`` (the tensor is immutable).
+        """
         order = tuple(int(m) for m in order)
         if sorted(order) != list(range(self.ndim)):
             raise ShapeError(f"order {order} is not a permutation of modes")
+        if order == tuple(range(self.ndim)):
+            return self
         new_shape = tuple(self._shape[m] for m in order)
         new_coords = self._coords[:, list(order)]
-        return SparseTensor(new_shape, new_coords, self._values)
+        # np.lexsort keys run last-to-first; a stable sort on unique keys
+        # reorders exactly like the canonical linearized-key argsort.
+        perm = np.lexsort(tuple(new_coords[:, m] for m in range(self.ndim - 1, -1, -1)))
+        return SparseTensor(
+            new_shape, new_coords[perm], self._values[perm], canonical=True
+        )
 
     def unfold(self, mode: int) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int]]:
         """Mode-``n`` matricization as sparse triplets.

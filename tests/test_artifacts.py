@@ -1,0 +1,192 @@
+"""Tests for the on-disk artifact store and the memoized accelerator.
+
+The store backs the figure-regeneration pipeline in ``benchmarks/``: a warm
+cache must replay byte-equal artifacts, a cold or disabled store must
+rebuild, and corruption must degrade to a rebuild rather than an error.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ArtifactStore,
+    MemoizedTensaurus,
+    default_artifact_root,
+    fingerprint_value,
+)
+from repro.baselines import matrix_workload, tensor_workload
+from repro.datasets.generators import graph_matrix, random_sparse_tensor
+from repro.formats.csr import CSRMatrix
+from repro.sim import Tensaurus
+from repro.sim.faults import FaultPlan
+from repro.util.rng import make_rng
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(root=tmp_path / "artifacts")
+
+
+# ---------------------------------------------------------------- store
+
+
+def test_round_trip_and_counters(store):
+    builds = []
+
+    def build():
+        builds.append(1)
+        return {"coords": np.arange(12).reshape(3, 4), "tag": "x"}
+
+    first = store.get("dataset", ("demo", 1), build)
+    again = store.get("dataset", ("demo", 1), build)
+    assert len(builds) == 1
+    assert first["tag"] == again["tag"]
+    assert np.array_equal(first["coords"], again["coords"])
+    assert store.hits == 1 and store.misses == 1
+    assert store.bytes_written > 0 and store.bytes_read > 0
+    assert store.entry_count() == 1
+    assert store.total_bytes() > 0
+    assert "1 hits" in store.report_line()
+
+
+def test_distinct_keys_do_not_alias(store):
+    a = store.get("dataset", ("k", np.zeros(4)), lambda: "zeros")
+    b = store.get("dataset", ("k", np.ones(4)), lambda: "ones")
+    assert (a, b) == ("zeros", "ones")
+    assert store.misses == 2 and store.hits == 0
+
+
+def test_disabled_store_always_rebuilds(tmp_path):
+    store = ArtifactStore(root=tmp_path, enabled=False)
+    calls = []
+    for _ in range(2):
+        store.get("dataset", ("k",), lambda: calls.append(1))
+    assert len(calls) == 2
+    assert store.misses == 2 and store.hits == 0
+    assert store.entry_count() == 0  # nothing touched disk
+    assert "(disabled)" in store.report_line()
+
+
+def test_clear_removes_entries(store):
+    store.get("a", (1,), lambda: "x")
+    store.get("b", (2,), lambda: "y")
+    assert store.clear() == 2
+    assert store.entry_count() == 0
+    # Next get is a rebuild, not a stale hit.
+    assert store.get("a", (1,), lambda: "rebuilt") == "rebuilt"
+
+
+def test_corrupt_entry_is_rebuilt(store):
+    store.get("dataset", ("k",), lambda: [1, 2, 3])
+    path = store.path_for("dataset", ("k",))
+    path.write_bytes(b"\x80garbage not a pickle")
+    value = store.get("dataset", ("k",), lambda: [4, 5, 6])
+    assert value == [4, 5, 6]
+    assert store.read_errors == 1
+    # The rebuild repaired the entry on disk.
+    assert pickle.loads(path.read_bytes()) == [4, 5, 6]
+
+
+def test_unpicklable_artifact_not_persisted(store):
+    value = store.get("dataset", ("gen",), lambda: (x for x in range(3)))
+    assert list(value) == [0, 1, 2]
+    assert store.entry_count() == 0
+
+
+def test_default_root_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "elsewhere"))
+    assert default_artifact_root() == tmp_path / "elsewhere"
+    monkeypatch.delenv("REPRO_ARTIFACTS_DIR")
+    assert str(default_artifact_root()).endswith(".artifacts")
+
+
+# ---------------------------------------------------------------- keys
+
+
+def test_fingerprint_distinguishes_types_and_contents():
+    seen = {
+        fingerprint_value(None),
+        fingerprint_value(0),
+        fingerprint_value(False),
+        fingerprint_value(""),
+        fingerprint_value(b""),
+        fingerprint_value([]),
+        fingerprint_value({}),
+        fingerprint_value(np.zeros(3)),
+        fingerprint_value(np.zeros((3, 1))),
+        fingerprint_value(np.zeros(3, dtype=np.int64)),
+        fingerprint_value("a", "b"),
+        fingerprint_value("ab"),
+    }
+    assert len(seen) == 12
+
+
+def test_fingerprint_stable_across_calls():
+    tensor = random_sparse_tensor((10, 8, 6), 50, seed=1)
+    assert fingerprint_value(tensor) == fingerprint_value(tensor)
+    other = random_sparse_tensor((10, 8, 6), 50, seed=2)
+    assert fingerprint_value(tensor) != fingerprint_value(other)
+    coo = graph_matrix(20, 60, seed=3)
+    assert fingerprint_value(coo) == fingerprint_value(coo)
+    csr = CSRMatrix.from_coo(coo)
+    assert fingerprint_value(csr) == fingerprint_value(csr)
+    assert fingerprint_value(csr) != fingerprint_value(coo)
+
+
+# ---------------------------------------------------------------- memoization
+
+
+def small_case():
+    tensor = random_sparse_tensor((16, 12, 10), 200, seed=4)
+    rng = make_rng(5)
+    return tensor, rng.random((12, 4)), rng.random((10, 4))
+
+
+def test_memoized_accelerator_replays_identical_report(store):
+    tensor, b, c = small_case()
+    acc = MemoizedTensaurus(Tensaurus(), store)
+    live = acc.run_mttkrp(tensor, b, c)
+    assert store.misses == 1 and store.hits == 0
+    cached = acc.run_mttkrp(tensor, b, c)
+    assert store.hits == 1
+    assert cached.cycles == live.cycles
+    assert cached.kernel == live.kernel
+    assert np.array_equal(cached.output, live.output)
+    # Different arguments are different keys.
+    acc.run_mttkrp(tensor, b, c, mode=0, compute_output=False)
+    assert store.misses == 2
+
+
+def test_memoized_accelerator_passes_through_attrs(store):
+    acc = MemoizedTensaurus(Tensaurus(), store)
+    assert acc.config is acc.inner.config
+    assert acc.store is store
+
+
+def test_fault_plans_bypass_the_cache(store):
+    tensor, b, c = small_case()
+    plan = FaultPlan(spm_bitflip_rate=1e-4)
+    acc = MemoizedTensaurus(Tensaurus(fault_plan=plan), store)
+    acc.run_mttkrp(tensor, b, c)
+    acc.run_mttkrp(tensor, b, c)
+    assert store.hits == 0 and store.misses == 0
+
+
+# ---------------------------------------------------------------- baselines
+
+
+def test_workload_scans_memoized(store):
+    tensor, _, _ = small_case()
+    stats = tensor_workload("mttkrp", tensor, 4, store=store)
+    again = tensor_workload("mttkrp", tensor, 4, store=store)
+    assert store.hits == 1 and store.misses == 1
+    assert stats == again
+    uncached = tensor_workload("mttkrp", tensor, 4)
+    assert stats == uncached
+
+    csr_source = graph_matrix(24, 80, seed=6)
+    mstats = matrix_workload("spmm", csr_source, 8, store=store)
+    assert matrix_workload("spmm", csr_source, 8, store=store) == mstats
+    assert store.hits == 2

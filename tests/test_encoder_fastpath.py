@@ -1,0 +1,360 @@
+"""Agreement tests for the vectorized ("fast") format encoders.
+
+Every encoder keeps its reference ("legacy") builder behind the ``engine=``
+seam; these tests pin the contract that both engines produce bit-identical
+streams across densities, shapes, lane counts, modes and block sizes — plus
+the engine-selection machinery itself (process default, per-call override,
+ablation monkeypatch fallback) and the SF3 array layout's byte-identity.
+"""
+
+import itertools
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    graph_matrix,
+    random_sparse_tensor,
+    random_sparse_tensor_nd,
+    uniform_matrix,
+)
+from repro.formats import ciss as ciss_mod
+from repro.formats.ciss import (
+    CISSMatrix,
+    CISSTensor,
+    default_encoder_engine,
+    least_loaded_deal,
+    set_encoder_engine,
+)
+from repro.formats.ciss_nd import CISSTensorND
+from repro.formats.coo import COOMatrix
+from repro.formats.csf import CSFTensor
+from repro.formats.csr import CSRMatrix
+from repro.formats.hicoo import HiCOOTensor
+from repro.kernels.sf3 import (
+    execute_sf3,
+    sf3_spec_mttkrp,
+    sf3_spec_spmm,
+    sf3_spec_spmv,
+    sf3_spec_ttmc,
+)
+from repro.tensor import SparseTensor
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng
+
+
+def streams_equal(a, b) -> bool:
+    return (
+        a.shape == b.shape
+        and a.num_lanes == b.num_lanes
+        and a.kinds.tobytes() == b.kinds.tobytes()
+        and a.a_idx.tobytes() == b.a_idx.tobytes()
+        and a.k_idx.tobytes() == b.k_idx.tobytes()
+        and a.vals.tobytes() == b.vals.tobytes()
+    )
+
+
+SKEWED = random_sparse_tensor((60, 40, 30), 2000, skew=1.5, seed=1)
+UNIFORM = random_sparse_tensor((60, 40, 30), 2000, skew=0.0, seed=2)
+TINY = random_sparse_tensor((8, 5, 5), 10, seed=3)  # pad-heavy at 16 lanes
+EMPTY = SparseTensor.empty((9, 7, 5))
+TENSORS = {"skewed": SKEWED, "uniform": UNIFORM, "tiny": TINY, "empty": EMPTY}
+
+
+# ---------------------------------------------------------------- CISS
+
+
+@pytest.mark.parametrize("name", sorted(TENSORS))
+@pytest.mark.parametrize("mode", [0, 1, 2])
+@pytest.mark.parametrize("num_lanes", [1, 8, 16])
+def test_ciss_tensor_agreement(name, mode, num_lanes):
+    tensor = TENSORS[name]
+    fast = CISSTensor.from_sparse(tensor, num_lanes, mode=mode, engine="fast")
+    legacy = CISSTensor.from_sparse(
+        tensor, num_lanes, mode=mode, engine="legacy"
+    )
+    assert streams_equal(fast, legacy)
+    assert fast.mode == legacy.mode == mode
+
+
+@pytest.mark.parametrize(
+    "coo",
+    [
+        graph_matrix(200, 3000, seed=4),
+        uniform_matrix((100, 80), 0.05, seed=5),
+        COOMatrix((6, 4), [], [], []),
+    ],
+    ids=["graph", "uniform", "empty"],
+)
+@pytest.mark.parametrize("num_lanes", [1, 8, 16])
+def test_ciss_matrix_agreement(coo, num_lanes):
+    fast = CISSMatrix.from_coo(coo, num_lanes, engine="fast")
+    legacy = CISSMatrix.from_coo(coo, num_lanes, engine="legacy")
+    assert streams_equal(fast, legacy)
+
+
+ND_TENSORS = {
+    "2d": random_sparse_tensor_nd((100, 80), 1500, seed=6),
+    "4d": random_sparse_tensor_nd((20, 15, 12, 10), 1500, seed=7),
+    "4d-empty": SparseTensor.empty((6, 5, 4, 3)),
+}
+
+
+def nd_streams_equal(a: CISSTensorND, b: CISSTensorND) -> bool:
+    return (
+        a.shape == b.shape
+        and a.mode == b.mode
+        and a.num_lanes == b.num_lanes
+        and a.kinds.tobytes() == b.kinds.tobytes()
+        and a.idx.tobytes() == b.idx.tobytes()
+        and a.vals.tobytes() == b.vals.tobytes()
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ND_TENSORS))
+@pytest.mark.parametrize("num_lanes", [1, 8])
+def test_ciss_nd_agreement(name, num_lanes):
+    tensor = ND_TENSORS[name]
+    for mode in range(tensor.ndim):
+        fast = CISSTensorND.from_sparse(
+            tensor, num_lanes, mode=mode, engine="fast"
+        )
+        legacy = CISSTensorND.from_sparse(
+            tensor, num_lanes, mode=mode, engine="legacy"
+        )
+        assert nd_streams_equal(fast, legacy), mode
+
+
+# ---------------------------------------------------------------- CSF / HiCOO
+
+
+def csf_equal(a: CSFTensor, b: CSFTensor) -> bool:
+    return (
+        a.shape == b.shape
+        and a.mode_order == b.mode_order
+        and len(a.fids) == len(b.fids)
+        and all(np.array_equal(x, y) for x, y in zip(a.fids, b.fids))
+        and all(np.array_equal(x, y) for x, y in zip(a.fptr, b.fptr))
+        and a.vals.tobytes() == b.vals.tobytes()
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TENSORS))
+def test_csf_agreement_all_orders(name):
+    tensor = TENSORS[name]
+    for order in itertools.permutations(range(3)):
+        fast = CSFTensor.from_sparse(tensor, order, engine="fast")
+        legacy = CSFTensor.from_sparse(tensor, order, engine="legacy")
+        assert csf_equal(fast, legacy), order
+
+
+@pytest.mark.parametrize("name", sorted(ND_TENSORS))
+def test_csf_agreement_nd(name):
+    tensor = ND_TENSORS[name]
+    fast = CSFTensor.from_sparse(tensor, engine="fast")
+    legacy = CSFTensor.from_sparse(tensor, engine="legacy")
+    assert csf_equal(fast, legacy)
+
+
+def hicoo_equal(a: HiCOOTensor, b: HiCOOTensor) -> bool:
+    return (
+        a.shape == b.shape
+        and a.block == b.block
+        and np.array_equal(a.bptr, b.bptr)
+        and np.array_equal(a.bidx, b.bidx)
+        and np.array_equal(a.eidx, b.eidx)
+        and a.vals.tobytes() == b.vals.tobytes()
+    )
+
+
+@pytest.mark.parametrize("name", sorted({**TENSORS, **ND_TENSORS}))
+@pytest.mark.parametrize("block", [4, 16, 128])
+def test_hicoo_agreement(name, block):
+    tensor = {**TENSORS, **ND_TENSORS}[name]
+    fast = HiCOOTensor.from_sparse(tensor, block=block, engine="fast")
+    legacy = HiCOOTensor.from_sparse(tensor, block=block, engine="legacy")
+    assert hicoo_equal(fast, legacy)
+    assert fast.to_sparse() == tensor
+
+
+# ---------------------------------------------------------------- scheduler
+
+
+def reference_deal(costs: np.ndarray, num_lanes: int):
+    """Replay :func:`_schedule_groups` and unpack lanes + running offsets."""
+    sizes = costs - 1  # group cost = 1 header + (hi - lo) records
+    group_start = np.zeros(costs.shape[0] + 1, dtype=np.int64)
+    np.cumsum(sizes, out=group_start[1:])
+    assignment = ciss_mod._schedule_groups(
+        np.arange(costs.shape[0], dtype=np.int64), group_start, num_lanes
+    )
+    g_lane = np.empty(costs.shape[0], dtype=np.int64)
+    g_off = np.empty(costs.shape[0], dtype=np.int64)
+    for lane, ranges in enumerate(assignment):
+        offset = 0
+        for gid, lo, hi in ranges:
+            g_lane[gid] = lane
+            g_off[gid] = offset
+            offset += 1 + (hi - lo)
+    return g_lane, g_off
+
+
+@pytest.mark.parametrize("num_lanes", [1, 3, 8, 16])
+def test_least_loaded_deal_matches_reference(num_lanes):
+    rng = make_rng(11)
+    for costs in (
+        rng.integers(1, 40, size=500),  # skewed, many ties
+        np.full(100, 7, dtype=np.int64),  # uniform -> round-robin shortcut
+        np.array([5], dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    ):
+        costs = np.asarray(costs, dtype=np.int64)
+        g_lane, g_off = least_loaded_deal(costs, num_lanes)
+        ref_lane, ref_off = reference_deal(costs, num_lanes)
+        assert np.array_equal(g_lane, ref_lane)
+        assert np.array_equal(g_off, ref_off)
+
+
+def test_least_loaded_deal_rejects_bad_lanes():
+    with pytest.raises(ShapeError):
+        least_loaded_deal(np.array([1, 2]), 0)
+
+
+# ---------------------------------------------------------------- engine flag
+
+
+def test_engine_default_set_and_restore():
+    previous = set_encoder_engine("legacy")
+    try:
+        assert previous in ("fast", "legacy")
+        assert default_encoder_engine() == "legacy"
+        # engine=None now resolves to legacy; explicit "fast" still wins.
+        fast = CISSTensor.from_sparse(TINY, 4, engine="fast")
+        default = CISSTensor.from_sparse(TINY, 4)
+        assert streams_equal(fast, default)
+    finally:
+        set_encoder_engine(previous)
+    assert default_encoder_engine() == previous
+
+
+def test_engine_validation():
+    with pytest.raises(ValueError):
+        set_encoder_engine("bogus")
+    with pytest.raises(ValueError):
+        CISSTensor.from_sparse(TINY, 4, engine="bogus")
+    with pytest.raises(ValueError):
+        CSFTensor.from_sparse(TINY, engine="bogus")
+    with pytest.raises(ValueError):
+        HiCOOTensor.from_sparse(TINY, engine="bogus")
+
+
+def test_engine_env_var():
+    env = dict(os.environ)
+    env["REPRO_ENCODER_ENGINE"] = "legacy"
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "from repro.formats.ciss import default_encoder_engine;"
+        "assert default_encoder_engine() == 'legacy'"
+    )
+    subprocess.run([sys.executable, "-c", code], env=env, check=True)
+    env["REPRO_ENCODER_ENGINE"] = "bogus"
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.formats.ciss"],
+        env=env,
+        capture_output=True,
+    )
+    assert proc.returncode != 0
+
+
+def test_patched_scheduler_routes_fast_engine_to_legacy(monkeypatch):
+    """Ablations that monkeypatch ``_schedule_groups`` must still take
+    effect when the default engine is "fast" — the CISS encoders detect the
+    patched seam and fall back to the legacy builder that consumes it."""
+    calls = []
+    reference = ciss_mod._REFERENCE_SCHEDULER
+
+    def spy(group_ids, group_start, num_lanes):
+        calls.append(len(group_ids))
+        return reference(group_ids, group_start, num_lanes)
+
+    monkeypatch.setattr(ciss_mod, "_schedule_groups", spy)
+    assert ciss_mod._resolve_ciss_engine("fast") == "legacy"
+    patched = CISSTensor.from_sparse(SKEWED, 8, engine="fast")
+    assert calls, "patched scheduler was bypassed"
+    assert streams_equal(
+        patched, CISSTensor.from_sparse(SKEWED, 8, engine="legacy")
+    )
+
+
+# ---------------------------------------------------------------- caching
+
+
+def test_lane_records_and_trace_are_cached():
+    stream = CISSTensor.from_sparse(SKEWED, 8)
+    records = stream.lane_records(3)
+    assert stream.lane_records(3) is records
+    assert stream.lane_records(4) is not records
+    trace = stream.pe_address_trace()
+    assert stream.pe_address_trace() is trace
+    assert stream.pe_address_trace(data_width=8) is not trace
+
+
+# ---------------------------------------------------------------- SF3
+
+
+def sf3_case_tensor(mode: int = 0):
+    """A small tensor plus factors for the two non-``mode`` modes."""
+    tensor = random_sparse_tensor((30, 20, 15), 600, seed=8)
+    rng = make_rng(9)
+    rest = [m for m in range(3) if m != mode]
+    b = rng.random((tensor.shape[rest[0]], 6))
+    c = rng.random((tensor.shape[rest[1]], 6))
+    return tensor, b, c
+
+
+@pytest.mark.parametrize("mode", [0, 1, 2])
+def test_sf3_mttkrp_array_byte_identity(mode):
+    tensor, b, c = sf3_case_tensor(mode)
+    tup = sf3_spec_mttkrp(tensor, b, c, mode=mode)
+    arr = sf3_spec_mttkrp(tensor, b, c, mode=mode, layout="array")
+    assert execute_sf3(tup).tobytes() == execute_sf3(arr).tobytes()
+
+
+def test_sf3_ttmc_array_byte_identity():
+    tensor, b, c = sf3_case_tensor()
+    tup = sf3_spec_ttmc(tensor, b, c)
+    arr = sf3_spec_ttmc(tensor, b, c, layout="array")
+    assert execute_sf3(tup).tobytes() == execute_sf3(arr).tobytes()
+
+
+def test_sf3_spmm_spmv_array_byte_identity():
+    a = CSRMatrix.from_coo(graph_matrix(120, 1500, seed=10))
+    rng = make_rng(12)
+    b = rng.random((120, 8))
+    tup = sf3_spec_spmm(a, b)
+    arr = sf3_spec_spmm(a, b, layout="array")
+    assert execute_sf3(tup).tobytes() == execute_sf3(arr).tobytes()
+    vec = rng.random(120)
+    tup_v = sf3_spec_spmv(a, vec)
+    arr_v = sf3_spec_spmv(a, vec, layout="array")
+    assert execute_sf3(tup_v).tobytes() == execute_sf3(arr_v).tobytes()
+
+
+def test_sf3_layout_round_trip():
+    tensor, b, c = sf3_case_tensor()
+    tup = sf3_spec_mttkrp(tensor, b, c)
+    arr = tup.to_array_spec()
+    assert arr.to_spec().groups == tup.groups
+    again = arr.to_spec().to_array_spec()
+    for field in ("group_ids", "group_ptr", "d1_idx", "d1_ptr", "d0_idx"):
+        assert np.array_equal(getattr(arr, field), getattr(again, field))
+    assert arr.d0_val.tobytes() == again.d0_val.tobytes()
+
+
+def test_sf3_layout_validation():
+    tensor, b, c = sf3_case_tensor()
+    with pytest.raises(Exception):
+        sf3_spec_mttkrp(tensor, b, c, layout="columnar")
