@@ -1,0 +1,172 @@
+"""Overhead gate for the disabled instrumentation layer.
+
+The :mod:`repro.obs` hooks are compiled in everywhere (accelerator, PE,
+memory, driver, sweeps) but default to null observers; this benchmark
+verifies the "zero overhead when disabled" contract on the PR-1 benchmark
+workload — the fine-tiled (2048, 512, 512) MTTKRP whose plan produces
+2000+ nonempty tiles, i.e. the worst realistic hook-to-work ratio.
+
+Three timings, min-of-N each, interleaved so clock drift hits all arms
+equally:
+
+``baseline``
+    The per-launch observation hook monkeypatched to a no-op — as close to
+    an uninstrumented build as Python allows.
+``disabled``
+    Stock code with the default null observers (what every user runs).
+``enabled``
+    Tracer + registry active, for information only (not gated).
+
+Writes ``BENCH_obs.json`` and exits nonzero when the disabled-path
+overhead exceeds 2%. Run as
+``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.sim import Tensaurus, TensaurusConfig
+from repro.sim.accelerator import Tensaurus as _TensaurusClass
+from repro.tensor import SparseTensor
+
+#: Same design point as ``bench_sim_speed.py``: small SPMs force a fine
+#: tiling, so per-launch hook cost is amortized over as little simulator
+#: work as the suite ever sees.
+BENCH_CONFIG = TensaurusConfig(spm_kb=2, msu_kb=8)
+RANK = 32
+
+OVERHEAD_LIMIT = 0.02
+
+
+def _make_tensor(shape, nnz, seed=7):
+    rng = np.random.default_rng(seed)
+    coords = np.stack([rng.integers(0, s, nnz) for s in shape], axis=1)
+    coords = np.unique(coords, axis=0)
+    return SparseTensor(shape, coords, rng.standard_normal(coords.shape[0]))
+
+
+def _make_workload(shape, nnz):
+    t = _make_tensor(shape, nnz)
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal((shape[1], RANK))
+    c = rng.standard_normal((shape[2], RANK))
+    return t, b, c
+
+
+def _run_once(acc, t, b, c):
+    acc.clear_cache()  # cold every time: constant work per repetition
+    return acc.run_mttkrp(
+        t, b, c, mode=0, msu_mode="buffered", compute_output=False
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def measure(shape, nnz, repeats):
+    t, b, c = _make_workload(shape, nnz)
+    acc = Tensaurus(BENCH_CONFIG)
+    _run_once(acc, t, b, c)  # warm numpy/BLAS and code paths
+
+    original_hook = _TensaurusClass._finish_launch_obs
+
+    def _noop_hook(self, *args, **kwargs):
+        return None
+
+    baseline_s = []
+    disabled_s = []
+    enabled_s = []
+    reference = _run_once(acc, t, b, c)
+    for _ in range(repeats):
+        # Interleave the arms so thermal/clock drift is shared.
+        _TensaurusClass._finish_launch_obs = _noop_hook
+        try:
+            elapsed, r = _timed(lambda: _run_once(acc, t, b, c))
+        finally:
+            _TensaurusClass._finish_launch_obs = original_hook
+        baseline_s.append(elapsed)
+        assert r.cycles == reference.cycles
+
+        elapsed, r = _timed(lambda: _run_once(acc, t, b, c))
+        disabled_s.append(elapsed)
+        assert r.cycles == reference.cycles and r.detail == reference.detail
+
+        with obs.observe():
+            elapsed, r = _timed(lambda: _run_once(acc, t, b, c))
+        enabled_s.append(elapsed)
+        assert r.cycles == reference.cycles and r.detail == reference.detail
+
+    baseline = min(baseline_s)
+    disabled = min(disabled_s)
+    enabled = min(enabled_s)
+    return {
+        "shape": list(shape),
+        "nnz": t.nnz,
+        "rank": RANK,
+        "repeats": repeats,
+        "baseline_s": baseline,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead": disabled / baseline - 1.0,
+        "enabled_overhead": enabled / baseline - 1.0,
+        "bit_identical": True,  # the asserts above enforce it per run
+        "cycles": reference.cycles,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_obs.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload / fewer repeats (CI smoke run)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        shape, nnz, repeats = (2048, 384, 384), 60_000, 3
+    else:
+        shape, nnz, repeats = (2048, 512, 512), 120_000, 5
+
+    result = measure(shape, nnz, repeats)
+    results = {
+        "config": {"spm_kb": BENCH_CONFIG.spm_kb, "msu_kb": BENCH_CONFIG.msu_kb},
+        "quick": args.quick,
+        "overhead_limit": OVERHEAD_LIMIT,
+        "mttkrp": result,
+    }
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"MTTKRP {tuple(result['shape'])} nnz={result['nnz']}: "
+        f"baseline {result['baseline_s']:.4f}s, "
+        f"disabled {result['disabled_s']:.4f}s "
+        f"({result['disabled_overhead']:+.2%}), "
+        f"enabled {result['enabled_s']:.4f}s "
+        f"({result['enabled_overhead']:+.2%})"
+    )
+    print(f"wrote {args.out}")
+
+    if result["disabled_overhead"] > OVERHEAD_LIMIT:
+        print(
+            f"FAILED: disabled-instrumentation overhead "
+            f"{result['disabled_overhead']:.2%} exceeds {OVERHEAD_LIMIT:.0%}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

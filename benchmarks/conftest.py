@@ -20,6 +20,10 @@ of re-simulating. Harness options:
 ``--regen-workers N``
     Fan the figure modules over ``N`` pytest subprocesses sharing one
     artifact directory (safe: writes are atomic renames).
+``--trace-out PATH`` / ``--metrics-out PATH``
+    Activate the :mod:`repro.obs` instrumentation for the whole session and
+    write the Chrome trace / metrics-snapshot JSON sidecar at session end.
+    Off by default (zero overhead; memoized replays also record nothing).
 
 pytest-benchmark timings use single-round pedantic mode since each
 "iteration" is itself a full simulation.
@@ -36,7 +40,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import datasets
+from repro import datasets, obs
 from repro.artifacts import ArtifactStore, MemoizedTensaurus, default_artifact_root
 from repro.baselines import (
     CambriconXBaseline,
@@ -85,13 +89,34 @@ def pytest_addoption(parser):
         "--regen-workers", type=int, default=0,
         help="fan benchmark modules over N pytest worker subprocesses",
     )
+    group.addoption(
+        "--trace-out", default=None,
+        help="enable tracing; write Chrome trace JSON here at session end",
+    )
+    group.addoption(
+        "--metrics-out", default=None,
+        help="enable metrics; write the registry snapshot JSON here",
+    )
+
+
+#: ``(trace_path, metrics_path)`` when ``--trace-out``/``--metrics-out``
+#: armed the session-wide observers; both None otherwise.
+_OBS_OUT = (None, None)
 
 
 def pytest_configure(config):
-    global _STORE
+    global _STORE, _OBS_OUT
     root = config.getoption("--artifact-dir") or default_artifact_root()
     enabled = not config.getoption("--no-artifact-cache")
     _STORE = ArtifactStore(root=root, enabled=enabled)
+
+    trace_out = config.getoption("--trace-out")
+    metrics_out = config.getoption("--metrics-out")
+    _OBS_OUT = (trace_out, metrics_out)
+    if trace_out:
+        obs.set_tracer(obs.Tracer())
+    if metrics_out:
+        obs.set_registry(obs.MetricsRegistry())
 
 
 def pytest_cmdline_main(config):
@@ -146,6 +171,20 @@ def pytest_cmdline_main(config):
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not os.environ.get(_CHILD_ENV):
         terminalreporter.write_line(_STORE.report_line())
+    trace_out, metrics_out = _OBS_OUT
+    if trace_out:
+        obs.tracer().export_chrome(trace_out)
+        terminalreporter.write_line(f"wrote Chrome trace to {trace_out}")
+    if metrics_out:
+        with open(metrics_out, "w") as fh:
+            fh.write(obs.metrics().to_json())
+        terminalreporter.write_line(f"wrote metrics snapshot to {metrics_out}")
+
+
+def pytest_unconfigure(config):
+    if _OBS_OUT != (None, None):
+        obs.set_tracer(None)
+        obs.set_registry(None)
 
 
 def artifact_store_instance() -> ArtifactStore:

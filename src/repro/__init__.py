@@ -13,6 +13,7 @@ The package layers, bottom to top:
 - :mod:`repro.baselines` / :mod:`repro.energy` — comparison platforms.
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets.
 - :mod:`repro.analysis` — rooflines and result tables.
+- :mod:`repro.obs` — opt-in tracing, metrics, and structured logging.
 
 Quick start::
 
@@ -28,7 +29,7 @@ Quick start::
 """
 
 from repro import analysis, apps, baselines, datasets, energy, factorization
-from repro import formats, io, kernels, resilience, sim, tensor, util
+from repro import formats, io, kernels, obs, resilience, sim, tensor, util
 from repro.formats import CISSMatrix, CISSTensor
 from repro.resilience import CheckpointStore, RetryPolicy
 from repro.sim import FastModel, FaultPlan, Tensaurus, TensaurusConfig
@@ -46,6 +47,7 @@ __all__ = [
     "formats",
     "io",
     "kernels",
+    "obs",
     "resilience",
     "sim",
     "tensor",

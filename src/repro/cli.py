@@ -18,6 +18,14 @@ Commands
 ``regen``
     Regenerate the ``benchmarks/`` figure data, optionally fanning the
     figure modules over worker processes and reusing cached artifacts.
+``trace``
+    Run one kernel (or a short CP-ALS) with tracing enabled and export a
+    Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto) plus a
+    text flamegraph summary. ``--check`` validates the trace schema and
+    asserts the instrumented run is bit-identical to an uninstrumented one.
+``metrics``
+    Same workloads with the metrics registry enabled; prints the counter /
+    histogram table and optionally writes the snapshot JSON.
 """
 
 from __future__ import annotations
@@ -91,6 +99,38 @@ def _build_parser() -> argparse.ArgumentParser:
     regen.add_argument(
         "--no-artifact-cache", action="store_true",
         help="regenerate everything from scratch (no memoization)",
+    )
+
+    obs_kernels = TENSOR_KERNELS + MATRIX_KERNELS + ("cp-als",)
+
+    def _obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("kernel", choices=obs_kernels)
+        p.add_argument("dataset", help="a registered dataset name")
+        p.add_argument("--mode", type=int, default=0, help="tensor target mode")
+        p.add_argument("--rank", type=int, default=32, help="F / F1=F2 / N")
+        p.add_argument("--iters", type=int, default=3, help="cp-als sweeps")
+
+    trace = sub.add_parser(
+        "trace", help="run a kernel with tracing on; export Chrome trace JSON"
+    )
+    _obs_args(trace)
+    trace.add_argument("--out", default="trace.json", help="trace JSON path")
+    trace.add_argument(
+        "--micro", action="store_true",
+        help="also record per-record firehose events (large traces)",
+    )
+    trace.add_argument(
+        "--check", action="store_true",
+        help="validate the trace schema, reconcile phase cycles against the "
+        "reports, and assert the run is bit-identical to an uninstrumented one",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run a kernel with the metrics registry on"
+    )
+    _obs_args(metrics)
+    metrics.add_argument(
+        "--out", default=None, help="also write the snapshot as JSON"
     )
     return parser
 
@@ -285,6 +325,92 @@ def _cmd_regen(args: argparse.Namespace) -> int:
     return subprocess.call(cmd)
 
 
+def _run_workload(args: argparse.Namespace):
+    """Execute the trace/metrics workload once; returns the SimReports.
+
+    A fresh accelerator per call, so repeated runs (the ``--check``
+    baseline) see identical encoding-cache behaviour.
+    """
+    kind, data = _load_any(args.dataset)
+    rng = make_rng(0)
+    acc = Tensaurus()
+    if args.kernel == "cp-als":
+        if kind != "tensor":
+            raise SystemExit("cp-als needs a tensor dataset")
+        from repro.factorization.accelerated import accelerated_cp_als
+
+        run = accelerated_cp_als(
+            data, rank=args.rank, num_iters=args.iters, seed=0, accelerator=acc
+        )
+        return run.reports
+    if args.kernel in TENSOR_KERNELS:
+        if kind != "tensor":
+            raise SystemExit(f"{args.kernel} needs a tensor dataset")
+        rest = [m for m in range(3) if m != args.mode]
+        b = rng.random((data.shape[rest[0]], args.rank))
+        c = rng.random((data.shape[rest[1]], args.rank))
+        if args.kernel == "spmttkrp":
+            report = acc.run_mttkrp(data, b, c, mode=args.mode, compute_output=False)
+        else:
+            report = acc.run_ttmc(data, b, c, mode=args.mode, compute_output=False)
+        return [report]
+    if kind != "matrix":
+        raise SystemExit(f"{args.kernel} needs a matrix dataset")
+    if args.kernel == "spmm":
+        b = rng.random((data.shape[1], args.rank))
+        return [acc.run_spmm(data, b, compute_output=False)]
+    x = rng.random(data.shape[1])
+    return [acc.run_spmv(data, x, compute_output=False)]
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    baseline = _run_workload(args) if args.check else None
+    with obs.observe(micro=args.micro) as ob:
+        reports = _run_workload(args)
+        trace = ob.tracer.export_chrome(args.out)
+        summary = ob.tracer.summary()
+        snapshot = ob.registry.snapshot()
+    count = obs.validate_chrome_trace(trace)
+    print(summary)
+    print(f"\nwrote {count} events to {args.out}")
+    if args.check:
+        if len(baseline) != len(reports) or any(
+            a.cycles != b.cycles or a.detail != b.detail
+            for a, b in zip(baseline, reports)
+        ):
+            raise SystemExit(
+                "check failed: instrumented run diverged from uninstrumented run"
+            )
+        total = sum(r.cycles for r in reports)
+        phase_total = snapshot.get("sim.phase_cycles", {}).get("value", 0)
+        if phase_total != total:
+            raise SystemExit(
+                f"check failed: phase cycles {phase_total} != report cycles {total}"
+            )
+        print(
+            f"check OK: schema valid, bit-identical to uninstrumented run, "
+            f"{phase_total} phase cycles == {len(reports)} reports' total"
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    with obs.observe() as ob:
+        _run_workload(args)
+        rendered = ob.registry.render()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(ob.registry.to_json())
+    print(rendered)
+    if args.out:
+        print(f"\nwrote metrics snapshot to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -301,6 +427,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_artifacts(args)
     if args.command == "regen":
         return _cmd_regen(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

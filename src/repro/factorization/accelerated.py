@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.factorization.cp import CPDecomposition, cp_als
 from repro.factorization.tucker import TuckerDecomposition, tucker_hooi
 from repro.resilience import CheckpointStore, RetryPolicy
@@ -43,6 +44,8 @@ from repro.util.errors import (
 )
 
 TensorLike = Union[SparseTensor, np.ndarray]
+
+logger = obs.get_logger(__name__)
 
 
 def _cache_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
@@ -102,7 +105,10 @@ def _resilient_fit(
     last: Optional[BaseException] = None
     for attempt in range(max_attempts):
         try:
-            return attempt_fn()
+            with obs.tracer().span(
+                "factorization.attempt", args={"attempt": attempt}
+            ):
+                return attempt_fn()
         except (FaultError, SimulationError) as exc:  # noqa: PERF203
             if policy is None:
                 raise
@@ -110,6 +116,18 @@ def _resilient_fit(
             if attempt >= policy.max_retries:
                 break
             resilience["fault_retries"] += 1
+            reg = obs.metrics()
+            if reg.enabled:
+                reg.counter(
+                    "factorization.fault_retries",
+                    "factorization attempts lost to simulator faults",
+                ).inc()
+            logger.warning(
+                "factorization attempt %d faulted (%s); retrying on a "
+                "fresh fault epoch",
+                attempt,
+                exc,
+            )
             acc.advance_fault_epoch()
             sleep(policy.delay(attempt))
     raise RetryExhaustedError(
@@ -167,6 +185,11 @@ def accelerated_cp_als(
             )
         if completed:
             resilience["resumed_iteration"] = completed
+            logger.info(
+                "cp_als resuming from checkpointed sweep %d of %d",
+                completed,
+                num_iters,
+            )
         on_sweep = None
         if store is not None:
 
@@ -184,7 +207,12 @@ def accelerated_cp_als(
             on_sweep=on_sweep,
         )
 
-    decomposition = _resilient_fit(acc, retry_policy, sleep, resilience, attempt)
+    with obs.tracer().span(
+        "cp_als", cat="factorization", args={"rank": rank, "num_iters": num_iters}
+    ):
+        decomposition = _resilient_fit(
+            acc, retry_policy, sleep, resilience, attempt
+        )
     if store is not None and store.fit_history:
         # Stitch the full trace across resumes (pre-fault sweeps included).
         decomposition.fit_trace = store.fit_trace()
@@ -241,6 +269,11 @@ def accelerated_tucker_hooi(
             )
         if completed:
             resilience["resumed_iteration"] = completed
+            logger.info(
+                "tucker_hooi resuming from checkpointed sweep %d of %d",
+                completed,
+                num_iters,
+            )
         on_sweep = None
         if store is not None:
 
@@ -257,7 +290,14 @@ def accelerated_tucker_hooi(
             on_sweep=on_sweep,
         )
 
-    decomposition = _resilient_fit(acc, retry_policy, sleep, resilience, attempt)
+    with obs.tracer().span(
+        "tucker_hooi",
+        cat="factorization",
+        args={"ranks": list(ranks), "num_iters": num_iters},
+    ):
+        decomposition = _resilient_fit(
+            acc, retry_policy, sleep, resilience, attempt
+        )
     if store is not None and store.fit_history:
         decomposition.fit_trace = store.fit_trace()
         resilience["checkpoints"] = store.saves

@@ -1,0 +1,138 @@
+"""Observability layer: metrics registry, span tracer, structured logging.
+
+Zero overhead when disabled (the default): the active tracer and registry
+are module-level singletons that start as :data:`NULL_TRACER` /
+:data:`NULL_REGISTRY`, whose every method is a no-op. Instrumented code
+reads them through :func:`tracer` / :func:`metrics` each time (never
+caching across calls), so activation is a single global swap:
+
+    with obs.observe() as ob:
+        acc.run_mttkrp(tensor, b, c)
+    ob.tracer.export_chrome("trace.json")
+    print(ob.registry.render())
+
+Instrumentation is *observational only*: simulator outputs (``SimReport``
+fields, result tables, cached artifacts) are bit-identical whether or not
+an observer is active — the contract CI enforces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, NamedTuple, Optional, Union
+
+from repro.obs.logs import JsonLinesFormatter, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetric,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import (
+    HOST_PID,
+    SIM_PID,
+    NullTracer,
+    Tracer,
+    NULL_TRACER,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetric",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+    "HOST_PID",
+    "SIM_PID",
+    "get_logger",
+    "configure_logging",
+    "JsonLinesFormatter",
+    "tracer",
+    "metrics",
+    "enabled",
+    "set_tracer",
+    "set_registry",
+    "observe",
+    "Observation",
+]
+
+_TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+_REGISTRY: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+
+
+def tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (the null tracer unless observation is on)."""
+    return _TRACER
+
+
+def metrics() -> Union[MetricsRegistry, NullRegistry]:
+    """The active metrics registry (null unless observation is on)."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    """True when either the tracer or the registry is live."""
+    return _TRACER.enabled or _REGISTRY.enabled
+
+
+def set_tracer(
+    new: Optional[Union[Tracer, NullTracer]],
+) -> Union[Tracer, NullTracer]:
+    """Install ``new`` (or the null tracer for None); returns the old one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = new if new is not None else NULL_TRACER
+    return previous
+
+
+def set_registry(
+    new: Optional[Union[MetricsRegistry, NullRegistry]],
+) -> Union[MetricsRegistry, NullRegistry]:
+    """Install ``new`` (or the null registry for None); returns the old one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = new if new is not None else NULL_REGISTRY
+    return previous
+
+
+class Observation(NamedTuple):
+    """The live tracer/registry pair yielded by :func:`observe`."""
+
+    tracer: Union[Tracer, NullTracer]
+    registry: Union[MetricsRegistry, NullRegistry]
+
+
+@contextmanager
+def observe(
+    tracer: Optional[Union[Tracer, NullTracer]] = None,
+    registry: Optional[Union[MetricsRegistry, NullRegistry]] = None,
+    micro: bool = False,
+) -> Iterator[Observation]:
+    """Activate instrumentation for the duration of the block.
+
+    Fresh ``Tracer(micro=...)`` / ``MetricsRegistry`` instances are
+    created unless provided. The previous globals are restored on exit;
+    the yielded :class:`Observation` keeps the collected data alive for
+    export after the block.
+    """
+    live_tracer = tracer if tracer is not None else Tracer(micro=micro)
+    live_registry = registry if registry is not None else MetricsRegistry()
+    prev_tracer = set_tracer(live_tracer)
+    prev_registry = set_registry(live_registry)
+    try:
+        yield Observation(live_tracer, live_registry)
+    finally:
+        set_tracer(prev_tracer)
+        set_registry(prev_registry)

@@ -1,0 +1,93 @@
+"""Structured logging for the reproduction stack.
+
+Every ``repro`` module gets its logger from :func:`get_logger` (namespaced
+under ``repro.``), replacing the ad-hoc ``warnings.warn`` calls that sweeps
+could neither capture nor filter. Nothing is emitted until the application
+opts in: the root ``repro`` logger carries a ``NullHandler`` by default, so
+library use stays silent (standard-library convention).
+
+:func:`configure_logging` is the single opt-in switch: it sets the level,
+attaches a human-readable stream handler, and optionally a JSON-lines file
+handler (one ``{"ts", "level", "logger", "msg", ...}`` object per line)
+that sweep tooling can parse.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Optional
+
+__all__ = ["get_logger", "configure_logging", "JsonLinesFormatter"]
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+if not _root.handlers:
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The module logger for ``name`` (namespaced under ``repro``)."""
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg (+ extras)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        extra = getattr(record, "fields", None)
+        if isinstance(extra, dict):
+            payload.update(extra)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_path: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Opt in to log output from the ``repro`` tree.
+
+    Parameters
+    ----------
+    level:
+        Root level name (``"DEBUG"``, ``"INFO"``, ...).
+    json_path:
+        When given, also append JSON-lines records to this file.
+    stream:
+        Stream for the human-readable handler (default ``sys.stderr``
+        via ``StreamHandler``); pass ``None`` to keep the default.
+
+    Calling it again reconfigures: previously attached (non-Null)
+    handlers are removed first, so repeated CLI invocations in one
+    process don't stack duplicate handlers.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+
+    console = logging.StreamHandler(stream)
+    console.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    root.addHandler(console)
+
+    if json_path is not None:
+        jh = logging.FileHandler(json_path)
+        jh.setFormatter(JsonLinesFormatter())
+        root.addHandler(jh)
+    return root

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.formats.ciss import CISSMatrix, CISSTensor
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
@@ -85,6 +86,10 @@ class _TileTotals:
     fibers: int
     headers: int
     conflicts: int
+    #: Per-pass cycle decomposition (stream/compute/stall/drain[/recovery])
+    #: summing exactly to ``cycles``; computed only while observation is
+    #: active, None otherwise. Never feeds back into the report.
+    phases: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -146,7 +151,18 @@ class Tensaurus:
         return self._cache
 
     def cache_info(self) -> Dict[str, int]:
+        """Current hit/miss/occupancy counters (see :meth:`reset_cache_stats`
+        for scoping them to one run)."""
         return self._cache.info()
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss counters without evicting cached entries.
+
+        ``cache_info`` counters otherwise accumulate across unrelated
+        runs on a shared accelerator, which makes per-run cache metrics
+        wrong; call this before the run you want to attribute.
+        """
+        self._cache.reset_stats()
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -383,12 +399,18 @@ class Tensaurus:
         """
         num_tiles = int(np.asarray(t_bytes).shape[0])
         extra_t = extra_m = 0
+        want_phases = obs.enabled()
+        phases: Optional[Dict[str, int]] = None
+        mem_cycles = np.ceil(
+            (t_bytes + m_bytes + o_bytes) / self._bpc
+        ).astype(np.int64)
         if ctx is None:
-            mem_cycles = np.ceil(
-                (t_bytes + m_bytes + o_bytes) / self._bpc
-            ).astype(np.int64)
             cycles = int(np.maximum(compute_cycles, mem_cycles).sum())
             cycles += num_tiles * self._tile_overhead
+            if want_phases:
+                phases = self._tile_phases(
+                    compute_cycles, mem_cycles, stats.conflict_stalls, num_tiles
+                )
         else:
             outcome = ctx.apply_tile_faults(
                 compute_cycles, t_bytes, m_bytes, o_bytes,
@@ -397,6 +419,14 @@ class Tensaurus:
             cycles = outcome.cycles
             extra_t = outcome.extra_tensor_bytes
             extra_m = outcome.extra_matrix_bytes
+            if want_phases:
+                phases = self._tile_phases(
+                    compute_cycles, mem_cycles, stats.conflict_stalls, num_tiles
+                )
+                # Anything the fault overlay added on top of the clean
+                # schedule (checksum replays, HBM stall padding, lane
+                # re-deals) is recovery time.
+                phases["recovery"] = int(cycles - sum(phases.values()))
         return _TileTotals(
             cycles=cycles,
             ops=int(stats.ops.sum()),
@@ -407,7 +437,118 @@ class Tensaurus:
             fibers=int(stats.num_fibers.sum()),
             headers=int(stats.num_headers.sum()),
             conflicts=int(stats.conflict_stalls.sum()),
+            phases=phases,
         )
+
+    # ------------------------------------------------------------------
+    # Observability (off by default; never alters the report)
+    # ------------------------------------------------------------------
+    def _tile_phases(
+        self,
+        compute_cycles: np.ndarray,
+        mem_cycles: np.ndarray,
+        conflict_stalls: Optional[np.ndarray],
+        num_tiles: int,
+    ) -> Dict[str, int]:
+        """Attribute the clean tile schedule to stream/compute/stall/drain.
+
+        A tile costs ``max(compute, mem)``: memory-bound tiles spend their
+        cycles streaming operands, compute-bound tiles spend theirs in the
+        PE array — minus the SPM bank-conflict stalls already folded into
+        their compute time, which are broken out as ``stall``. The fixed
+        per-tile swap/fill overhead plus the buffered-MSU writeback (added
+        by the caller) is ``drain``. By construction the phases sum to the
+        schedule's cycles exactly.
+        """
+        comp = np.asarray(compute_cycles, dtype=np.int64)
+        mem = np.asarray(mem_cycles, dtype=np.int64)
+        comp_bound = comp >= mem
+        if conflict_stalls is None:
+            stall = 0
+        else:
+            stall = int(np.asarray(conflict_stalls, dtype=np.int64)[comp_bound].sum())
+        return {
+            "stream": int(mem[~comp_bound].sum()),
+            "compute": int(comp[comp_bound].sum()) - stall,
+            "stall": stall,
+            "drain": num_tiles * self._tile_overhead,
+        }
+
+    def _finish_launch_obs(
+        self,
+        report: SimReport,
+        passes: int,
+        phases: Optional[Dict[str, int]],
+        write_cycles: int = 0,
+    ) -> None:
+        """Report one finished launch to the active tracer and registry.
+
+        ``phases`` is the per-pass decomposition from the tile fold;
+        ``write_cycles`` is the buffered-MSU writeback the caller added on
+        top. Both are folded and scaled by ``passes`` here so the emitted
+        phase totals sum exactly to ``report.cycles``. Purely
+        observational: the report is never modified.
+        """
+        tr = obs.tracer()
+        reg = obs.metrics()
+        if not (tr.enabled or reg.enabled):
+            return
+        scaled: Dict[str, int] = {}
+        if phases is not None:
+            merged = dict(phases)
+            merged["drain"] = merged.get("drain", 0) + write_cycles
+            scaled = {k: int(v) * int(passes) for k, v in merged.items()}
+        kernel = report.kernel
+        tr.add_launch(
+            kernel, report.cycles, scaled,
+            args={
+                "msu_mode": report.detail.get("msu_mode"),
+                "passes": passes,
+                "ops": report.ops,
+                "nnz": report.detail.get("nnz"),
+            },
+        )
+        if not reg.enabled:
+            return
+        reg.counter(
+            "sim.launches", "kernel launches", ("kernel",)
+        ).labels(kernel=kernel).inc()
+        reg.counter(
+            "sim.cycles", "total launch cycles", ("kernel",)
+        ).labels(kernel=kernel).inc(report.cycles)
+        reg.counter(
+            "sim.ops", "MAC operations", ("kernel",)
+        ).labels(kernel=kernel).inc(report.ops)
+        phase_counter = reg.counter(
+            "sim.phase_cycles", "launch cycles by phase", ("kernel", "phase")
+        )
+        for phase, width in scaled.items():
+            if width:
+                phase_counter.labels(kernel=kernel, phase=phase).inc(width)
+        byte_counter = reg.counter(
+            "sim.bytes", "HBM bytes by stream", ("kernel", "stream")
+        )
+        byte_counter.labels(kernel=kernel, stream="tensor").inc(report.tensor_bytes)
+        byte_counter.labels(kernel=kernel, stream="matrix").inc(report.matrix_bytes)
+        byte_counter.labels(kernel=kernel, stream="output").inc(report.output_bytes)
+        conflicts = report.detail.get("conflict_stalls", 0)
+        if conflicts:
+            reg.counter(
+                "sim.spm_conflict_stalls",
+                "per-pass SPM bank-conflict stall cycles",
+            ).inc(conflicts)
+        if report.faults:
+            recovery = report.faults.get("fault_overhead_cycles", 0)
+            if recovery:
+                reg.counter(
+                    "sim.fault.recovery_cycles",
+                    "cycles added by fault detection and recovery",
+                ).inc(recovery)
+            event_counter = reg.counter(
+                "sim.fault.events", "fault events by kind", ("kind",)
+            )
+            for event in report.fault_events:
+                event_counter.labels(kind=event.kind).inc()
 
     # ------------------------------------------------------------------
     # Sparse 3-d tensor kernels (SpMTTKRP / SpTTMc)
@@ -476,23 +617,28 @@ class Tensaurus:
         out_elems = self._out_elems(plan)
         part = get_partition(plan)
 
-        if use_batch:
-            totals = self._tensor_totals_batched(
-                kernel, plan, costs, part, fp, mode, entry_bytes, out_elems,
-                lanes, ctx,
-            )
-        else:
-            totals = self._tensor_totals_per_tile(
-                kernel, plan, costs, part, perm_vals, entry_bytes, out_elems,
-                lanes, ctx,
-            )
+        with obs.tracer().span(
+            f"{kernel}.tiles", args={"tiles": part.num_tiles, "nnz": nnz}
+        ):
+            if use_batch:
+                totals = self._tensor_totals_batched(
+                    kernel, plan, costs, part, fp, mode, entry_bytes,
+                    out_elems, lanes, ctx,
+                )
+            else:
+                totals = self._tensor_totals_per_tile(
+                    kernel, plan, costs, part, perm_vals, entry_bytes,
+                    out_elems, lanes, ctx,
+                )
 
         cycles = totals.cycles
         output_bytes = totals.output_bytes
+        write_cycles = 0
         if plan.msu_mode == "buffered":
             write_bytes = nonempty_slices * out_elems * dw
             output_bytes += write_bytes
-            cycles += math.ceil(write_bytes / self._bpc)
+            write_cycles = math.ceil(write_bytes / self._bpc)
+            cycles += write_cycles
 
         output = None
         if compute_output:
@@ -501,7 +647,7 @@ class Tensaurus:
                 output = mttkrp_sparse_factored(tensor, factors, mode)
             else:
                 output = ttmc_sparse_factored(tensor, factors, mode)
-        return SimReport(
+        report = SimReport(
             kernel=kernel,
             cycles=int(cycles * plan.passes),
             ops=int(totals.ops * plan.passes),
@@ -522,6 +668,8 @@ class Tensaurus:
             faults=ctx.finish(plan.passes) if ctx is not None else {},
             fault_events=list(ctx.events) if ctx is not None else [],
         )
+        self._finish_launch_obs(report, plan.passes, totals.phases, write_cycles)
+        return report
 
     def _tensor_tile_extents(
         self, plan: TilingPlan, part: TensorTilePartition
@@ -710,21 +858,27 @@ class Tensaurus:
         out_elems = self._out_elems(plan)
         part = get_partition(plan)
 
-        if use_batch:
-            totals = self._matrix_totals_batched(
-                plan, costs, part, fp, entry_bytes, out_elems, lanes, ctx
-            )
-        else:
-            totals = self._matrix_totals_per_tile(
-                plan, costs, part, coo.vals, entry_bytes, out_elems, lanes, ctx
-            )
+        with obs.tracer().span(
+            f"{kernel}.tiles", args={"tiles": part.num_tiles, "nnz": coo.nnz}
+        ):
+            if use_batch:
+                totals = self._matrix_totals_batched(
+                    plan, costs, part, fp, entry_bytes, out_elems, lanes, ctx
+                )
+            else:
+                totals = self._matrix_totals_per_tile(
+                    plan, costs, part, coo.vals, entry_bytes, out_elems,
+                    lanes, ctx,
+                )
 
         cycles = totals.cycles
         output_bytes = totals.output_bytes
+        write_cycles = 0
         if plan.msu_mode == "buffered":
             write_bytes = nonempty_rows * out_elems * dw
             output_bytes += write_bytes
-            cycles += math.ceil(write_bytes / self._bpc)
+            write_cycles = math.ceil(write_bytes / self._bpc)
+            cycles += write_cycles
 
         output = None
         if compute_output:
@@ -733,7 +887,7 @@ class Tensaurus:
                 output = spmm_ref(csr, dense_operand)
             else:
                 output = spmv_ref(csr, dense_operand)
-        return SimReport(
+        report = SimReport(
             kernel=kernel,
             cycles=int(cycles * plan.passes),
             ops=int(totals.ops * plan.passes),
@@ -753,6 +907,8 @@ class Tensaurus:
             faults=ctx.finish(plan.passes) if ctx is not None else {},
             fault_events=list(ctx.events) if ctx is not None else [],
         )
+        self._finish_launch_obs(report, plan.passes, totals.phases, write_cycles)
+        return report
 
     def _matrix_totals_batched(
         self,
@@ -898,26 +1054,37 @@ class Tensaurus:
         mb_l: list,
         ob_l: list,
         ctx: Optional[RunFaultContext],
-    ) -> Tuple[int, int, int]:
-        """(tile cycles, extra tensor bytes, extra matrix bytes) over the
-        collected per-tile cost lists — exact fault-free arithmetic when no
-        fault context is armed, tile-fault overlay otherwise."""
+    ) -> Tuple[int, int, int, Optional[Dict[str, int]]]:
+        """(tile cycles, extra tensor bytes, extra matrix bytes, phases)
+        over the collected per-tile cost lists — exact fault-free
+        arithmetic when no fault context is armed, tile-fault overlay
+        otherwise. ``phases`` is the observational cycle decomposition
+        (None unless observation is active; dense tiles never stall on
+        SPM banks, so there is no stall phase)."""
         comp = np.asarray(comp_l, dtype=np.int64)
         t_arr = np.asarray(tb_l, dtype=np.int64)
         m_arr = np.asarray(mb_l, dtype=np.int64)
         o_arr = np.asarray(ob_l, dtype=np.int64)
+        want_phases = obs.enabled()
+        phases: Optional[Dict[str, int]] = None
+        mem = np.ceil((t_arr + m_arr + o_arr) / self._bpc).astype(np.int64)
         if ctx is None:
-            mem = np.ceil((t_arr + m_arr + o_arr) / self._bpc).astype(np.int64)
             cycles = int(np.maximum(comp, mem).sum())
             cycles += comp.shape[0] * self._tile_overhead
-            return cycles, 0, 0
+            if want_phases:
+                phases = self._tile_phases(comp, mem, None, comp.shape[0])
+            return cycles, 0, 0, phases
         outcome = ctx.apply_tile_faults(
             comp, t_arr, m_arr, o_arr, self._bpc, self._tile_overhead
         )
+        if want_phases:
+            phases = self._tile_phases(comp, mem, None, comp.shape[0])
+            phases["recovery"] = int(outcome.cycles - sum(phases.values()))
         return (
             outcome.cycles,
             outcome.extra_tensor_bytes,
             outcome.extra_matrix_bytes,
+            phases,
         )
 
     def _run_dense_tensor(
@@ -990,7 +1157,7 @@ class Tensaurus:
                 output_bytes += write
                 write_cycles += math.ceil(write / self._bpc)
 
-        tile_cycles, extra_t, extra_m = self._fold_dense_tiles(
+        tile_cycles, extra_t, extra_m, fold_phases = self._fold_dense_tiles(
             comp_l, tb_l, mb_l, ob_l, ctx
         )
         cycles = tile_cycles + write_cycles
@@ -1010,7 +1177,7 @@ class Tensaurus:
                 output = mttkrp_dense_factored(tensor, factors, mode)
             else:
                 output = ttmc_dense_factored(tensor, factors, mode)
-        return SimReport(
+        report = SimReport(
             kernel=kernel,
             cycles=int(cycles),
             ops=int(ops),
@@ -1023,6 +1190,8 @@ class Tensaurus:
             faults=ctx.finish(plan.passes) if ctx is not None else {},
             fault_events=list(ctx.events) if ctx is not None else [],
         )
+        self._finish_launch_obs(report, plan.passes, fold_phases, write_cycles)
+        return report
 
     def _run_dense_matrix(
         self,
@@ -1083,7 +1252,7 @@ class Tensaurus:
                 output_bytes += write
                 write_cycles += math.ceil(write / self._bpc)
 
-        tile_cycles, extra_t, extra_m = self._fold_dense_tiles(
+        tile_cycles, extra_t, extra_m, fold_phases = self._fold_dense_tiles(
             comp_l, tb_l, mb_l, ob_l, ctx
         )
         cycles = tile_cycles + write_cycles
@@ -1102,7 +1271,7 @@ class Tensaurus:
                 output = gemm_ref(a, dense_operand)
             else:
                 output = gemv_ref(a, dense_operand)
-        return SimReport(
+        report = SimReport(
             kernel=kernel,
             cycles=int(cycles),
             ops=int(ops),
@@ -1115,3 +1284,5 @@ class Tensaurus:
             faults=ctx.finish(plan.passes) if ctx is not None else {},
             fault_events=list(ctx.events) if ctx is not None else [],
         )
+        self._finish_launch_obs(report, plan.passes, fold_phases, write_cycles)
+        return report

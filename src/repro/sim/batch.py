@@ -37,6 +37,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.formats.ciss import least_loaded_deal
 from repro.sim.costs import KernelCosts
 from repro.sim.lanes import lane_cycle_model, op_count_model
@@ -451,20 +452,39 @@ class EncodingCache:
         """Return the cached value for ``key``, building it on a miss."""
         if not self.enabled:
             self.misses += 1
+            self._observe("miss")
             return builder()
         if key in self._data:
             self.hits += 1
+            self._observe("hit")
             self._data.move_to_end(key)
             return self._data[key]
         self.misses += 1
+        self._observe("miss")
         value = builder()
         self._data[key] = value
         while len(self._data) > self.max_entries:
             self._data.popitem(last=False)
         return value
 
+    @staticmethod
+    def _observe(event: str) -> None:
+        """Mirror a hit/miss into the active metrics registry (a few
+        lookups per launch, so per-event cost is irrelevant)."""
+        reg = obs.metrics()
+        if reg.enabled:
+            reg.counter(
+                "cache.encoding", "encoding-cache lookups", ("event",)
+            ).labels(event=event).inc()
+
     def clear(self) -> None:
         self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without evicting resident entries,
+        so per-run cache deltas don't inherit unrelated history."""
         self.hits = 0
         self.misses = 0
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.resilience import RetryPolicy, retry_call
@@ -34,6 +35,8 @@ from repro.sim.faults import LAUNCH_ABORT, WATCHDOG, FaultEvent, FaultPlan
 from repro.sim.report import SimReport
 from repro.tensor import SparseTensor
 from repro.util.errors import FaultError, ReproError, SimulationError
+
+logger = obs.get_logger(__name__)
 
 
 class ProgramError(ReproError, ValueError):
@@ -150,9 +153,18 @@ class TensaurusDevice:
         self._reset_accelerator()
 
     def _reset_accelerator(self) -> None:
-        self.stats["resets"] += 1
+        self._bump("resets")
+        logger.info("accelerator reset (cache cleared, fault epoch advanced)")
         self._accelerator.clear_cache()
         self._accelerator.advance_fault_epoch()
+
+    def _bump(self, key: str) -> None:
+        """Count a driver event in ``stats`` and mirror it into the
+        active metrics registry (as ``driver.<key>``)."""
+        self.stats[key] += 1
+        reg = obs.metrics()
+        if reg.enabled:
+            reg.counter(f"driver.{key}", f"driver {key}").inc()
 
     # ------------------------------------------------------------------
     def execute(self, program: List[Instruction]) -> List[SimReport]:
@@ -224,7 +236,7 @@ class TensaurusDevice:
             raise ProgramError("no operand bound to the sparse/tensor slot")
         self._check_dims(sparse, st.dims)
         self._launch_count += 1
-        self.stats["launches"] += 1
+        self._bump("launches")
         kernel = st.kernel
         if kernel in ("spmttkrp", "dmttkrp", "spttmc", "dttmc"):
             b = st.operands.get(SLOT_DENSE_B)
@@ -274,9 +286,17 @@ class TensaurusDevice:
         def attempt(attempt_idx: int) -> SimReport:
             start = self._clock()
             try:
-                report = run()
+                with obs.tracer().span(
+                    "driver.launch",
+                    args={"launch": self._launch_count, "attempt": attempt_idx},
+                ):
+                    report = run()
             except (FaultError, SimulationError) as exc:
-                self.stats["faults"] += 1
+                self._bump("faults")
+                logger.warning(
+                    "launch %d attempt %d faulted: %s",
+                    self._launch_count, attempt_idx, exc,
+                )
                 self.fault_log.append(
                     FaultEvent(
                         LAUNCH_ABORT,
@@ -288,7 +308,11 @@ class TensaurusDevice:
             elapsed = self._clock() - start
             timeout = self._watchdog_timeout_s
             if timeout is not None and elapsed > timeout:
-                self.stats["watchdog_trips"] += 1
+                self._bump("watchdog_trips")
+                logger.warning(
+                    "watchdog tripped on launch %d: %.3fs > %.3fs",
+                    self._launch_count, elapsed, timeout,
+                )
                 self.fault_log.append(
                     FaultEvent(
                         WATCHDOG,
@@ -306,7 +330,11 @@ class TensaurusDevice:
             return attempt(0)
 
         def on_retry(attempt_idx: int, exc: BaseException) -> None:
-            self.stats["retries"] += 1
+            self._bump("retries")
+            logger.info(
+                "retrying launch %d after fault (attempt %d): %s",
+                self._launch_count, attempt_idx, exc,
+            )
             self._reset_accelerator()
 
         return retry_call(

@@ -29,6 +29,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.formats.ciss import KIND_HEADER, KIND_NNZ, KIND_PAD
 from repro.sim.config import TensaurusConfig
 from repro.sim.costs import KernelCosts
@@ -136,6 +137,10 @@ class EventDrivenTensaurus:
         k_idx = np.asarray(ciss.k_idx)
         vals = np.asarray(ciss.vals)
         entries, lanes = kinds.shape if kinds.ndim == 2 else (0, 0)
+        tracer = obs.tracer()
+        micro_issues: Optional[List[Tuple[int, int]]] = (
+            [] if tracer.micro else None
+        )
         rows = [_RowState() for _ in range(lanes)]
         out = np.zeros(out_shape, dtype=np.float64)
         ops = 0
@@ -189,6 +194,8 @@ class EventDrivenTensaurus:
                                 float(vals[next_entry, lane]),
                             )
                         )
+                    if micro_issues is not None:
+                        micro_issues.append((cycle, next_entry))
                     next_entry += 1
                 else:
                     tlu_stalls += 1
@@ -263,7 +270,7 @@ class EventDrivenTensaurus:
                     f"event simulation did not converge in {max_cycles} cycles"
                 )
         busy = np.array([r.cycles_busy for r in rows], dtype=np.int64)
-        return EventSimResult(
+        result = EventSimResult(
             cycles=cycle,
             ops=ops,
             output=out,
@@ -274,6 +281,48 @@ class EventDrivenTensaurus:
             injected_stall_cycles=injected_stall_cycles,
             fault_events=fault_events,
         )
+        self._emit_obs(result, entries, micro_issues, tracer)
+        return result
+
+    def _emit_obs(
+        self,
+        result: EventSimResult,
+        entries: int,
+        micro_issues: Optional[List[Tuple[int, int]]],
+        tracer,
+    ) -> None:
+        """Mirror one tile execution into the active tracer/registry.
+
+        Runs after the cycle loop so the loop itself is untouched; with a
+        micro-mode tracer every CISS-entry issue becomes a sim-track
+        instant at its issue cycle."""
+        reg = obs.metrics()
+        if reg.enabled:
+            reg.counter("event.tiles", "event-engine tile executions").inc()
+            reg.counter("event.cycles", "event-engine cycles").inc(result.cycles)
+            stalls = reg.counter(
+                "event.stall_cycles", "event-engine stalls by cause", ("cause",)
+            )
+            for cause, count in (
+                ("bank_conflict", result.bank_conflict_stalls),
+                ("msu", result.msu_stalls),
+                ("tlu", result.tlu_stall_cycles),
+                ("injected_hbm", result.injected_stall_cycles),
+            ):
+                if count:
+                    stalls.labels(cause=cause).inc(count)
+        if tracer.enabled:
+            if micro_issues:
+                # Before add_launch, so issue cycles land inside the
+                # not-yet-advanced launch span.
+                for at_cycle, entry in micro_issues:
+                    tracer.sim_instant(
+                        "ciss.entry", at_cycle, args={"entry": entry}
+                    )
+            tracer.add_launch(
+                f"event.{self.costs.kernel}", result.cycles,
+                args={"entries": entries, "ops": result.ops},
+            )
 
     # ------------------------------------------------------------------
     def _cycle_budget(self, kinds: np.ndarray) -> int:

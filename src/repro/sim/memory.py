@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, List, Sequence, Tuple
 
+from repro import obs
 from repro.sim.config import MemoryConfig
 from repro.util.errors import ConfigError
 
@@ -45,35 +46,57 @@ class StreamMemory:
         burst = cfg.burst_bytes
         bus_bpc = cfg.bytes_per_cycle
         latency = cfg.latency_cycles
+        reg = obs.metrics()
+        occupancy = (
+            reg.histogram(
+                "hbm.queue_occupancy",
+                "in-flight HBM requests sampled per serviced burst",
+                buckets=tuple(float(b) for b in range(0, cfg.max_outstanding + 1)),
+            )
+            if reg.enabled
+            else None
+        )
         in_flight: List[int] = []  # completion times (min-heap)
         bus_free = 0.0  # next cycle the data bus is free
         now = 0
         useful_bytes = 0
         fetched_bytes = 0
-        for group in trace:
-            now += 1
-            # Coalesce this cycle's requests into distinct bursts.
-            bursts = set()
-            for addr, size in group:
-                if size <= 0:
-                    raise ConfigError("request size must be positive")
-                useful_bytes += size
-                first = addr // burst
-                last = (addr + size - 1) // burst
-                bursts.update(range(first, last + 1))
-            for _burst_id in sorted(bursts):
-                # Wait for an MSHR slot.
-                while len(in_flight) >= cfg.max_outstanding:
-                    now = max(now, heapq.heappop(in_flight))
-                # Occupy the data bus for the burst transfer.
-                start = max(now, bus_free)
-                bus_free = start + burst / bus_bpc
-                heapq.heappush(in_flight, int(start + latency + burst / bus_bpc))
-                fetched_bytes += burst
-        # Drain.
-        while in_flight:
-            now = max(now, heapq.heappop(in_flight))
-        now = max(now, int(bus_free) + 1)
+        with obs.tracer().span("hbm.service_trace", args={"cycles": len(trace)}):
+            for group in trace:
+                now += 1
+                # Coalesce this cycle's requests into distinct bursts.
+                bursts = set()
+                for addr, size in group:
+                    if size <= 0:
+                        raise ConfigError("request size must be positive")
+                    useful_bytes += size
+                    first = addr // burst
+                    last = (addr + size - 1) // burst
+                    bursts.update(range(first, last + 1))
+                for _burst_id in sorted(bursts):
+                    # Wait for an MSHR slot.
+                    while len(in_flight) >= cfg.max_outstanding:
+                        now = max(now, heapq.heappop(in_flight))
+                    if occupancy is not None:
+                        occupancy.observe(len(in_flight))
+                    # Occupy the data bus for the burst transfer.
+                    start = max(now, bus_free)
+                    bus_free = start + burst / bus_bpc
+                    heapq.heappush(
+                        in_flight, int(start + latency + burst / bus_bpc)
+                    )
+                    fetched_bytes += burst
+            # Drain.
+            while in_flight:
+                now = max(now, heapq.heappop(in_flight))
+            now = max(now, int(bus_free) + 1)
+        if reg.enabled:
+            reg.counter("hbm.useful_bytes", "consumer-visible bytes").inc(
+                useful_bytes
+            )
+            reg.counter("hbm.fetched_bytes", "bus bytes incl. burst waste").inc(
+                fetched_bytes
+            )
         return TraceResult(
             cycles=now,
             useful_bytes=useful_bytes,

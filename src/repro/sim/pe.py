@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.formats.ciss import KIND_HEADER, KIND_NNZ, KIND_PAD, LaneRecord
 from repro.sim.costs import KernelCosts
 from repro.util.errors import SimulationError
@@ -81,8 +82,13 @@ class PELane:
         ``(cycle, event, detail)`` tuple is appended per micro-event
         (``header`` / ``mac`` / ``fold`` / ``drain``), giving a
         cycle-by-cycle view of the PE for debugging and the trace tests.
+        An active micro-mode tracer (``Tracer(micro=True)``) collects the
+        same events onto its sim track without the caller passing a list.
         """
         costs = self.costs
+        tracer = obs.tracer()
+        if trace is None and tracer.micro:
+            trace = []
         cycles = 0
         ops = 0
         nnz_records = headers = fibers = drains = 0
@@ -154,7 +160,7 @@ class PELane:
         if costs.uses_fibers:
             fold()
         drain()
-        return LaneRunResult(
+        result = LaneRunResult(
             cycles=cycles,
             ops=ops,
             nnz_records=nnz_records,
@@ -162,3 +168,30 @@ class PELane:
             fibers=fibers,
             drains=drains,
         )
+        self._emit_obs(result, trace if tracer.micro else None, tracer)
+        return result
+
+    def _emit_obs(self, result: LaneRunResult, micro_events, tracer) -> None:
+        """Mirror one lane run into the active registry/tracer (post-run,
+        so the record loop itself carries no instrumentation)."""
+        reg = obs.metrics()
+        if reg.enabled:
+            reg.counter("pe.lane.runs", "PE lane stream executions").inc()
+            reg.counter("pe.lane.cycles", "PE lane cycles").inc(result.cycles)
+            reg.counter("pe.lane.ops", "PE lane MAC operations").inc(result.ops)
+            events = reg.counter(
+                "pe.lane.records", "PE lane activity by event", ("event",)
+            )
+            for event, count in (
+                ("nnz", result.nnz_records),
+                ("header", result.headers),
+                ("fiber", result.fibers),
+                ("drain", result.drains),
+            ):
+                if count:
+                    events.labels(event=event).inc(count)
+        if tracer.enabled and micro_events:
+            for cycle, event, detail in micro_events:
+                tracer.sim_instant(
+                    f"pe.{event}", cycle, args={"detail": int(detail)}
+                )

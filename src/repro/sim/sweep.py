@@ -20,12 +20,12 @@ from __future__ import annotations
 import itertools
 import pickle
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.sim.accelerator import Tensaurus
 from repro.sim.config import TensaurusConfig
@@ -36,6 +36,8 @@ from repro.util.errors import (
     RetryExhaustedError,
     SimulationError,
 )
+
+logger = obs.get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -118,8 +120,12 @@ def sweep_configs(
     serial sweeps return identical lists (fault injection included: every
     point draws from streams keyed by its own config and attempt, never by
     scheduling). The runner (and everything it closes over) must pickle;
-    if it does not, the sweep warns with the pickling error, records it as
-    ``fallback_reason``, and falls back to serial evaluation.
+    if it does not, the sweep logs a warning on the ``repro.sim.sweep``
+    logger with the pickling error, records it as ``fallback_reason``, and
+    falls back to serial evaluation. (Worker processes do not share the
+    parent's observation state, so per-launch tracing covers serial sweeps
+    only; the sweep-level span and point counters are always recorded in
+    the submitting process.)
 
     ``max_retries`` re-attempts a faulting point (fresh fault epoch each
     time); ``timeout_s`` bounds one point's evaluation — enforced
@@ -145,76 +151,91 @@ def sweep_configs(
 
     result = SweepResult()
     outcomes: Optional[List[Tuple[str, object, int]]] = None
-    if workers is not None and workers > 1 and len(combos) > 1:
-        try:
-            pickle.dumps(runner)
-        except Exception as exc:
-            result.fallback_reason = repr(exc)
-            warnings.warn(
-                "sweep_configs runner is not picklable; falling back to "
-                f"serial evaluation ({exc!r})",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        else:
-            max_workers = min(workers, len(combos))
-            pool = ProcessPoolExecutor(max_workers=max_workers)
+    point_counter = obs.metrics().counter(
+        "sweep.points", "sweep design points by outcome", ("status",)
+    )
+    with obs.tracer().span(
+        "sweep_configs",
+        args={"points": len(combos), "workers": int(workers or 1)},
+    ):
+        if workers is not None and workers > 1 and len(combos) > 1:
             try:
-                futures = [
-                    pool.submit(
-                        _evaluate_point, (config, runner, max_retries)
-                    )
-                    for _, config in combos
-                ]
-                outcomes = []
-                for future in futures:
-                    try:
-                        outcomes.append(future.result(timeout=timeout_s))
-                    except FutureTimeoutError:
-                        future.cancel()
-                        outcomes.append(
-                            ("fail", f"timeout after {timeout_s}s", 1)
-                        )
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-    if outcomes is None:
-        outcomes = []
-        for _, config in combos:
-            start = time.monotonic()
-            outcome = _evaluate_point((config, runner, max_retries))
-            elapsed = time.monotonic() - start
-            if (
-                timeout_s is not None
-                and elapsed > timeout_s
-                and outcome[0] == "ok"
-            ):
-                outcome = (
-                    "fail",
-                    f"timeout after {timeout_s}s ({elapsed:.3f}s)",
-                    outcome[2],
+                pickle.dumps(runner)
+            except Exception as exc:
+                result.fallback_reason = repr(exc)
+                logger.warning(
+                    "sweep_configs runner is not picklable; falling back to "
+                    "serial evaluation (%r)", exc,
                 )
-            outcomes.append(outcome)
+            else:
+                max_workers = min(workers, len(combos))
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                try:
+                    futures = [
+                        pool.submit(
+                            _evaluate_point, (config, runner, max_retries)
+                        )
+                        for _, config in combos
+                    ]
+                    outcomes = []
+                    for future in futures:
+                        try:
+                            outcomes.append(future.result(timeout=timeout_s))
+                        except FutureTimeoutError:
+                            future.cancel()
+                            outcomes.append(
+                                ("fail", f"timeout after {timeout_s}s", 1)
+                            )
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        if outcomes is None:
+            outcomes = []
+            for params, config in combos:
+                start = time.monotonic()
+                with obs.tracer().span("sweep.point", args=params):
+                    outcome = _evaluate_point((config, runner, max_retries))
+                elapsed = time.monotonic() - start
+                if (
+                    timeout_s is not None
+                    and elapsed > timeout_s
+                    and outcome[0] == "ok"
+                ):
+                    outcome = (
+                        "fail",
+                        f"timeout after {timeout_s}s ({elapsed:.3f}s)",
+                        outcome[2],
+                    )
+                outcomes.append(outcome)
 
-    for (params, config), (status, payload, attempts) in zip(combos, outcomes):
-        if status == "ok":
-            result.append(
-                DesignPoint(params=params, config=config, report=payload)
-            )
-        elif allow_partial:
-            result.failures.append(
-                SweepFailure(
-                    params=params,
-                    config=config,
-                    reason=str(payload),
+        for (params, config), (status, payload, attempts) in zip(
+            combos, outcomes
+        ):
+            if status == "ok":
+                point_counter.labels(status="ok").inc()
+                result.append(
+                    DesignPoint(params=params, config=config, report=payload)
+                )
+            elif allow_partial:
+                point_counter.labels(status="failed").inc()
+                logger.warning(
+                    "design point %s failed after %d attempt(s): %s",
+                    params, attempts, payload,
+                )
+                result.failures.append(
+                    SweepFailure(
+                        params=params,
+                        config=config,
+                        reason=str(payload),
+                        attempts=attempts,
+                    )
+                )
+            else:
+                point_counter.labels(status="failed").inc()
+                raise RetryExhaustedError(
+                    f"design point {params} failed after {attempts} "
+                    f"attempt(s): {payload}",
                     attempts=attempts,
                 )
-            )
-        else:
-            raise RetryExhaustedError(
-                f"design point {params} failed after {attempts} "
-                f"attempt(s): {payload}",
-                attempts=attempts,
-            )
     return result
 
 

@@ -194,14 +194,15 @@ class TestSweep:
         assert [p.params for p in par] == [p.params for p in serial]
         assert [p.report.cycles for p in par] == [p.report.cycles for p in serial]
 
-    def test_unpicklable_runner_falls_back_serial(self):
+    def test_unpicklable_runner_falls_back_serial(self, caplog):
         captured = []
-        with pytest.warns(RuntimeWarning, match="not picklable"):
+        with caplog.at_level("WARNING", logger="repro.sim.sweep"):
             points = sweep_configs(
                 TensaurusConfig(),
                 {"rows": [4, 8]},
                 lambda acc: captured.append(acc) or _parallel_sweep_runner(acc),
                 workers=2,
             )
+        assert any("not picklable" in r.getMessage() for r in caplog.records)
         assert len(points) == 2
         assert len(captured) == 2  # the fallback ran in-process

@@ -338,11 +338,12 @@ class TestSweepRobustness:
         assert len(result) == 2
         assert result.failures == [] and result.fallback_reason is None
 
-    def test_unpicklable_runner_warns_and_records_reason(self):
+    def test_unpicklable_runner_warns_and_records_reason(self, caplog):
         captured = []
         runner = lambda acc: captured.append(1) or _sweep_runner(acc)  # noqa: E731
-        with pytest.warns(RuntimeWarning, match="not picklable"):
+        with caplog.at_level("WARNING", logger="repro.sim.sweep"):
             result = sweep_configs(BASE, GRID, runner, workers=2)
+        assert any("not picklable" in r.getMessage() for r in caplog.records)
         assert result.fallback_reason is not None
         assert len(result) == 2 and len(captured) == 2
 

@@ -1,0 +1,133 @@
+"""Edge-case tests for :class:`repro.sim.Timeline`.
+
+The happy-path aggregation is covered in ``test_convert_timeline.py``;
+these pin the boundary behaviours: empty timelines, single-entry
+bottlenecks, zero-cycle launches in the utilization math, and fault-event
+aggregation across entries.
+"""
+
+import pytest
+
+from repro.sim import Timeline
+from repro.sim.faults import FaultEvent
+from repro.sim.report import SimReport
+from repro.util.errors import ConfigError
+
+
+def make_report(kernel="spmttkrp", cycles=1000, ops=4000, faults=None,
+                fault_events=None) -> SimReport:
+    return SimReport(
+        kernel=kernel,
+        cycles=cycles,
+        ops=ops,
+        tensor_bytes=512,
+        matrix_bytes=256,
+        output_bytes=128,
+        clock_ghz=1.0,
+        faults=dict(faults or {}),
+        fault_events=list(fault_events or []),
+    )
+
+
+class TestEmptyTimeline:
+    def test_aggregates_are_zero(self):
+        tl = Timeline()
+        assert tl.total_seconds == 0.0
+        assert tl.total_ops == 0
+        assert tl.total_bytes == 0
+        assert tl.total_energy_j == 0.0
+        assert tl.average_gops == 0.0
+        assert tl.average_utilization == 0.0
+        assert tl.total_recovery_cycles == 0
+
+    def test_bottleneck_is_none(self):
+        assert Timeline().bottleneck() is None
+
+    def test_fault_summary_empty(self):
+        assert Timeline().fault_summary() == {}
+        assert Timeline().by_kernel() == {}
+
+    def test_render_does_not_crash(self):
+        text = Timeline().render()
+        assert "total: 0.000 ms" in text
+
+
+class TestSingleEntry:
+    def test_bottleneck_is_the_entry(self):
+        tl = Timeline()
+        entry = tl.add("only", make_report(cycles=123))
+        assert tl.bottleneck() is entry
+        assert tl.total_seconds == pytest.approx(entry.report.time_s)
+        assert entry.start_s == 0.0
+        assert entry.end_s == pytest.approx(123 / 1.0e9)
+
+    def test_bottleneck_picks_longest(self):
+        tl = Timeline()
+        tl.add("short", make_report(cycles=10))
+        longest = tl.add("long", make_report(cycles=10_000))
+        tl.add("mid", make_report(cycles=100))
+        assert tl.bottleneck() is longest
+
+
+class TestZeroCycleLaunches:
+    def test_all_zero_cycle_utilization_is_zero(self):
+        tl = Timeline()
+        tl.add("noop", make_report(cycles=0, ops=0))
+        tl.add("noop2", make_report(cycles=0, ops=0))
+        assert tl.total_seconds == 0.0
+        assert tl.average_gops == 0.0
+        assert tl.average_utilization == 0.0
+
+    def test_zero_cycle_entries_do_not_shift_starts(self):
+        tl = Timeline()
+        tl.add("noop", make_report(cycles=0, ops=0))
+        real = tl.add("real", make_report(cycles=1000))
+        assert real.start_s == 0.0
+        assert tl.total_seconds == pytest.approx(real.report.time_s)
+
+    def test_ops_with_zero_total_time_stay_finite(self):
+        # ops>0 but cycles=0: the guard must not divide by zero.
+        tl = Timeline()
+        tl.add("free", make_report(cycles=0, ops=999))
+        assert tl.average_gops == 0.0
+        assert tl.average_utilization == 0.0
+
+    def test_nonpositive_peak_rejected(self):
+        tl = Timeline(peak_gops=0.0)
+        tl.add("x", make_report())
+        with pytest.raises(ConfigError):
+            tl.average_utilization
+
+
+class TestFaultAggregation:
+    def test_counters_sum_across_entries(self):
+        tl = Timeline()
+        tl.add("a", make_report(faults={"injected_faults": 2,
+                                        "fault_overhead_cycles": 100}))
+        tl.add("b", make_report(faults={"injected_faults": 3,
+                                        "fault_overhead_cycles": 50}))
+        summary = tl.fault_summary()
+        assert summary["injected_faults"] == 5
+        assert summary["fault_overhead_cycles"] == 150
+        assert tl.total_recovery_cycles == 150
+
+    def test_active_lanes_is_not_additive(self):
+        tl = Timeline()
+        tl.add("a", make_report(faults={"active_lanes": 8}))
+        tl.add("b", make_report(faults={"active_lanes": 7}))
+        assert tl.fault_summary()["active_lanes"] == 7  # last value, not 15
+
+    def test_report_events_and_host_events_merge(self):
+        tl = Timeline()
+        launch_fault = FaultEvent(kind="spm_bitflip", location=("tile", 4))
+        tl.add("a", make_report(fault_events=[launch_fault]))
+        tl.add("b", make_report())
+        host_fault = FaultEvent(kind="watchdog", location=("chip", 0))
+        tl.record_fault(host_fault)
+        assert tl.fault_events == [launch_fault, host_fault]
+        assert "faults: 2 events" in tl.render()
+
+    def test_recovery_seconds_follow_clock(self):
+        tl = Timeline()
+        tl.add("a", make_report(faults={"fault_overhead_cycles": 1000}))
+        assert tl.total_recovery_seconds == pytest.approx(1000 / 1.0e9)
