@@ -152,6 +152,39 @@ class ArtifactStore:
         self._write(path, value)
         return value
 
+    def put(self, namespace: str, parts: Iterable[Any], value: Any) -> Optional[Path]:
+        """Persist ``value`` under the key ``parts`` unconditionally.
+
+        The imperative sibling of :meth:`get` for callers that produce
+        values on their own schedule (checkpoint stores, decision logs).
+        Returns the written path, or ``None`` when the store is disabled
+        or the value is unpicklable.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(namespace, tuple(parts))
+        before = self.bytes_written
+        self._write(path, value)
+        return path if self.bytes_written > before else None
+
+    def load(self, namespace: str, parts: Iterable[Any], default: Any = None) -> Any:
+        """Load the artifact stored under ``parts``; ``default`` on a miss
+        or on a torn/corrupt entry (counted in ``read_errors``)."""
+        if not self.enabled:
+            return default
+        path = self.path_for(namespace, tuple(parts))
+        if not path.exists():
+            return default
+        try:
+            blob = path.read_bytes()
+            value = pickle.loads(blob)
+        except Exception:
+            self.read_errors += 1
+            return default
+        self.hits += 1
+        self.bytes_read += len(blob)
+        return value
+
     def _write(self, path: Path, value: Any) -> None:
         try:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)

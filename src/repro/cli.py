@@ -26,6 +26,12 @@ Commands
 ``metrics``
     Same workloads with the metrics registry enabled; prints the counter /
     histogram table and optionally writes the snapshot JSON.
+``serve-replay``
+    Replay a deterministic synthetic request trace through the
+    overload-safe serving layer (``repro.serving``) and print the
+    admission / degradation / deadline summary; ``--naive`` compares
+    against the unbounded FIFO baseline, ``--faults`` layers launch
+    aborts under the overload spike.
 """
 
 from __future__ import annotations
@@ -132,6 +138,27 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--out", default=None, help="also write the snapshot as JSON"
     )
+
+    serve = sub.add_parser(
+        "serve-replay",
+        help="replay a synthetic request trace through the serving layer",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="trace + server seed")
+    serve.add_argument("--duration", type=float, default=0.6,
+                       help="virtual trace length in seconds")
+    serve.add_argument("--rate", type=float, default=120.0,
+                       help="baseline arrival rate (requests/s)")
+    serve.add_argument("--spike", type=float, default=10.0,
+                       help="overload multiplier during the spike window")
+    serve.add_argument("--deadline", type=float, default=0.05,
+                       help="nominal per-request deadline budget (s)")
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--naive", action="store_true",
+                       help="unbounded FIFO baseline (no overload controls)")
+    serve.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                       help="also arm a launch-abort FaultPlan at RATE")
+    serve.add_argument("--out", default=None,
+                       help="write the summary + decision log as JSON")
     return parser
 
 
@@ -411,6 +438,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        ServingConfig, TensaurusServer, WorkloadPool, synthetic_trace,
+    )
+    from repro.serving.trace import trace_stats
+
+    pool = WorkloadPool(seed=args.seed)
+    trace = synthetic_trace(
+        pool, duration_s=args.duration, base_rate=args.rate,
+        spike_factor=args.spike, deadline_s=args.deadline, seed=args.seed,
+    )
+    fault_plan = None
+    if args.faults > 0:
+        from repro.sim.faults import FaultPlan
+
+        fault_plan = FaultPlan(seed=args.seed, launch_abort_rate=args.faults)
+    config = ServingConfig(
+        seed=args.seed, replicas=args.replicas, shedding=not args.naive
+    )
+    server = TensaurusServer(
+        config, fault_plan=fault_plan, pool=pool, calibrate=not args.naive
+    )
+    result = server.run_trace(trace)
+    summary = result.summary()
+    rows = [[k, f"{v:.4g}" if isinstance(v, float) else str(v)]
+            for k, v in summary.items()]
+    print(format_table(["metric", "value"], rows))
+    stats = trace_stats(trace)
+    print(
+        f"\ntrace: {stats['count']} requests over {stats['duration_s']:.3f} "
+        f"virtual seconds (spike x{args.spike:g})"
+    )
+    if result.breaker_transitions:
+        print("breaker transitions:")
+        for replica, when, old, new in result.breaker_transitions[:10]:
+            print(f"  t={when:.4f}s replica {replica}: {old} -> {new}")
+        if len(result.breaker_transitions) > 10:
+            print(f"  ... {len(result.breaker_transitions) - 10} more")
+    if args.out:
+        import json
+
+        payload = {
+            "summary": summary,
+            "trace": stats,
+            "decision_log": [list(row) for row in result.decision_log],
+            "breaker_transitions": [
+                list(t) for t in result.breaker_transitions
+            ],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"\nwrote replay record to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -431,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "serve-replay":
+        return _cmd_serve_replay(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

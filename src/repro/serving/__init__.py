@@ -1,0 +1,65 @@
+"""Overload-safe serving layer in front of the simulator stack.
+
+The serving subsystem answers one question the rest of the repository
+does not: what happens when more work arrives than the simulated
+accelerator fleet can finish on time? It implements the classic
+overload-control toolbox — bounded admission queue with priorities,
+token-bucket rate limiting, per-request deadlines, per-backend circuit
+breakers, hedged launches across replicas — plus a three-tier graceful
+degradation ladder that trades fidelity for latency:
+
+1. **full** — the cycle simulator with numeric output
+   (:meth:`repro.sim.Tensaurus.run_mttkrp` and friends, bit-identical
+   to a direct call);
+2. **batched** — the same simulation with ``compute_output=False``
+   (timing-exact, no numeric output);
+3. **analytic** — the closed-form :class:`repro.sim.perfmodel.FastModel`
+   estimate, flagged ``degraded`` with a calibrated error bound.
+
+Everything is deterministic: requests carry virtual arrival times,
+service durations come from a seeded cost model (not the host clock),
+and every admit / shed / hedge / degrade decision replays bit-for-bit
+for a given seed. See ``ARCHITECTURE.md`` ("Serving & overload").
+"""
+
+from repro.serving.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    TokenBucket,
+)
+from repro.serving.config import ServingConfig
+from repro.serving.ladder import (
+    TIER_ANALYTIC,
+    TIER_BATCHED,
+    TIER_FULL,
+    TIERS,
+    DegradationLadder,
+    calibrate_analytic_error,
+)
+from repro.serving.request import ServingRequest, ServingResponse
+from repro.serving.server import ServingResult, TensaurusServer
+from repro.serving.trace import WorkloadItem, WorkloadPool, synthetic_trace
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "TokenBucket",
+    "ServingConfig",
+    "TIER_FULL",
+    "TIER_BATCHED",
+    "TIER_ANALYTIC",
+    "TIERS",
+    "DegradationLadder",
+    "calibrate_analytic_error",
+    "ServingRequest",
+    "ServingResponse",
+    "ServingResult",
+    "TensaurusServer",
+    "WorkloadItem",
+    "WorkloadPool",
+    "synthetic_trace",
+]

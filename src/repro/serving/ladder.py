@@ -1,0 +1,121 @@
+"""Three-tier graceful-degradation ladder.
+
+Under light load every request gets the real thing: a cycle-accurate
+simulation with numeric output, bit-identical to calling
+:meth:`repro.sim.Tensaurus.run_mttkrp` directly. As deadline headroom
+or queue capacity shrinks the server steps down the ladder:
+
+- ``full``     — cycle simulator, ``compute_output=True``;
+- ``batched``  — cycle simulator, ``compute_output=False`` (identical
+  timing numbers, no numeric output — flagged degraded);
+- ``analytic`` — :class:`repro.sim.perfmodel.FastModel` closed-form
+  estimate (flagged degraded, with a calibrated cycle-error bound).
+
+The analytic tier needs no backend at all, which is also what keeps the
+server answering when every replica's circuit breaker is open.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.config import TensaurusConfig
+from repro.sim.perfmodel import FastModel
+from repro.sim.report import SimReport
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed
+
+TIER_FULL = "full"
+TIER_BATCHED = "batched"
+TIER_ANALYTIC = "analytic"
+
+#: Tiers in decreasing-fidelity order (the ladder).
+TIERS = (TIER_FULL, TIER_BATCHED, TIER_ANALYTIC)
+
+
+def calibrate_analytic_error(
+    sim_config: TensaurusConfig,
+    pool,
+    seed: int = 0,
+    probes: int = 4,
+) -> float:
+    """Measured worst-case relative cycle error of the analytic tier.
+
+    Runs ``probes`` seeded (kernel, workload) pairs through both the
+    cycle simulator and :class:`FastModel` and returns the maximum
+    relative cycle discrepancy — the ``error_bound`` attached to every
+    analytic-tier response. Deterministic for a given pool and seed.
+    """
+    from repro.sim.accelerator import Tensaurus
+    from repro.util.rng import make_rng
+
+    if probes <= 0:
+        raise ConfigError("probes must be positive")
+    pairs = pool.choices()
+    rng = make_rng(derive_seed(seed, "ladder", "calibration"))
+    picks = sorted(
+        int(i) for i in rng.choice(len(pairs), size=min(probes, len(pairs)),
+                                   replace=False)
+    )
+    acc = Tensaurus(sim_config)
+    fast = FastModel(sim_config)
+    worst = 0.0
+    for i in picks:
+        kernel, workload = pairs[i]
+        item = pool[workload]
+        simulated = item.run(kernel, acc, compute_output=False)
+        predicted = item.analytic(kernel, fast)
+        err = abs(predicted.cycles - simulated.cycles) / max(simulated.cycles, 1)
+        worst = max(worst, err)
+    return worst
+
+
+class DegradationLadder:
+    """Executes a workload at a chosen fidelity tier.
+
+    Holds the shared :class:`FastModel` (the analytic tier is host-side
+    and backend-free) and the calibrated analytic error bound. The
+    ``accelerator`` argument of :meth:`execute` is only consulted for
+    the two simulator tiers.
+    """
+
+    def __init__(
+        self,
+        sim_config: Optional[TensaurusConfig] = None,
+        analytic_error_bound: float = 0.0,
+    ) -> None:
+        self.sim_config = sim_config or TensaurusConfig()
+        self.fast = FastModel(self.sim_config)
+        self.analytic_error_bound = float(analytic_error_bound)
+
+    def execute(
+        self, tier: str, item, kernel: str, accelerator=None
+    ) -> Tuple[SimReport, bool, float]:
+        """Run ``item``'s ``kernel`` at ``tier``.
+
+        Returns ``(report, degraded, error_bound)``. Simulator tiers may
+        raise :class:`repro.util.errors.FaultError` (the caller's breaker
+        handles that); the analytic tier cannot fault.
+        """
+        if tier == TIER_FULL:
+            if accelerator is None:
+                raise ConfigError("full tier requires an accelerator")
+            return item.run(kernel, accelerator, compute_output=True), False, 0.0
+        if tier == TIER_BATCHED:
+            if accelerator is None:
+                raise ConfigError("batched tier requires an accelerator")
+            # Timing-exact but no numeric output: degraded, zero error.
+            return item.run(kernel, accelerator, compute_output=False), True, 0.0
+        if tier == TIER_ANALYTIC:
+            return (
+                item.analytic(kernel, self.fast),
+                True,
+                self.analytic_error_bound,
+            )
+        raise ConfigError(f"unknown degradation tier {tier!r}")
+
+    @staticmethod
+    def next_lower(tier: str) -> Optional[str]:
+        """The tier one rung down, or None below the analytic floor."""
+        idx = TIERS.index(tier)
+        return TIERS[idx + 1] if idx + 1 < len(TIERS) else None

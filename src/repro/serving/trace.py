@@ -1,0 +1,229 @@
+"""Workload pool and synthetic request traces for the serving layer.
+
+The pool holds a small set of named, seeded workloads (sparse tensors
+with factor matrices, sparse matrices with dense operands) so that a
+request only needs to carry ``(kernel, workload)`` strings and the
+server can execute it at any degradation tier. :func:`synthetic_trace`
+turns a seed into a deterministic stream of Poisson arrivals with an
+overload spike in the middle — the load shape the benchmark drives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.generators import random_sparse_tensor, uniform_matrix
+from repro.formats.csr import CSRMatrix
+from repro.serving.request import ServingRequest
+from repro.util.errors import ConfigError, KernelError
+from repro.util.rng import derive_seed, make_rng
+
+KERNELS = ("mttkrp", "ttmc", "spmm", "spmv")
+
+
+@dataclass
+class WorkloadItem:
+    """One named workload: a kernel-agnostic operand bundle.
+
+    ``run`` executes the workload on a :class:`repro.sim.Tensaurus`
+    (full or batched tier); ``analytic`` evaluates it with a
+    :class:`repro.sim.perfmodel.FastModel`. ``nnz`` feeds the serving
+    cost model.
+    """
+
+    name: str
+    kind: str  # "tensor" | "matrix"
+    nnz: int
+    operands: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, kernel: str, accelerator, compute_output: bool = True):
+        """Execute on a simulated accelerator; returns a SimReport."""
+        op = self.operands
+        if kernel == "mttkrp":
+            return accelerator.run_mttkrp(
+                op["tensor"], op["mat_b"], op["mat_c"],
+                compute_output=compute_output,
+            )
+        if kernel == "ttmc":
+            return accelerator.run_ttmc(
+                op["tensor"], op["mat_b"], op["mat_c"],
+                compute_output=compute_output,
+            )
+        if kernel == "spmm":
+            return accelerator.run_spmm(
+                op["matrix"], op["mat_b"], compute_output=compute_output
+            )
+        if kernel == "spmv":
+            return accelerator.run_spmv(
+                op["matrix"], op["vec"], compute_output=compute_output
+            )
+        raise KernelError(f"unknown serving kernel {kernel!r}")
+
+    def analytic(self, kernel: str, fast_model):
+        """Closed-form estimate; returns a SimReport with output=None."""
+        op = self.operands
+        if kernel == "mttkrp":
+            return fast_model.mttkrp(op["tensor"], op["mat_b"].shape[1])
+        if kernel == "ttmc":
+            return fast_model.ttmc(
+                op["tensor"], op["mat_b"].shape[1], op["mat_c"].shape[1]
+            )
+        if kernel == "spmm":
+            return fast_model.spmm(op["matrix"], op["mat_b"].shape[1])
+        if kernel == "spmv":
+            return fast_model.spmv(op["matrix"])
+        raise KernelError(f"unknown serving kernel {kernel!r}")
+
+    def kernels(self) -> Tuple[str, ...]:
+        """Kernels this workload's operands can serve."""
+        return ("mttkrp", "ttmc") if self.kind == "tensor" else ("spmm", "spmv")
+
+
+class WorkloadPool:
+    """A seeded catalog of small/medium workloads keyed by name.
+
+    Sizes are deliberately modest (hundreds to a few thousand nonzeros)
+    so a serving trace with hundreds of requests executes real simulator
+    launches in seconds; the *virtual* cost model is what creates
+    overload, not wall-clock weight.
+    """
+
+    def __init__(self, seed: int = 0, rank: int = 8) -> None:
+        if rank <= 0:
+            raise ConfigError("rank must be positive")
+        self.seed = int(seed)
+        self.rank = int(rank)
+        self.items: Dict[str, WorkloadItem] = {}
+        self._build()
+
+    def _build(self) -> None:
+        rank = self.rank
+        tensor_specs = [
+            ("tensor-s", (24, 16, 12), 300, 1.0),
+            ("tensor-m", (48, 24, 16), 1200, 1.2),
+            ("tensor-l", (64, 32, 24), 3600, 1.4),
+        ]
+        for name, shape, nnz, skew in tensor_specs:
+            t = random_sparse_tensor(
+                shape, nnz, skew=skew, seed=derive_seed(self.seed, "pool", name)
+            )
+            rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
+            self.items[name] = WorkloadItem(
+                name=name, kind="tensor", nnz=t.nnz,
+                operands={
+                    "tensor": t,
+                    "mat_b": rng.standard_normal((shape[1], rank)),
+                    "mat_c": rng.standard_normal((shape[2], rank)),
+                },
+            )
+        matrix_specs = [
+            ("matrix-s", (64, 64), 0.05),
+            ("matrix-m", (128, 128), 0.08),
+        ]
+        for name, shape, density in matrix_specs:
+            m = uniform_matrix(
+                shape, density, seed=derive_seed(self.seed, "pool", name)
+            )
+            rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
+            self.items[name] = WorkloadItem(
+                name=name, kind="matrix", nnz=m.nnz,
+                operands={
+                    "matrix": CSRMatrix.from_coo(m),
+                    "mat_b": rng.standard_normal((shape[1], rank)),
+                    "vec": rng.standard_normal(shape[1]),
+                },
+            )
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> WorkloadItem:
+        try:
+            return self.items[name]
+        except KeyError:
+            raise KernelError(f"unknown workload {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self.items)
+
+    def choices(self) -> List[Tuple[str, str]]:
+        """All valid ``(kernel, workload)`` pairs, in stable order."""
+        pairs: List[Tuple[str, str]] = []
+        for name in self.names():
+            for kernel in self.items[name].kernels():
+                pairs.append((kernel, name))
+        return pairs
+
+
+def synthetic_trace(
+    pool: WorkloadPool,
+    duration_s: float = 1.0,
+    base_rate: float = 100.0,
+    spike_factor: float = 10.0,
+    spike_window: Tuple[float, float] = (0.4, 0.6),
+    deadline_s: float = 0.05,
+    seed: Optional[int] = None,
+    priority_levels: int = 3,
+) -> List[ServingRequest]:
+    """A deterministic Poisson arrival trace with an overload spike.
+
+    Arrivals follow an inhomogeneous Poisson process: ``base_rate``
+    requests per virtual second outside ``spike_window`` (fractions of
+    ``duration_s``), ``spike_factor`` times that inside it — the classic
+    10x overload step the benchmark gates on. Kernels, workloads,
+    priorities and (lightly jittered) deadlines are drawn from seeded
+    child streams, so the same seed always yields the same trace.
+    """
+    if duration_s <= 0 or base_rate <= 0 or spike_factor < 1:
+        raise ConfigError("duration, rate must be positive; spike_factor >= 1")
+    lo, hi = spike_window
+    if not 0 <= lo <= hi <= 1:
+        raise ConfigError("spike_window must satisfy 0 <= lo <= hi <= 1")
+    seed = pool.seed if seed is None else int(seed)
+    arrival_rng = make_rng(derive_seed(seed, "trace", "arrivals"))
+    choice_rng = make_rng(derive_seed(seed, "trace", "choices"))
+    pairs = pool.choices()
+    requests: List[ServingRequest] = []
+    now = 0.0
+    rid = 0
+    spike_lo, spike_hi = lo * duration_s, hi * duration_s
+    while True:
+        rate = base_rate * (
+            spike_factor if spike_lo <= now < spike_hi else 1.0
+        )
+        # Exponential inter-arrival gap at the current rate (thinning-free
+        # because the rate is piecewise constant and gaps are short).
+        now += -math.log1p(-arrival_rng.random()) / rate
+        if now >= duration_s:
+            break
+        kernel, workload = pairs[int(choice_rng.integers(0, len(pairs)))]
+        priority = int(choice_rng.integers(1, priority_levels + 1))
+        jitter = 0.5 + choice_rng.random()  # deadline in [0.5, 1.5) x nominal
+        requests.append(
+            ServingRequest(
+                request_id=rid,
+                arrival_s=now,
+                kernel=kernel,
+                workload=workload,
+                deadline_s=deadline_s * jitter,
+                priority=priority,
+            )
+        )
+        rid += 1
+    return requests
+
+
+def trace_stats(requests: List[ServingRequest]) -> Dict[str, float]:
+    """Summary statistics of a trace (for benchmark JSON output)."""
+    if not requests:
+        return {"count": 0}
+    arrivals = np.array([r.arrival_s for r in requests])
+    gaps = np.diff(arrivals) if len(arrivals) > 1 else np.array([0.0])
+    return {
+        "count": len(requests),
+        "duration_s": float(arrivals[-1]),
+        "mean_gap_s": float(gaps.mean()) if gaps.size else 0.0,
+        "peak_rate_hz": float(1.0 / max(gaps.min(), 1e-9)) if gaps.size else 0.0,
+    }

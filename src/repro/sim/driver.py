@@ -34,7 +34,13 @@ from repro.sim.costs import ALL_KERNELS
 from repro.sim.faults import LAUNCH_ABORT, WATCHDOG, FaultEvent, FaultPlan
 from repro.sim.report import SimReport
 from repro.tensor import SparseTensor
-from repro.util.errors import FaultError, ReproError, SimulationError
+from repro.util.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    FaultError,
+    ReproError,
+    SimulationError,
+)
 
 logger = obs.get_logger(__name__)
 
@@ -102,7 +108,15 @@ class TensaurusDevice:
       policy's delay, and relaunches — raising
       :class:`~repro.util.errors.RetryExhaustedError` when the policy
       runs out. With no policy, faults propagate unchanged (the
-      pre-resilience behaviour).
+      pre-resilience behaviour);
+    - ``deadline_s`` bounds a launch end-to-end (all attempts plus
+      backoff): a breach raises
+      :class:`~repro.util.errors.DeadlineExceededError` — which is *not*
+      retried — and the retry policy's time budget is clamped to the
+      remaining headroom so backoff never overshoots the deadline;
+    - ``cancel_check`` is polled before every attempt; returning True
+      aborts the launch with :class:`~repro.util.errors.CancelledError`
+      (the hook the serving layer's hedged-launch cancellation uses).
 
     ``clock`` and ``sleep`` are injectable for deterministic tests.
     """
@@ -113,6 +127,8 @@ class TensaurusDevice:
         fault_plan: Optional[FaultPlan] = None,
         watchdog_timeout_s: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -121,6 +137,8 @@ class TensaurusDevice:
         self._launch_count = 0
         self._watchdog_timeout_s = watchdog_timeout_s
         self._retry_policy = retry_policy
+        self._deadline_s = deadline_s
+        self._cancel_check = cancel_check
         self._clock = clock
         self._sleep = sleep
         self.stats: Dict[str, int] = {
@@ -129,8 +147,18 @@ class TensaurusDevice:
             "retries": 0,
             "watchdog_trips": 0,
             "resets": 0,
+            "deadline_misses": 0,
+            "cancellations": 0,
         }
         self.fault_log: List[FaultEvent] = []
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return self._deadline_s
+
+    def set_deadline(self, deadline_s: Optional[float]) -> None:
+        """Set/clear the per-launch wall-clock budget for future launches."""
+        self._deadline_s = deadline_s
 
     # ------------------------------------------------------------------
     @property
@@ -218,6 +246,7 @@ class TensaurusDevice:
             slot, data = inst.operand
             if slot not in (SLOT_SPARSE, SLOT_DENSE_B, SLOT_DENSE_C, SLOT_VECTOR):
                 raise ProgramError(f"unknown operand slot {slot!r}")
+            _check_operand_data(slot, data)
             self._state.operands[slot] = data
             return None
         if op is Opcode.LAUNCH:
@@ -281,9 +310,36 @@ class TensaurusDevice:
 
     def _guarded_run(self, run: Callable[[], SimReport]) -> SimReport:
         """Execute one launch under the watchdog; with a retry policy,
-        RESET-and-retry on faults instead of propagating them."""
+        RESET-and-retry on faults instead of propagating them. Every
+        attempt first passes the cancellation and deadline gates — a
+        cancelled or past-deadline launch aborts instead of retrying."""
+
+        launch_start = self._clock()
+
+        def check_abort() -> None:
+            if self._cancel_check is not None and self._cancel_check():
+                self._bump("cancellations")
+                logger.info("launch %d cancelled by host", self._launch_count)
+                raise CancelledError(
+                    f"launch {self._launch_count} cancelled by host"
+                )
+            deadline = self._deadline_s
+            if deadline is not None:
+                elapsed = self._clock() - launch_start
+                if elapsed > deadline:
+                    self._bump("deadline_misses")
+                    logger.warning(
+                        "launch %d missed its %.3fs deadline (%.3fs elapsed)",
+                        self._launch_count, deadline, elapsed,
+                    )
+                    raise DeadlineExceededError(
+                        f"launch {self._launch_count} exceeded its "
+                        f"{deadline:.3f}s deadline ({elapsed:.3f}s elapsed)",
+                        deadline_s=deadline,
+                    )
 
         def attempt(attempt_idx: int) -> SimReport:
+            check_abort()
             start = self._clock()
             try:
                 with obs.tracer().span(
@@ -337,12 +393,20 @@ class TensaurusDevice:
             )
             self._reset_accelerator()
 
+        policy = self._retry_policy
+        if self._deadline_s is not None:
+            # Retries may never outlive the launch deadline: clamp the
+            # policy's elapsed-time budget to the remaining headroom.
+            policy = policy.for_deadline(
+                self._deadline_s - (self._clock() - launch_start)
+            )
         return retry_call(
             attempt,
-            self._retry_policy,
+            policy,
             retry_on=(FaultError, SimulationError),
             sleep=self._sleep,
             on_retry=on_retry,
+            clock=self._clock,
         )
 
     @staticmethod
@@ -352,6 +416,7 @@ class TensaurusDevice:
             raise ProgramError(
                 f"declared dims {dims} do not match bound operand {actual}"
             )
+        _check_coords_in_range(operand, dims)
 
     @staticmethod
     def _check_ranks(
@@ -376,6 +441,77 @@ class TensaurusDevice:
 
 
 # ----------------------------------------------------------------------
+# Operand hardening: catch NaN/Inf payloads and out-of-range coordinates
+# at the driver boundary, before they turn into garbage cycle counts or
+# numpy errors deep in the PE loop.
+# ----------------------------------------------------------------------
+def _operand_value_array(data: object) -> Optional[np.ndarray]:
+    """The numeric payload of an operand, whatever its container type."""
+    if isinstance(data, SparseTensor):
+        return data.values
+    if isinstance(data, COOMatrix):
+        return data.vals
+    if isinstance(data, CSRMatrix):
+        return data.data
+    if isinstance(data, np.ndarray):
+        return data
+    return None
+
+
+def _check_operand_data(slot: str, data: object) -> None:
+    """Reject operands whose values are NaN/Inf with a ProgramError."""
+    values = _operand_value_array(data)
+    if values is None:
+        return
+    values = np.asarray(values)
+    if values.size and not np.isfinite(values).all():
+        bad = int(values.size - np.isfinite(values).sum())
+        raise ProgramError(
+            f"operand for slot {slot!r} contains {bad} non-finite "
+            f"(NaN/Inf) value(s)"
+        )
+
+
+def _check_coords_in_range(operand: object, dims: Tuple[int, ...]) -> None:
+    """Reject sparse operands whose coordinates escape the declared dims
+    (possible via ``canonical=True`` construction or corrupted inputs)."""
+    if isinstance(operand, SparseTensor):
+        coords = operand.coords
+        if coords.size and (
+            coords.min() < 0
+            or (coords.max(axis=0) >= np.asarray(dims, dtype=np.int64)).any()
+        ):
+            raise ProgramError(
+                f"sparse operand coordinates out of range for dims {dims}"
+            )
+    elif isinstance(operand, COOMatrix):
+        rows, cols = operand.rows, operand.cols
+        if rows.size and (
+            rows.min() < 0 or cols.min() < 0
+            or rows.max() >= dims[0] or cols.max() >= dims[1]
+        ):
+            raise ProgramError(
+                f"matrix operand indices out of range for dims {dims}"
+            )
+
+
+def _assemble_check(kernel: str, **arrays: object) -> None:
+    """Assembler-side hardening shared by the four assemble_* helpers."""
+    for name, data in arrays.items():
+        try:
+            _check_operand_data(name, data)
+        except ProgramError as exc:
+            raise ProgramError(f"{kernel}: {exc}") from None
+    sparse = arrays.get("tensor", arrays.get("a"))
+    shape = getattr(sparse, "shape", None)
+    if shape is not None:
+        try:
+            _check_coords_in_range(sparse, tuple(shape))
+        except ProgramError as exc:
+            raise ProgramError(f"{kernel}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
 # Assembler helpers: the canonical program for each kernel.
 # ----------------------------------------------------------------------
 def assemble_mttkrp(
@@ -387,6 +523,8 @@ def assemble_mttkrp(
 ) -> List[Instruction]:
     """The driver program for one (Sp/D)MTTKRP launch."""
     kernel = "spmttkrp" if isinstance(tensor, SparseTensor) else "dmttkrp"
+    _assemble_check(kernel, tensor=tensor, mat_b=np.asarray(mat_b),
+                    mat_c=np.asarray(mat_c))
     return [
         Instruction(Opcode.SET_MODE, kernel),
         Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
@@ -409,6 +547,8 @@ def assemble_ttmc(
 ) -> List[Instruction]:
     """The driver program for one (Sp/D)TTMc launch."""
     kernel = "spttmc" if isinstance(tensor, SparseTensor) else "dttmc"
+    _assemble_check(kernel, tensor=tensor, mat_b=np.asarray(mat_b),
+                    mat_c=np.asarray(mat_c))
     return [
         Instruction(Opcode.SET_MODE, kernel),
         Instruction(Opcode.SET_DIMS, tuple(tensor.shape)),
@@ -432,6 +572,7 @@ def assemble_spmm(
 ) -> List[Instruction]:
     """The driver program for one SpMM/GEMM launch."""
     kernel = "gemm" if isinstance(a, np.ndarray) else "spmm"
+    _assemble_check(kernel, a=a, mat_b=np.asarray(mat_b))
     return [
         Instruction(Opcode.SET_MODE, kernel),
         Instruction(Opcode.SET_DIMS, tuple(a.shape)),
@@ -449,6 +590,7 @@ def assemble_spmv(
 ) -> List[Instruction]:
     """The driver program for one SpMV/GEMV launch."""
     kernel = "gemv" if isinstance(a, np.ndarray) else "spmv"
+    _assemble_check(kernel, a=a, vec=np.asarray(vec))
     return [
         Instruction(Opcode.SET_MODE, kernel),
         Instruction(Opcode.SET_DIMS, tuple(a.shape)),

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Sequence, Tuple
 import numpy as np
 
 from repro.util.errors import ShapeError
-from repro.util.validation import check_mode
+from repro.util.validation import check_finite, check_mode
 
 
 class SparseTensor:
@@ -92,6 +92,7 @@ class SparseTensor:
     def from_dense(cls, array: np.ndarray) -> "SparseTensor":
         """Build a sparse tensor holding the nonzeros of a dense array."""
         array = np.asarray(array, dtype=np.float64)
+        check_finite("dense array values", array)
         coords = np.argwhere(array != 0.0).astype(np.int64)
         values = array[array != 0.0].astype(np.float64)
         return cls(array.shape, coords, values, canonical=True)
@@ -279,6 +280,7 @@ def _canonicalize(
     shape: Tuple[int, ...], coords: np.ndarray, values: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Validate bounds, sort lexicographically, sum duplicates, drop zeros."""
+    check_finite("values", values)
     for mode, size in enumerate(shape):
         col = coords[:, mode]
         if col.size and (col.min() < 0 or col.max() >= size):

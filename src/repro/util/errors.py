@@ -26,6 +26,11 @@ class KernelError(ReproError, ValueError):
     """A kernel was invoked with unsupported operands or parameters."""
 
 
+class DataError(ReproError, ValueError):
+    """Operand data is numerically unusable (NaN/Inf values, garbage
+    coordinates) and would propagate as corrupt results if accepted."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """The simulator reached an inconsistent internal state."""
 
@@ -39,6 +44,36 @@ class FaultError(SimulationError):
     retry or checkpoint-resume. Subclasses :class:`SimulationError`, so
     pre-existing ``except SimulationError`` handlers keep working.
     """
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A request or launch blew past its deadline.
+
+    Deliberately *not* a :class:`FaultError`: retrying a launch whose
+    deadline already passed only digs the hole deeper, so retry loops let
+    this propagate instead of re-attempting.
+    """
+
+    def __init__(self, message: str, deadline_s: "float | None" = None) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class CancelledError(ReproError, RuntimeError):
+    """A launch was cancelled by the host (hedged twin won, caller gave
+    up). Like :class:`DeadlineExceededError`, never retried."""
+
+
+class OverloadError(ReproError, RuntimeError):
+    """The serving layer refused work it cannot complete in time.
+
+    ``retry_after_s`` is the backpressure hint: how long the caller should
+    wait before resubmitting (the token-bucket refill horizon).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
 
 
 class RetryExhaustedError(ReproError, RuntimeError):

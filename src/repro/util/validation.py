@@ -4,7 +4,24 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.util.errors import ConfigError, ShapeError
+import numpy as np
+
+from repro.util.errors import ConfigError, DataError, ShapeError
+
+
+def check_finite(name: str, values: np.ndarray) -> None:
+    """Raise :class:`DataError` if ``values`` contains NaN or Inf.
+
+    A single vectorized pass; empty arrays pass trivially. Catching this
+    at the API boundary turns "garbage cycles deep in the PE loop" into an
+    immediate, named failure.
+    """
+    values = np.asarray(values)
+    if values.size and not np.isfinite(values).all():
+        bad = int(values.size - np.isfinite(values).sum())
+        raise DataError(
+            f"{name} contains {bad} non-finite (NaN/Inf) value(s)"
+        )
 
 
 def check_positive(name: str, value: float) -> None:

@@ -190,3 +190,42 @@ def test_workload_scans_memoized(store):
     mstats = matrix_workload("spmm", csr_source, 8, store=store)
     assert matrix_workload("spmm", csr_source, 8, store=store) == mstats
     assert store.hits == 2
+
+
+# ------------------------------------------------------------ put / load
+
+
+def test_put_then_load_round_trip(store):
+    value = {"factors": np.arange(6.0).reshape(2, 3), "iteration": 4}
+    path = store.put("checkpoints", ("run-x", 4), value)
+    assert path is not None and path.exists()
+    loaded = store.load("checkpoints", ("run-x", 4))
+    assert loaded["iteration"] == 4
+    assert np.array_equal(loaded["factors"], value["factors"])
+    assert store.hits == 1
+
+
+def test_load_miss_returns_default(store):
+    sentinel = object()
+    assert store.load("checkpoints", ("nope", 0), default=sentinel) is sentinel
+    assert store.read_errors == 0
+
+
+def test_load_corrupt_counts_read_error(store):
+    store.put("checkpoints", ("run-y", 0), [1, 2, 3])
+    path = store.path_for("checkpoints", ("run-y", 0))
+    path.write_bytes(b"\x80garbage")
+    assert store.load("checkpoints", ("run-y", 0), default="fallback") == \
+        "fallback"
+    assert store.read_errors == 1
+
+
+def test_disabled_store_put_load_are_noops(tmp_path):
+    store = ArtifactStore(root=tmp_path / "off", enabled=False)
+    assert store.put("ns", ("k",), 42) is None
+    assert store.load("ns", ("k",), default="d") == "d"
+    assert not (tmp_path / "off").exists()
+
+
+def test_put_unpicklable_returns_none(store):
+    assert store.put("ns", ("bad",), lambda: None) is None

@@ -168,3 +168,119 @@ class TestValidation:
                 Instruction(Opcode.SET_MODE, "spmm"),
                 Instruction(Opcode.SET_DIMS, (0,)),
             ])
+
+
+class TestDeadlinesAndCancellation:
+    def _fake_clock(self, step=0.1):
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += step
+            return state["t"]
+
+        return clock
+
+    def test_deadline_miss_raises_and_counts(self, tensor, rng):
+        from repro.util.errors import DeadlineExceededError
+
+        device = TensaurusDevice(
+            deadline_s=0.05, clock=self._fake_clock(step=0.1)
+        )
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        with pytest.raises(DeadlineExceededError) as info:
+            device.execute(assemble_mttkrp(tensor, b, c))
+        assert info.value.deadline_s == 0.05
+        assert device.stats["deadline_misses"] == 1
+
+    def test_generous_deadline_passes(self, tensor, rng):
+        device = TensaurusDevice(deadline_s=60.0)
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        reports = device.execute(assemble_mttkrp(tensor, b, c))
+        assert len(reports) == 1
+        assert device.stats["deadline_misses"] == 0
+
+    def test_set_deadline_mutates_future_launches(self, tensor, rng):
+        from repro.util.errors import DeadlineExceededError
+
+        device = TensaurusDevice(clock=self._fake_clock(step=0.1))
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        device.execute(assemble_mttkrp(tensor, b, c))  # no deadline yet
+        device.set_deadline(0.05)
+        assert device.deadline_s == 0.05
+        with pytest.raises(DeadlineExceededError):
+            device.execute(assemble_mttkrp(tensor, b, c))
+
+    def test_cancel_check_aborts_launch(self, tensor, rng):
+        from repro.util.errors import CancelledError
+
+        device = TensaurusDevice(cancel_check=lambda: True)
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        with pytest.raises(CancelledError):
+            device.execute(assemble_mttkrp(tensor, b, c))
+        assert device.stats["cancellations"] == 1
+
+    def test_cancellation_preempts_retries(self, tensor, rng):
+        """A cancelled launch must abort instead of burning retries."""
+        from repro.resilience import RetryPolicy
+        from repro.sim import FaultPlan
+        from repro.util.errors import CancelledError
+
+        device = TensaurusDevice(
+            fault_plan=FaultPlan(seed=3, launch_abort_rate=1.0),
+            retry_policy=RetryPolicy(max_retries=5, backoff_base_s=0.0),
+            cancel_check=lambda: True,
+        )
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        with pytest.raises(CancelledError):
+            device.execute(assemble_mttkrp(tensor, b, c))
+        assert device.stats["retries"] == 0
+
+
+class TestOperandHardening:
+    def test_nan_in_dense_operand_rejected(self, device, tensor, rng):
+        b = rng.random((15, 4))
+        c = rng.random((12, 4))
+        b[3, 2] = np.nan
+        with pytest.raises(ProgramError, match="non-finite"):
+            device.execute(assemble_mttkrp(tensor, b, c))
+
+    def test_inf_in_vector_rejected(self, device, rng):
+        dense = (rng.random((30, 25)) < 0.2) * rng.standard_normal((30, 25))
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.random(25)
+        x[7] = np.inf
+        with pytest.raises(ProgramError, match="non-finite"):
+            device.execute(assemble_spmv(csr, x))
+
+    def test_nan_in_sparse_matrix_rejected(self, device, rng):
+        from repro.formats.coo import COOMatrix
+
+        bad = COOMatrix(
+            (8, 8), np.array([0, 1]), np.array([1, 2]),
+            np.array([1.0, np.nan]),
+        )
+        b = rng.random((8, 4))
+        with pytest.raises(ProgramError, match="non-finite"):
+            device.execute(assemble_spmm(bad, b))
+
+    def test_out_of_range_tensor_coords_rejected(self, device, rng):
+        # canonical=True skips the constructor's own validation, so the
+        # driver's bind-time hardening is the only line of defense.
+        from repro.tensor import SparseTensor
+
+        bad = SparseTensor(
+            (8, 8, 8),
+            np.array([[0, 1, 2], [11, 3, 4]], dtype=np.int64),
+            np.array([1.0, 2.0]),
+            canonical=True,
+        )
+        b, c = rng.random((8, 4)), rng.random((8, 4))
+        with pytest.raises(ProgramError, match="out of range"):
+            device.execute(assemble_mttkrp(bad, b, c))
+
+    def test_clean_operands_still_pass(self, device, tensor, rng):
+        b, c = rng.random((15, 4)), rng.random((12, 4))
+        reports = device.execute(assemble_mttkrp(tensor, b, c))
+        assert np.allclose(
+            reports[0].output, mttkrp_sparse(tensor, [b, c], 0)
+        )

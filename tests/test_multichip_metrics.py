@@ -152,3 +152,88 @@ class TestMetrics:
     def test_factor_match_validation(self, rng):
         with pytest.raises(ShapeError):
             factor_match_score([rng.random((4, 2))], [rng.random((4, 2))] * 2)
+
+
+class TestHedging:
+    def _operands(self, rng, tensor, rank=6):
+        b = rng.standard_normal((tensor.shape[1], rank))
+        c = rng.standard_normal((tensor.shape[2], rank))
+        return b, c
+
+    def test_hedge_output_matches_unhedged(self, rng, tensor):
+        mc = MultiChipTensaurus(3)
+        b, c = self._operands(rng, tensor)
+        plain = mc.run_mttkrp(tensor, b, c, compute_output=True)
+        hedged = MultiChipTensaurus(3).run_mttkrp(
+            tensor, b, c, compute_output=True, hedge=True
+        )
+        shape = (tensor.shape[0], b.shape[1])
+        assert np.allclose(
+            plain.combined_output(shape), hedged.combined_output(shape)
+        )
+
+    def test_hedge_fields_populated(self, rng, tensor):
+        mc = MultiChipTensaurus(3)
+        b, c = self._operands(rng, tensor)
+        result = mc.run_mttkrp(tensor, b, c, hedge=True)
+        assert result.hedge is not None
+        assert result.hedge_straggler_chip is not None
+        assert result.hedge.chip != result.hedge_straggler_chip
+        # The hedged copy replays exactly the straggler's slice set.
+        straggler = next(
+            a for a in result.assignments
+            if a.chip == result.hedge_straggler_chip
+        )
+        assert np.array_equal(result.hedge.slices, straggler.slices)
+
+    def test_default_no_hedge_unchanged(self, rng, tensor):
+        b, c = self._operands(rng, tensor)
+        result = MultiChipTensaurus(3).run_mttkrp(tensor, b, c)
+        assert result.hedge is None
+        assert not result.hedge_won
+        assert result.hedge_saved_s == 0.0
+        assert result.hedge_wasted_s == 0.0
+
+    def test_losing_hedge_does_not_inflate_makespan(self, rng, tensor):
+        """First-wins cancellation: when the straggler finishes first the
+        twin's hedge copy is cancelled, so the primary span must not grow
+        beyond the unhedged one."""
+        b, c = self._operands(rng, tensor)
+        plain = MultiChipTensaurus(3).run_mttkrp(tensor, b, c)
+        hedged = MultiChipTensaurus(3).run_mttkrp(tensor, b, c, hedge=True)
+        if not hedged.hedge_won:
+            assert hedged.primary_span_s <= plain.primary_span_s + 1e-12
+
+    def test_failed_straggler_covered_by_twin(self, rng, tensor):
+        from repro.sim import FaultPlan
+
+        b, c = self._operands(rng, tensor)
+        reference = MultiChipTensaurus(3).run_mttkrp(
+            tensor, b, c, compute_output=True
+        )
+        # Find which chip the hedge twin covers, then force exactly that
+        # chip to fail: the twin's copy supplies its slices.
+        probe = MultiChipTensaurus(3).run_mttkrp(tensor, b, c, hedge=True)
+        straggler = probe.hedge_straggler_chip
+        plan = FaultPlan(seed=3, forced_chip_failures=(straggler,))
+        failed = MultiChipTensaurus(3, fault_plan=plan).run_mttkrp(
+            tensor, b, c, compute_output=True, hedge=True
+        )
+        assert straggler in failed.failed_chips
+        shape = (tensor.shape[0], b.shape[1])
+        assert np.allclose(
+            failed.combined_output(shape), reference.combined_output(shape)
+        )
+        assert failed.hedge_won  # the only surviving copy wins by default
+
+    def test_hedge_accounting_totals_include_twin(self, rng, tensor):
+        b, c = self._operands(rng, tensor)
+        plain = MultiChipTensaurus(3).run_mttkrp(tensor, b, c)
+        hedged = MultiChipTensaurus(3).run_mttkrp(tensor, b, c, hedge=True)
+        assert hedged.total_ops > plain.total_ops
+        assert hedged.total_chip_seconds > plain.total_chip_seconds
+
+    def test_hedge_requires_two_chips(self, rng, tensor):
+        b, c = self._operands(rng, tensor)
+        result = MultiChipTensaurus(1).run_mttkrp(tensor, b, c, hedge=True)
+        assert result.hedge is None

@@ -403,3 +403,160 @@ class TestSweepRobustness:
             ]
 
         assert key(serial) == key(parallel)
+
+
+class TestDecorrelatedJitter:
+    def test_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_retries=6, backoff_base_s=0.01, max_backoff_s=0.5,
+            jitter_mode="decorrelated", seed=7,
+        )
+        first = policy.delays()
+        assert first == policy.delays()  # chain replays exactly
+        assert all(0.01 <= d <= 0.5 for d in first)
+        # Decorrelated draws must not be the plain exponential schedule.
+        plain = RetryPolicy(
+            max_retries=6, backoff_base_s=0.01, max_backoff_s=0.5
+        ).delays()
+        assert first != plain
+
+    def test_each_attempt_stable_regardless_of_query_order(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=0.02, jitter_mode="decorrelated"
+        )
+        # Querying attempt 3 directly equals querying via the full list.
+        assert policy.delay(3) == policy.delays()[3]
+
+    def test_seed_changes_schedule(self):
+        mk = lambda s: RetryPolicy(
+            max_retries=4, backoff_base_s=0.01,
+            jitter_mode="decorrelated", seed=s,
+        ).delays()
+        assert mk(1) != mk(2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_mode="sideways")
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_elapsed_s=-1.0)
+
+
+class TestMaxElapsedBudget:
+    def _fake_clock(self, step=0.1):
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += step
+            return state["t"]
+
+        return clock
+
+    def test_retry_call_stops_before_overshooting(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise FaultError("still down")
+
+        policy = RetryPolicy(
+            max_retries=10, backoff_base_s=1.0, backoff_factor=1.0,
+            max_elapsed_s=1.5,
+        )
+        slept = []
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(
+                fn, policy, sleep=slept.append, clock=self._fake_clock()
+            )
+        # Far fewer than 11 attempts: the budget cut the loop short.
+        assert len(calls) < 11
+        assert "budget" in str(info.value)
+
+    def test_for_deadline_clamps(self):
+        policy = RetryPolicy(max_retries=3, max_elapsed_s=5.0)
+        tightened = policy.for_deadline(1.0)
+        assert tightened.max_elapsed_s == 1.0
+        assert tightened.max_retries == 3  # everything else preserved
+        # An already-tighter budget is kept.
+        assert policy.for_deadline(9.0).max_elapsed_s == 5.0
+        assert policy.for_deadline(-2.0).max_elapsed_s == 0.0
+
+    def test_no_budget_runs_full_schedule(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise FaultError("down")
+
+        policy = RetryPolicy(max_retries=2, backoff_base_s=0.0)
+        with pytest.raises(RetryExhaustedError):
+            retry_call(fn, policy, sleep=lambda s: None)
+        assert len(calls) == 3
+
+
+class TestCheckpointPersistence:
+    def _store(self, tmp_path):
+        from repro.artifacts import ArtifactStore
+
+        return ArtifactStore(root=tmp_path / "ckpts")
+
+    def test_write_through_and_restore(self, tmp_path):
+        store = self._store(tmp_path)
+        ckpts = CheckpointStore(keep=2, store=store, run_key="run-a")
+        rng = make_rng(3)
+        for it in range(4):
+            ckpts.save(it, [rng.standard_normal((4, 2))], fit=0.1 * it)
+        assert ckpts.persisted_iterations() == [0, 1, 2, 3]
+        # A fresh store instance (new process) restores the newest.
+        resumed = CheckpointStore(keep=2, store=store, run_key="run-a")
+        ckpt = resumed.restore_persisted()
+        assert ckpt is not None and ckpt.iteration == 3
+        assert resumed.latest().iteration == 3
+
+    def test_corrupted_checkpoint_skipped_with_warning(self, tmp_path, caplog):
+        import logging
+
+        store = self._store(tmp_path)
+        ckpts = CheckpointStore(keep=3, store=store, run_key="run-b")
+        rng = make_rng(5)
+        for it in range(3):
+            ckpts.save(it, [rng.standard_normal((4, 2))], fit=float(it))
+        # Corrupt the newest blob on disk.
+        path = store.path_for(
+            CheckpointStore._NAMESPACE, ("run-b", 2)
+        )
+        path.write_bytes(b"not a pickle")
+        fresh = CheckpointStore(keep=3, store=store, run_key="run-b")
+        with caplog.at_level(logging.WARNING):
+            ckpt = fresh.load_persisted()
+        assert ckpt is not None and ckpt.iteration == 1  # fell back
+        assert any("skipping" in r.message or "unreadable" in r.message
+                   for r in caplog.records)
+
+    def test_tampered_payload_fails_fingerprint(self, tmp_path, caplog):
+        import logging
+        import pickle
+
+        store = self._store(tmp_path)
+        ckpts = CheckpointStore(keep=2, store=store, run_key="run-c")
+        ckpt = ckpts.save(0, [np.ones((2, 2))], fit=0.5)
+        path = store.path_for(CheckpointStore._NAMESPACE, ("run-c", 0))
+        payload = pickle.loads(path.read_bytes())
+        payload["checkpoint"].factors[0][0, 0] = 99.0  # bit-rot
+        path.write_bytes(pickle.dumps(payload))
+        with caplog.at_level(logging.WARNING):
+            assert ckpts.load_persisted() is None
+        assert any("fingerprint" in r.message for r in caplog.records)
+
+    def test_runs_are_namespaced(self, tmp_path):
+        store = self._store(tmp_path)
+        a = CheckpointStore(store=store, run_key="a")
+        b = CheckpointStore(store=store, run_key="b")
+        a.save(0, [np.ones((2, 2))])
+        assert b.persisted_iterations() == []
+        assert b.load_persisted() is None
+
+    def test_no_store_is_a_noop(self):
+        ckpts = CheckpointStore(keep=2)
+        ckpts.save(0, [np.ones((2, 2))])
+        assert ckpts.persisted_iterations() == []
+        assert ckpts.restore_persisted() is None

@@ -193,3 +193,45 @@ def test_property_unfold_consistency(seed, mode):
     mat = np.zeros(shape2d)
     mat[rows, cols] = t.values
     assert np.allclose(mat, unfold_dense(t.to_dense(), mode))
+
+
+class TestNonFiniteRejection:
+    def test_nan_values_rejected(self):
+        from repro.util.errors import DataError
+
+        with pytest.raises(DataError, match="non-finite"):
+            SparseTensor(
+                (4, 4, 4),
+                np.array([[0, 1, 2]]),
+                np.array([np.nan]),
+            )
+
+    def test_inf_values_rejected(self):
+        from repro.util.errors import DataError
+
+        with pytest.raises(DataError, match="non-finite"):
+            SparseTensor(
+                (4, 4, 4),
+                np.array([[0, 1, 2], [1, 1, 1]]),
+                np.array([1.0, -np.inf]),
+            )
+
+    def test_from_dense_rejects_nan(self):
+        from repro.util.errors import DataError
+
+        dense = np.zeros((3, 3))
+        dense[1, 1] = np.nan
+        with pytest.raises(DataError, match="non-finite"):
+            SparseTensor.from_dense(dense)
+
+    def test_data_error_is_value_and_repro_error(self):
+        from repro.util.errors import DataError, ReproError
+
+        assert issubclass(DataError, ValueError)
+        assert issubclass(DataError, ReproError)
+
+    def test_finite_values_still_accepted(self):
+        t = SparseTensor(
+            (4, 4, 4), np.array([[0, 1, 2]]), np.array([2.5])
+        )
+        assert t.nnz == 1
