@@ -27,8 +27,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.factorization.accelerated import accelerated_cp_als
+from repro.formats import CISSTensor
 from repro.sim import Tensaurus, TensaurusConfig, sweep_configs
 from repro.sim.batch import TensorTilePartition
+from repro.sim.config import HBM_PRESET
+from repro.sim.costs import kernel_costs
+from repro.sim.engine import default_sim_engine, jit_available
+from repro.sim.event import EventDrivenTensaurus
+from repro.sim.memory import StreamMemory
+from repro.sim.pe import PELane
 from repro.sim.tiling import make_plan
 from repro.tensor import SparseTensor
 
@@ -147,6 +154,97 @@ def bench_cp_als(shape, nnz, num_iters=5):
     }
 
 
+def bench_engines():
+    """Per-stage hot-loop breakdown: legacy vs fast on one CISS tile.
+
+    Runs the three simulator hot loops (plus the format encoder) on the
+    same workload under both engines, times each stage best-of-N, and
+    cross-checks bit-identity of every stage's observable output. The
+    residual of a full cold single run outside these loops (tiling,
+    planning, tile-stream analysis) is reported as ``overhead_s``.
+    """
+    shape, rank, lanes = (400, 120, 100), 16, 8
+    t = _make_tensor(shape, 24_000, seed=11)
+    cfg = TensaurusConfig(rows=lanes)
+    ciss = CISSTensor.from_sparse(t, lanes)
+    costs = kernel_costs("spmttkrp", cfg, fiber_elems=rank)
+    rng = np.random.default_rng(0)
+    f0 = rng.standard_normal((shape[2], rank))
+    f1 = rng.standard_normal((shape[1], rank))
+    sim = EventDrivenTensaurus(cfg, costs, f0, f1, 4)
+    trace = ciss.pe_address_trace(num_pes=lanes)
+    mem = StreamMemory(HBM_PRESET)
+
+    def best(fn, n=3):
+        return min(_timed(fn)[0] for _ in range(n))
+
+    def pe_run(engine):
+        out = np.zeros((shape[0], rank))
+        for lane in range(lanes):
+            PELane(costs, f0, f1, 4).run_stream(ciss, lane, out, engine=engine)
+        return out
+
+    stages = {
+        "encode": (
+            best(lambda: CISSTensor.from_sparse(t, lanes, engine="legacy")),
+            best(lambda: CISSTensor.from_sparse(t, lanes, engine="fast")),
+        ),
+        "pe": (best(lambda: pe_run("legacy")), best(lambda: pe_run("fast"))),
+        "event": (
+            best(lambda: sim.run(ciss, (shape[0], rank), engine="legacy"), n=2),
+            best(lambda: sim.run(ciss, (shape[0], rank), engine="fast")),
+        ),
+        "hbm": (
+            best(lambda: mem.service_trace(trace, engine="legacy")),
+            best(lambda: mem.service_trace(trace, engine="fast")),
+        ),
+    }
+
+    ev_l = sim.run(ciss, (shape[0], rank), engine="legacy")
+    ev_f = sim.run(ciss, (shape[0], rank), engine="fast")
+    hb_l = mem.service_trace(trace, engine="legacy")
+    hb_f = mem.service_trace(trace, engine="fast")
+    identical = (
+        ev_l.cycles == ev_f.cycles
+        and ev_l.bank_conflict_stalls == ev_f.bank_conflict_stalls
+        and ev_l.msu_stalls == ev_f.msu_stalls
+        and ev_l.tlu_stall_cycles == ev_f.tlu_stall_cycles
+        and ev_l.output.tobytes() == ev_f.output.tobytes()
+        and (hb_l.cycles, hb_l.fetched_bytes, hb_l.useful_bytes)
+        == (hb_f.cycles, hb_f.fetched_bytes, hb_f.useful_bytes)
+        and pe_run("legacy").tobytes() == pe_run("fast").tobytes()
+    )
+
+    rng2 = np.random.default_rng(21)
+    b = rng2.standard_normal((shape[1], rank))
+    c = rng2.standard_normal((shape[2], rank))
+    acc = Tensaurus(TensaurusConfig())
+    cold_s, _ = _timed(
+        acc.run_mttkrp, t, b, c, mode=0, compute_output=False
+    )
+
+    legacy_total = sum(l for l, _ in stages.values())
+    fast_total = sum(f for _, f in stages.values())
+    return {
+        "workload": {
+            "shape": list(shape), "nnz": t.nnz,
+            "lanes": lanes, "rank": rank,
+        },
+        "stages": {
+            name: {"legacy_s": l, "fast_s": f, "speedup": l / f}
+            for name, (l, f) in stages.items()
+        },
+        "legacy_total_s": legacy_total,
+        "fast_total_s": fast_total,
+        "speedup": legacy_total / fast_total,
+        "cold_run_s": cold_s,
+        "overhead_s": max(cold_s - stages["encode"][1], 0.0),
+        "identical": identical,
+        "default_engine": default_sim_engine(),
+        "jit_available": jit_available(),
+    }
+
+
 def _sweep_runner(acc):
     t = _make_tensor((256, 128, 128), 20_000, seed=17)
     rng = np.random.default_rng(19)
@@ -186,6 +284,11 @@ def main() -> int:
         "--quick", action="store_true",
         help="smaller workload (CI smoke run)",
     )
+    parser.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="compare against a committed BENCH_sim.json and fail on a "
+        ">2x wall-clock regression of the tracked timings",
+    )
     args = parser.parse_args()
 
     if args.quick:
@@ -201,11 +304,13 @@ def main() -> int:
         "mttkrp": bench_mttkrp(mttkrp_shape, mttkrp_nnz),
         "cp_als": bench_cp_als(als_shape, als_nnz),
         "sweep": bench_sweep(),
+        "engines": bench_engines(),
     }
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
 
     m = results["mttkrp"]
     a = results["cp_als"]
+    e = results["engines"]
     print(
         f"MTTKRP {tuple(m['shape'])} nnz={m['nnz']} "
         f"tiles={m['nonempty_tiles']}: legacy {m['legacy_s']:.3f}s, "
@@ -219,6 +324,16 @@ def main() -> int:
         f"cache {a['cache_info']}"
     )
     print(f"sweep: {results['sweep']}")
+    for name, s in e["stages"].items():
+        print(
+            f"engine {name:7s} legacy {s['legacy_s'] * 1e3:7.1f}ms "
+            f"fast {s['fast_s'] * 1e3:7.1f}ms ({s['speedup']:.1f}x)"
+        )
+    print(
+        f"engine TOTAL   legacy {e['legacy_total_s'] * 1e3:7.1f}ms "
+        f"fast {e['fast_total_s'] * 1e3:7.1f}ms ({e['speedup']:.1f}x), "
+        f"identical={e['identical']}, overhead {e['overhead_s'] * 1e3:.1f}ms"
+    )
     print(f"wrote {args.out}")
 
     ok = (
@@ -227,10 +342,30 @@ def main() -> int:
         and m["cold_speedup"] >= 3.0
         and a["cache_hit_speedup"] > 1.0
         and results["sweep"]["deterministic"]
+        and e["identical"]
+        and e["speedup"] >= 5.0
     )
     if not ok:
         print("FAILED acceptance thresholds")
         return 1
+
+    if args.check_baseline:
+        baseline = json.loads(Path(args.check_baseline).read_text())
+        tracked = [
+            ("mttkrp.batched_cold_s", m["batched_cold_s"],
+             baseline.get("mttkrp", {}).get("batched_cold_s")),
+            ("engines.fast_total_s", e["fast_total_s"],
+             baseline.get("engines", {}).get("fast_total_s")),
+        ]
+        regressions = [
+            f"{label}: {new:.4f}s vs baseline {old:.4f}s"
+            for label, new, old in tracked
+            if old is not None and new > 2.0 * old
+        ]
+        if regressions:
+            print("PERF REGRESSION vs baseline: " + "; ".join(regressions))
+            return 1
+        print(f"baseline check OK ({args.check_baseline})")
     return 0
 
 

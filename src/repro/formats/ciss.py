@@ -195,6 +195,28 @@ class _CISSBase:
             self._memo[key] = cached
         return cached
 
+    def lane_arrays(self, lane: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One lane's record columns as contiguous arrays (kinds, a, k, val).
+
+        The array form of :meth:`lane_records`, consumed by the vectorized
+        and jit PE paths: no per-record Python objects, just the four
+        column vectors of length ``num_entries``. Cached per lane; the
+        returned arrays are the cache — treat them as read-only.
+        """
+        if not 0 <= lane < self.num_lanes:
+            raise ShapeError(f"lane {lane} out of range")
+        key = ("lane_arrays", lane)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = (
+                np.ascontiguousarray(self.kinds[:, lane]),
+                np.ascontiguousarray(self.a_idx[:, lane]),
+                np.ascontiguousarray(self.k_idx[:, lane]),
+                np.ascontiguousarray(self.vals[:, lane]),
+            )
+            self._memo[key] = cached
+        return cached
+
     def pe_address_trace(
         self,
         num_pes: int | None = None,

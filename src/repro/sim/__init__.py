@@ -17,6 +17,13 @@ Two execution engines share one timing model:
 """
 
 from repro.sim.config import TensaurusConfig, HBM_PRESET, DDR4_PRESET, MemoryConfig
+from repro.sim.engine import (
+    default_sim_engine,
+    jit_available,
+    resolve_sim_engine,
+    set_sim_engine,
+)
+from repro.sim.shm import SharedOperands
 from repro.sim.batch import (
     BatchTileStats,
     EncodingCache,
@@ -55,6 +62,11 @@ from repro.sim.driver import (
 __all__ = [
     "TensaurusConfig",
     "MemoryConfig",
+    "default_sim_engine",
+    "jit_available",
+    "resolve_sim_engine",
+    "set_sim_engine",
+    "SharedOperands",
     "BatchTileStats",
     "EncodingCache",
     "MatrixTilePartition",

@@ -1,0 +1,112 @@
+"""Simulator engine seam: fast (vectorized), legacy (interpreter), jit.
+
+Mirrors the encoder seam in :mod:`repro.formats.ciss`: the simulator hot
+loops — the per-record PE lane walk (:mod:`repro.sim.pe`), the
+cycle-stepped event engine (:mod:`repro.sim.event`) and the HBM burst
+service loop (:mod:`repro.sim.memory`) — each carry an ``engine=``
+parameter that defaults to the process-wide engine selected here.
+
+Engines
+-------
+``"legacy"``
+    The original pure-Python loops. Ground truth; always available.
+``"fast"``
+    Batched numpy paths over the same record streams. Bit-identical to
+    legacy by construction (ordered segmented accumulation, identical
+    float expression trees) — enforced by ``tests/test_sim_fastpath.py``.
+``"jit"``
+    Numba-compiled timing kernels behind the same call signatures. Lazy
+    import: when numba is not installed the first use warns once and the
+    call silently degrades to ``"fast"`` (still bit-identical), so
+    ``REPRO_SIM_ENGINE=jit`` is safe on machines without the ``[jit]``
+    extra.
+
+The default comes from the ``REPRO_SIM_ENGINE`` environment variable
+(validated at import) and can be changed per-process with
+:func:`set_sim_engine` or per-call with ``engine="..."``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro import obs
+
+_SIM_ENGINES = ("fast", "legacy", "jit")
+_default_engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
+if _default_engine not in _SIM_ENGINES:
+    raise ValueError(
+        f"REPRO_SIM_ENGINE must be one of {_SIM_ENGINES}, not {_default_engine!r}"
+    )
+
+logger = obs.get_logger(__name__)
+
+
+def default_sim_engine() -> str:
+    """The engine used when a simulator entry point gets ``engine=None``."""
+    return _default_engine
+
+
+def set_sim_engine(engine: str) -> str:
+    """Select the process-wide default simulator engine; returns the previous one."""
+    global _default_engine
+    if engine not in _SIM_ENGINES:
+        raise ValueError(f"engine must be one of {_SIM_ENGINES}, not {engine!r}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def resolve_sim_engine(engine: Optional[str]) -> str:
+    """Validate/default an ``engine=`` argument (shared by all sim hot loops).
+
+    ``"jit"`` resolves to itself only when numba imports; otherwise it
+    degrades to ``"fast"`` after a once-per-process warning.
+    """
+    if engine is None:
+        engine = _default_engine
+    if engine not in _SIM_ENGINES:
+        raise ValueError(f"engine must be one of {_SIM_ENGINES}, not {engine!r}")
+    if engine == "jit" and not jit_available():
+        _warn_jit_missing()
+        return "fast"
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Lazy numba accessor. Import cost is paid once, on first jit use, and a
+# missing module is remembered so the fallback is free afterwards.
+_numba = None
+_numba_checked = False
+_jit_warned = False
+
+
+def jit_available() -> bool:
+    """True when numba imports (the ``[jit]`` extra is installed)."""
+    global _numba, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # noqa: F401  (deliberate lazy optional import)
+
+            _numba = numba
+        except Exception:  # pragma: no cover - environment dependent
+            _numba = None
+    return _numba is not None
+
+
+def get_numba():
+    """The numba module, or None when the extra is not installed."""
+    jit_available()
+    return _numba
+
+
+def _warn_jit_missing() -> None:
+    global _jit_warned
+    if not _jit_warned:
+        _jit_warned = True
+        logger.warning(
+            "engine='jit' requested but numba is not installed; falling "
+            "back to engine='fast' (install the [jit] extra to enable it)"
+        )

@@ -1,0 +1,365 @@
+"""Numba kernels behind ``engine="jit"`` (lazy compile, optional dep).
+
+Each kernel is written as a plain-Python function over numpy arrays and
+scalars — exactly the subset numba's ``njit`` compiles — and compiled on
+first use when numba is installed (the ``[jit]`` extra). Without numba,
+:func:`repro.sim.engine.resolve_sim_engine` already degrades ``"jit"`` to
+``"fast"``, so these kernels only run compiled in production; the
+uncompiled functions remain directly callable, which is how the agreement
+suite pins their logic on machines without numba.
+
+The kernels mirror the fast-path recurrences bit for bit: same operand
+order, same ``max`` tie behavior, same int truncation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.sim.engine import get_numba
+
+_compiled: Dict[str, Callable] = {}
+
+
+def _jitted(name: str, pyfunc: Callable) -> Callable:
+    """The njit-compiled version of ``pyfunc`` (memoized), or ``pyfunc``
+    itself when numba is not installed."""
+    numba = get_numba()
+    if numba is None:
+        return pyfunc
+    fn = _compiled.get(name)
+    if fn is None:
+        fn = numba.njit(cache=False)(pyfunc)
+        _compiled[name] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+def _hbm_recurrence_py(gseq, slots, latency, per_burst):
+    """Service recurrence over the coalesced burst sequence.
+
+    ``gseq[j]`` is the issue-group index of burst ``j`` (nondecreasing).
+    Returns ``(now, last_comp, bus_free)`` after the final burst: the
+    elastic clock with one tick per group entered, the completion time of
+    the last burst, and the next bus-free time.
+    """
+    n = gseq.shape[0]
+    comp = np.zeros(n, dtype=np.int64)
+    now = 0
+    prev_g = -1
+    bus_free = 0.0
+    for j in range(n):
+        g = gseq[j]
+        now += g - prev_g
+        prev_g = g
+        if j >= slots and comp[j - slots] > now:
+            now = comp[j - slots]
+        if now >= bus_free:
+            start = float(now)
+        else:
+            start = bus_free
+        comp[j] = int(start + latency + per_burst)
+        bus_free = start + per_burst
+    return now, comp[n - 1], bus_free
+
+
+def hbm_recurrence(gseq: np.ndarray, slots: int, latency: int, per_burst: float):
+    fn = _jitted("hbm", _hbm_recurrence_py)
+    now, last_comp, bus_free = fn(
+        gseq, np.int64(slots), np.int64(latency), float(per_burst)
+    )
+    return int(now), int(last_comp), float(bus_free)
+
+
+# ----------------------------------------------------------------------
+# Event-engine timing kernel. State codes match sim.event._run_fast.
+_IDLE, _WF, _MAC, _WFF, _FOLD, _HEADER, _DRAIN = 0, 1, 2, 3, 4, 5, 6
+
+
+def _event_timing_py(
+    lkinds,        # int64[records_total] per-lane compacted kinds, concatenated
+    lslices,       # int64[records_total] per-lane a/j column, concatenated
+    lbanks,        # int64[records_total] per-record SPM bank, concatenated
+    offsets,       # int64[lanes + 1] lane l records = [offsets[l], offsets[l+1])
+    pc,            # int64[entries, lanes] pushed-count prefix sums
+    stall_flags,   # uint8[entries] (all zero when no fault plan)
+    stall_cycles_each,
+    queue_depth,
+    banks,
+    uses_fibers,   # 0/1
+    kind_header,
+    nnz_cycles, fold_cycles, drain_cycles, header_cycles,
+    max_cycles,
+):
+    """Pure-integer replay of the event engine's clock loop.
+
+    Returns ``(status, cycle, bank_stalls, msu_stalls, tlu_stalls,
+    injected, cycles_busy, stalled_entries, n_stalled)`` where status 1
+    means converged and 0 means the cycle budget was exhausted (the
+    caller raises). ``stalled_entries[:n_stalled]`` lists the entries
+    whose HBM-stall draw fired, in issue order.
+    """
+    entries = pc.shape[0]
+    lanes = pc.shape[1]
+    state = np.zeros(lanes, dtype=np.int64)
+    busy = np.zeros(lanes, dtype=np.int64)
+    cur_j = np.full(lanes, -1, dtype=np.int64)
+    cur_bank = np.zeros(lanes, dtype=np.int64)
+    has_tsr = np.zeros(lanes, dtype=np.int64)
+    has_osr = np.zeros(lanes, dtype=np.int64)
+    head = np.zeros(lanes, dtype=np.int64)
+    tails = np.zeros(lanes, dtype=np.int64)
+    cycles_busy = np.zeros(lanes, dtype=np.int64)
+    winners = np.full(banks, -1, dtype=np.int64)
+    granted = np.zeros(lanes, dtype=np.int64)
+    stalled_entries = np.zeros(entries, dtype=np.int64)
+    n_stalled = 0
+    exhausted = False
+    next_entry = 0
+    stall_remaining = 0
+    injected = 0
+    bank_stalls = 0
+    msu_stalls = 0
+    tlu_stalls = 0
+    cycle = 0
+
+    while True:
+        # --- Cycle skip (see sim.event._run_fast).
+        if next_entry < entries:
+            tlu_blocked = stall_flags[next_entry] == 0
+            if tlu_blocked:
+                if stall_remaining <= 0:
+                    full = False
+                    for l in range(lanes):
+                        if tails[l] - head[l] >= queue_depth:
+                            full = True
+                            break
+                    tlu_blocked = full
+        else:
+            tlu_blocked = exhausted
+        delta = 0
+        if tlu_blocked:
+            delta = max_cycles + 1 - cycle
+            if stall_remaining > 0 and stall_remaining < delta:
+                delta = stall_remaining
+            for l in range(lanes):
+                b = busy[l]
+                if b > 0:
+                    if b < delta:
+                        delta = b
+                else:
+                    inert = (
+                        state[l] == _IDLE
+                        and tails[l] == head[l]
+                        and not (
+                            exhausted and (has_tsr[l] == 1 or has_osr[l] == 1)
+                        )
+                    )
+                    if not inert:
+                        delta = 0
+                        break
+        if delta > 1:
+            if stall_remaining > 0:
+                stall_remaining -= delta
+                injected += delta
+            elif next_entry < entries:
+                tlu_stalls += delta
+            for l in range(lanes):
+                b = busy[l]
+                if b > 0:
+                    busy[l] = b - delta
+                    cycles_busy[l] += delta
+                    if b == delta:
+                        st = state[l]
+                        if st == _MAC:
+                            if uses_fibers == 1:
+                                has_tsr[l] = 1
+                            else:
+                                has_osr[l] = 1
+                        elif st == _FOLD:
+                            has_osr[l] = 1
+                            has_tsr[l] = 0
+                        state[l] = _IDLE
+            cycle += delta
+            if next_entry >= entries and exhausted:
+                done = True
+                for l in range(lanes):
+                    if not (
+                        tails[l] == head[l]
+                        and state[l] == _IDLE
+                        and has_tsr[l] == 0
+                        and has_osr[l] == 0
+                    ):
+                        done = False
+                        break
+                if done:
+                    break
+            if cycle > max_cycles:
+                return (
+                    0, cycle, bank_stalls, msu_stalls, tlu_stalls,
+                    injected, cycles_busy, stalled_entries, n_stalled,
+                )
+            continue
+
+        # --- TLU.
+        if next_entry < entries:
+            if stall_flags[next_entry] == 1:
+                stall_flags[next_entry] = 0
+                stall_remaining += stall_cycles_each
+                stalled_entries[n_stalled] = next_entry
+                n_stalled += 1
+            if stall_remaining > 0:
+                stall_remaining -= 1
+                injected += 1
+            else:
+                full = False
+                for l in range(lanes):
+                    if tails[l] - head[l] >= queue_depth:
+                        full = True
+                        break
+                if full:
+                    tlu_stalls += 1
+                else:
+                    for l in range(lanes):
+                        tails[l] = pc[next_entry, l]
+                    next_entry += 1
+        else:
+            exhausted = True
+
+        # --- Dispatch.
+        for l in range(lanes):
+            if busy[l] != 0 or state[l] != _IDLE:
+                continue
+            h = head[l]
+            if tails[l] == h:
+                if exhausted:
+                    if uses_fibers == 1 and has_tsr[l] == 1:
+                        state[l] = _WFF
+                    elif has_osr[l] == 1:
+                        state[l] = _DRAIN
+                continue
+            base = offsets[l]
+            if lkinds[base + h] == kind_header:
+                if uses_fibers == 1 and has_tsr[l] == 1:
+                    state[l] = _WFF
+                    continue
+                if has_osr[l] == 1:
+                    state[l] = _DRAIN
+                    continue
+                head[l] = h + 1
+                cur_j[l] = -1
+                state[l] = _HEADER
+                busy[l] = header_cycles
+                continue
+            if uses_fibers == 1:
+                j = lslices[base + h]
+                if j != cur_j[l] and has_tsr[l] == 1:
+                    state[l] = _WFF
+                    continue
+                cur_j[l] = j
+            head[l] = h + 1
+            cur_bank[l] = lbanks[base + h]
+            state[l] = _WF
+
+        # --- SPM arbitration.
+        for b in range(banks):
+            winners[b] = -1
+        for l in range(lanes):
+            granted[l] = 0
+            if busy[l] == 0 and (state[l] == _WF or state[l] == _WFF):
+                if state[l] == _WFF:
+                    b = cur_j[l] % banks
+                else:
+                    b = cur_bank[l]
+                if winners[b] >= 0:
+                    bank_stalls += 1
+                else:
+                    winners[b] = l
+                    granted[l] = 1
+
+        # --- Advance.
+        msu_used = False
+        for l in range(lanes):
+            b = busy[l]
+            if b > 0:
+                busy[l] = b - 1
+                cycles_busy[l] += 1
+                if b == 1:
+                    st = state[l]
+                    if st == _MAC:
+                        if uses_fibers == 1:
+                            has_tsr[l] = 1
+                        else:
+                            has_osr[l] = 1
+                    elif st == _FOLD:
+                        has_osr[l] = 1
+                        has_tsr[l] = 0
+                    state[l] = _IDLE
+                continue
+            st = state[l]
+            if st == _WF:
+                if granted[l] == 1:
+                    cycles_busy[l] += 1
+                    state[l] = _MAC
+                    busy[l] = nnz_cycles - 1
+                    if busy[l] == 0:
+                        if uses_fibers == 1:
+                            has_tsr[l] = 1
+                        else:
+                            has_osr[l] = 1
+                        state[l] = _IDLE
+                continue
+            if st == _WFF:
+                if granted[l] == 1:
+                    cycles_busy[l] += 1
+                    state[l] = _FOLD
+                    if fold_cycles > 1:
+                        busy[l] = fold_cycles - 1
+                    else:
+                        busy[l] = 0
+                    if busy[l] == 0:
+                        has_osr[l] = 1
+                        has_tsr[l] = 0
+                        state[l] = _IDLE
+                continue
+            if st == _DRAIN:
+                if msu_used:
+                    msu_stalls += 1
+                else:
+                    msu_used = True
+                    has_osr[l] = 0
+                    cycles_busy[l] += 1
+                    busy[l] = drain_cycles - 1
+                    if busy[l] == 0:
+                        state[l] = _IDLE
+
+        cycle += 1
+        if next_entry >= entries and exhausted:
+            done = True
+            for l in range(lanes):
+                if not (
+                    tails[l] == head[l]
+                    and state[l] == _IDLE
+                    and has_tsr[l] == 0
+                    and has_osr[l] == 0
+                ):
+                    done = False
+                    break
+            if done:
+                break
+        if cycle > max_cycles:
+            return (
+                0, cycle, bank_stalls, msu_stalls, tlu_stalls,
+                injected, cycles_busy, stalled_entries, n_stalled,
+            )
+
+    return (
+        1, cycle, bank_stalls, msu_stalls, tlu_stalls,
+        injected, cycles_busy, stalled_entries, n_stalled,
+    )
+
+
+def event_timing(*args):
+    return _jitted("event", _event_timing_py)(*args)

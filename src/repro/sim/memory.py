@@ -18,10 +18,13 @@ curve:
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.sim.config import MemoryConfig
+from repro.sim.engine import resolve_sim_engine
 from repro.util.errors import ConfigError
 
 Request = Tuple[int, int]  # (address, size in bytes)
@@ -32,8 +35,28 @@ class StreamMemory:
 
     def __init__(self, config: MemoryConfig) -> None:
         self.config = config
+        # Built once per instance: service_trace used to rebuild this
+        # tuple on every call.
+        self._occupancy_buckets = tuple(
+            float(b) for b in range(0, config.max_outstanding + 1)
+        )
 
-    def service_trace(self, trace: Sequence[Iterable[Request]]) -> "TraceResult":
+    def _occupancy_histogram(self, reg):
+        return (
+            reg.histogram(
+                "hbm.queue_occupancy",
+                "in-flight HBM requests sampled per serviced burst",
+                buckets=self._occupancy_buckets,
+            )
+            if reg.enabled
+            else None
+        )
+
+    def service_trace(
+        self,
+        trace: Sequence[Iterable[Request]],
+        engine: Optional[str] = None,
+    ) -> "TraceResult":
         """Run a per-cycle request trace to completion.
 
         ``trace[t]`` holds the requests all consumers issue at producer
@@ -41,21 +64,23 @@ class StreamMemory:
         Consumers stall when the channel back-pressures, so the trace is
         elastic: cycle ``t``'s requests enter the queue no earlier than
         cycle ``t`` and no earlier than when queue slots free up.
+
+        ``engine`` selects the implementation (defaults to
+        :func:`repro.sim.engine.default_sim_engine`): the fast/jit path
+        replaces the per-cycle heap loop with vectorized burst coalescing
+        plus a scalar service recurrence, and is bit-identical to legacy
+        (the in-flight heap is provably FIFO, so one recurrence over the
+        burst sequence reproduces every ``max``/truncation exactly).
         """
+        resolved = resolve_sim_engine(engine)
+        if resolved != "legacy":
+            return self._service_trace_fast(trace, resolved)
         cfg = self.config
         burst = cfg.burst_bytes
         bus_bpc = cfg.bytes_per_cycle
         latency = cfg.latency_cycles
         reg = obs.metrics()
-        occupancy = (
-            reg.histogram(
-                "hbm.queue_occupancy",
-                "in-flight HBM requests sampled per serviced burst",
-                buckets=tuple(float(b) for b in range(0, cfg.max_outstanding + 1)),
-            )
-            if reg.enabled
-            else None
-        )
+        occupancy = self._occupancy_histogram(reg)
         in_flight: List[int] = []  # completion times (min-heap)
         bus_free = 0.0  # next cycle the data bus is free
         now = 0
@@ -99,6 +124,119 @@ class StreamMemory:
             )
         return TraceResult(
             cycles=now,
+            useful_bytes=useful_bytes,
+            fetched_bytes=fetched_bytes,
+            clock_ghz=cfg.clock_ghz,
+        )
+
+    def _service_trace_fast(
+        self, trace: Sequence[Iterable[Request]], resolved: str
+    ) -> "TraceResult":
+        """Vectorized burst accounting, bit-identical to the legacy loop.
+
+        Completion times in the legacy heap are nondecreasing (issue
+        starts are monotone), so the heap is FIFO: burst ``j`` waits on
+        completion ``j - max_outstanding`` exactly. That turns the whole
+        loop into (a) one vectorized coalescing pass over all requests
+        and (b) a scalar recurrence over the resulting burst sequence,
+        with the same ``max``/int-truncation expressions as legacy.
+        """
+        cfg = self.config
+        burst = cfg.burst_bytes
+        bus_bpc = cfg.bytes_per_cycle
+        latency = cfg.latency_cycles
+        slots = cfg.max_outstanding
+        reg = obs.metrics()
+        occupancy = self._occupancy_histogram(reg)
+        groups = len(trace)
+        flat: List[Request] = []
+        lens: List[int] = []
+        extend = flat.extend
+        append = lens.append
+        n0 = 0
+        for group in trace:
+            extend(group)
+            n1 = len(flat)
+            append(n1 - n0)
+            n0 = n1
+        useful_bytes = 0
+        fetched_bytes = 0
+        n_bursts = 0
+        bus_free = 0.0
+        last_comp = 0
+        with obs.tracer().span("hbm.service_trace", args={"cycles": groups}):
+            if flat:
+                req_a = np.asarray(flat, dtype=np.int64)
+                addr_a = req_a[:, 0]
+                size_a = req_a[:, 1]
+                gid_a = np.repeat(
+                    np.arange(groups, dtype=np.int64),
+                    np.asarray(lens, dtype=np.int64),
+                )
+                if np.any(size_a <= 0):
+                    raise ConfigError("request size must be positive")
+                useful_bytes = int(size_a.sum())
+                # Expand each request into the burst range it touches,
+                # then coalesce per issue group: sort by (group, burst)
+                # and keep one fetch per distinct pair — the same
+                # sequence the legacy sorted-set walk produces.
+                first = addr_a // burst
+                counts = (addr_a + size_a - 1) // burst - first + 1
+                total = int(counts.sum())
+                reps = np.repeat(np.arange(counts.size), counts)
+                span_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                burst_ids = first[reps] + (np.arange(total) - span_start[reps])
+                grp = gid_a[reps]
+                order = np.lexsort((burst_ids, grp))
+                bs = burst_ids[order]
+                gs = grp[order]
+                keep = np.empty(total, dtype=bool)
+                keep[0] = True
+                keep[1:] = (gs[1:] != gs[:-1]) | (bs[1:] != bs[:-1])
+                gseq = gs[keep]
+                n_bursts = int(gseq.size)
+                fetched_bytes = n_bursts * burst
+                per_burst = burst / bus_bpc
+                if resolved == "jit":
+                    from repro.sim.jit import hbm_recurrence
+
+                    now, last_comp, bus_free = hbm_recurrence(
+                        np.asarray(gseq, dtype=np.int64),
+                        slots, latency, per_burst,
+                    )
+                else:
+                    # now carries the legacy chain exactly: one tick per
+                    # group entered (ticks compound on top of popped
+                    # completion times), then the FIFO pop at capacity.
+                    comp: List[int] = [0] * n_bursts
+                    now = 0
+                    prev_g = -1
+                    for j, g in enumerate(gseq.tolist()):
+                        now += g - prev_g
+                        prev_g = g
+                        if j >= slots and comp[j - slots] > now:
+                            now = comp[j - slots]
+                        start = now if now >= bus_free else bus_free
+                        comp[j] = int(start + latency + per_burst)
+                        bus_free = start + per_burst
+                    last_comp = comp[-1]
+                now += groups - 1 - int(gseq[-1])  # trailing burst-free groups
+                if occupancy is not None:
+                    cap = slots - 1
+                    for j in range(n_bursts):
+                        occupancy.observe(j if j < cap else cap)
+            else:
+                now = groups
+            cycles = max(now, int(last_comp), int(bus_free) + 1)
+        if reg.enabled:
+            reg.counter("hbm.useful_bytes", "consumer-visible bytes").inc(
+                useful_bytes
+            )
+            reg.counter("hbm.fetched_bytes", "bus bytes incl. burst waste").inc(
+                fetched_bytes
+            )
+        return TraceResult(
+            cycles=cycles,
             useful_bytes=useful_bytes,
             fetched_bytes=fetched_bytes,
             clock_ghz=cfg.clock_ghz,

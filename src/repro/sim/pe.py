@@ -15,14 +15,163 @@ PE needs (no centralized decode — the limitation of CISR that CISS lifts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.formats.ciss import KIND_HEADER, KIND_NNZ, KIND_PAD, LaneRecord
 from repro.sim.costs import KernelCosts
+from repro.sim.engine import resolve_sim_engine
 from repro.util.errors import SimulationError
+
+
+def _segmented_sequential_sum(
+    contrib: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Left-to-right sum of ``contrib[starts[s]:ends[s]]`` per segment.
+
+    Bit-identical to the interpreter's accumulation chain: the first
+    element is *assigned* (not added to zero, which would flip -0.0) and
+    the rest are added one rank at a time — sequential within a segment,
+    vectorized across segments. ``np.add.reduceat`` is NOT a substitute:
+    its pairwise summation reorders long chains and breaks bit-identity.
+    """
+    lengths = ends - starts
+    n = lengths.shape[0]
+    if n == 0:
+        return contrib[starts].copy()
+    maxlen = int(lengths.max())
+    if maxlen <= 1:
+        return contrib[starts].copy()
+    # Sort segments longest-first so each rank step touches a contiguous
+    # prefix (slice writes instead of boolean scatters); the per-segment
+    # addition chain is unchanged, so so is every rounding step.
+    order = np.argsort(-lengths, kind="stable")
+    s_ord = starts[order]
+    neg_l = -lengths[order]
+    out_ord = contrib[s_ord]
+    # prefix size at rank p: how many segments still have an element
+    ms = np.searchsorted(neg_l, -np.arange(1, maxlen), side="left")
+    idx_buf = np.empty(n, dtype=s_ord.dtype)
+    gat_buf = np.empty_like(out_ord)
+    for p in range(1, maxlen):
+        m = ms[p - 1]
+        idx = np.add(s_ord[:m], p, out=idx_buf[:m])
+        gathered = np.take(contrib, idx, axis=0, out=gat_buf[:m])
+        np.add(out_ord[:m], gathered, out=out_ord[:m])
+    out = np.empty_like(out_ord)
+    out[order] = out_ord
+    return out
+
+
+def _first_run_boundaries(*keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run of equal keys."""
+    n = keys[0].shape[0]
+    new = np.zeros(n, dtype=bool)
+    if n:
+        new[0] = True
+        for key in keys:
+            new[1:] |= key[1:] != key[:-1]
+    return new
+
+
+def lane_pass_arrays(
+    costs: KernelCosts,
+    fiber0: np.ndarray,
+    fiber1: Optional[np.ndarray],
+    f1_tile: int,
+    kinds: np.ndarray,
+    a_idx: np.ndarray,
+    k_idx: np.ndarray,
+    vals: np.ndarray,
+    out: np.ndarray,
+    strict_kinds: bool = True,
+) -> "LaneRunResult":
+    """Array-level replay of one lane's record stream.
+
+    Produces the same functional accumulation into ``out`` and the same
+    :class:`LaneRunResult` as the :class:`PELane` interpreter, replacing
+    the per-record loop with segmented reductions. Every floating-point
+    expression mirrors the interpreter's (same operand order, ordered
+    `np.add.at` scatter), so results are bit-identical.
+
+    ``strict_kinds=False`` reproduces the event engine's decode instead,
+    which treats any non-header, non-pad record as a nonzero.
+    """
+    kinds = np.asarray(kinds)
+    live = kinds != KIND_PAD
+    ck = kinds[live]
+    ca = np.asarray(a_idx)[live]
+    is_hdr = ck == KIND_HEADER
+    hdr_cum = np.cumsum(is_hdr)
+    if strict_kinds:
+        is_nnz = ck == KIND_NNZ
+        bad = ~(is_hdr | is_nnz) | (is_nnz & (hdr_cum == 0))
+        if bad.any():
+            i = int(np.argmax(bad))
+            if ck[i] != KIND_NNZ:
+                raise SimulationError(f"unknown record kind {int(ck[i])}")
+            raise SimulationError("nonzero record before any header")
+    else:
+        is_nnz = ~is_hdr
+        if is_nnz.any() and hdr_cum[np.argmax(is_nnz)] == 0:
+            raise SimulationError("nonzero record before any header")
+    headers = int(hdr_cum[-1]) if hdr_cum.size else 0
+    hdr_slices = ca[is_hdr]
+    nnz_pos = np.nonzero(is_nnz)[0]
+    n = int(nnz_pos.size)
+    fibers = drains = 0
+    if n:
+        nnz_seg = hdr_cum[nnz_pos]  # 1-based segment (header) index
+        na = ca[nnz_pos]
+        nv = np.asarray(vals)[live][nnz_pos]
+        if costs.uses_fibers:
+            nk = np.asarray(k_idx)[live][nnz_pos]
+            # One fiber run per maximal (segment, j) stretch; the TSR
+            # accumulates scaled rows sequentially within each run.
+            new_run = _first_run_boundaries(nnz_seg, na)
+            run_starts = np.nonzero(new_run)[0]
+            run_ends = np.append(run_starts[1:], n)
+            scaled = nv[:, None] * fiber0[nk]
+            tsr = _segmented_sequential_sum(scaled, run_starts, run_ends)
+            run_j = na[run_starts]
+            run_seg = nnz_seg[run_starts]
+            if costs.kernel in ("spttmc", "dttmc"):
+                contrib = fiber1[run_j][:, :f1_tile, None] * tsr[:, None, :]
+            else:
+                contrib = fiber1[run_j] * tsr
+            new_seg = _first_run_boundaries(run_seg)
+            seg_starts = np.nonzero(new_seg)[0]
+            seg_ends = np.append(seg_starts[1:], run_starts.size)
+            osr = _segmented_sequential_sum(contrib, seg_starts, seg_ends)
+            drain_slices = hdr_slices[run_seg[seg_starts] - 1]
+            fibers = int(run_starts.size)
+        else:
+            # SpMM/SpMV: scalar * fiber0 accumulates straight into OSR.
+            fb = fiber0[na]
+            contrib = nv[:, None] * fb if fb.ndim > 1 else nv * fb
+            new_seg = _first_run_boundaries(nnz_seg)
+            seg_starts = np.nonzero(new_seg)[0]
+            seg_ends = np.append(seg_starts[1:], n)
+            osr = _segmented_sequential_sum(contrib, seg_starts, seg_ends)
+            drain_slices = hdr_slices[nnz_seg[seg_starts] - 1]
+        drains = int(seg_starts.size)
+        np.add.at(out, drain_slices, osr)  # ordered, duplicate-safe scatter
+    cycles = (
+        costs.header_cycles * headers
+        + costs.nnz_cycles * n
+        + costs.fold_cycles * fibers
+        + costs.drain_cycles * drains
+    )
+    return LaneRunResult(
+        cycles=cycles,
+        ops=costs.ops_per_nnz * n + costs.ops_per_fold * fibers,
+        nnz_records=n,
+        headers=headers,
+        fibers=fibers,
+        drains=drains,
+    )
 
 
 @dataclass
@@ -73,6 +222,7 @@ class PELane:
         records: Sequence[LaneRecord],
         out: np.ndarray,
         trace: Optional[list] = None,
+        engine: Optional[str] = None,
     ) -> LaneRunResult:
         """Execute the lane stream, accumulating results into ``out``.
 
@@ -84,11 +234,33 @@ class PELane:
         cycle-by-cycle view of the PE for debugging and the trace tests.
         An active micro-mode tracer (``Tracer(micro=True)``) collects the
         same events onto its sim track without the caller passing a list.
+
+        ``engine`` selects the implementation (defaults to
+        :func:`repro.sim.engine.default_sim_engine`): ``"fast"``/``"jit"``
+        run the batched array path (bit-identical results), ``"legacy"``
+        the original per-record interpreter. Micro-event tracing needs
+        per-record stepping, so an active ``trace`` (or micro tracer)
+        always runs the interpreter.
         """
         costs = self.costs
         tracer = obs.tracer()
         if trace is None and tracer.micro:
             trace = []
+        if trace is None and resolve_sim_engine(engine) != "legacy":
+            kinds = np.fromiter(
+                (rec.kind for rec in records), np.uint8, count=len(records)
+            )
+            a_idx = np.fromiter(
+                (rec.a for rec in records), np.int64, count=len(records)
+            )
+            k_idx = np.fromiter(
+                (rec.k for rec in records), np.int64, count=len(records)
+            )
+            vals = np.fromiter(
+                (rec.val for rec in records), np.float64, count=len(records)
+            )
+            return self.run_arrays(kinds, a_idx, k_idx, vals, out)
+
         cycles = 0
         ops = 0
         nnz_records = headers = fibers = drains = 0
@@ -170,6 +342,50 @@ class PELane:
         )
         self._emit_obs(result, trace if tracer.micro else None, tracer)
         return result
+
+    def run_arrays(
+        self,
+        kinds: np.ndarray,
+        a_idx: np.ndarray,
+        k_idx: np.ndarray,
+        vals: np.ndarray,
+        out: np.ndarray,
+    ) -> LaneRunResult:
+        """Array-native fast path over one lane's record columns.
+
+        Takes the four column vectors of
+        :meth:`repro.formats.ciss._CISSBase.lane_arrays` directly, so the
+        hot path never materializes :class:`LaneRecord` objects. Emits the
+        same observability counters as :meth:`run`.
+        """
+        result = lane_pass_arrays(
+            self.costs, self.fiber0, self.fiber1, self.f1_tile,
+            kinds, a_idx, k_idx, vals, out,
+        )
+        self._emit_obs(result, None, obs.tracer())
+        return result
+
+    def run_stream(
+        self,
+        ciss,
+        lane: int,
+        out: np.ndarray,
+        trace: Optional[list] = None,
+        engine: Optional[str] = None,
+    ) -> LaneRunResult:
+        """Execute one lane of an encoded CISS stream.
+
+        Convenience entry that feeds the fast path from the stream's
+        memoized :meth:`~repro.formats.ciss._CISSBase.lane_arrays` (zero
+        conversion cost) and the legacy interpreter from
+        :meth:`~repro.formats.ciss._CISSBase.lane_records`.
+        """
+        if trace is None and not obs.tracer().micro:
+            if resolve_sim_engine(engine) != "legacy":
+                return self.run_arrays(*ciss.lane_arrays(lane), out)
+        return self.run(
+            ciss.lane_records(lane), out, trace=trace, engine="legacy"
+        )
 
     def _emit_obs(self, result: LaneRunResult, micro_events, tracer) -> None:
         """Mirror one lane run into the active registry/tracer (post-run,

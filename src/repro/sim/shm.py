@@ -1,0 +1,162 @@
+"""Zero-copy operand handoff for process fan-out (`sweep_configs`).
+
+A sweep runner usually closes over the workload operands — multi-megabyte
+dense factor matrices and sparse tensor arrays. Shipping that closure to a
+process pool re-serializes every operand byte, and doing it per design
+point multiplies the cost by the grid size. :class:`SharedOperands` breaks
+that: the parent copies each array once into a POSIX shared-memory
+segment, and the object itself pickles as a few hundred bytes of metadata
+(segment name + per-array layout). Workers attach lazily on first access
+and read the parent's pages directly — no per-point copies, no per-point
+pickling.
+
+Typical use::
+
+    with SharedOperands.create({"vals": vals, "factor": f0}) as ops:
+        def runner(acc):
+            return acc.run_spmttkrp(ops["vals"], ops["factor"], ...)
+        sweep_configs(base, grid, runner, workers=8)
+
+The creator owns the segment: ``close()`` detaches, ``unlink()`` frees it
+(the context manager does both). Attached copies in workers detach on
+garbage collection; they never unlink.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+# (key, shape, dtype-str, byte offset) for one array in the segment.
+_ArrayMeta = Tuple[str, Tuple[int, ...], str, int]
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedOperands(Mapping[str, np.ndarray]):
+    """Read-only mapping of named numpy arrays in one shared segment."""
+
+    def __init__(
+        self,
+        segment_name: str,
+        meta: List[_ArrayMeta],
+        _shm: "shared_memory.SharedMemory | None" = None,
+        _owner: bool = False,
+    ) -> None:
+        self._segment_name = segment_name
+        self._meta = list(meta)
+        self._shm = _shm
+        self._owner = _owner
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedOperands":
+        """Copy ``arrays`` into a fresh shared-memory segment."""
+        if not arrays:
+            raise ConfigError("SharedOperands.create needs at least one array")
+        meta: List[_ArrayMeta] = []
+        offset = 0
+        prepared: List[Tuple[str, np.ndarray, int]] = []
+        for key, arr in arrays.items():
+            a = np.ascontiguousarray(arr)
+            if a.dtype.hasobject:
+                raise ConfigError(
+                    f"operand {key!r} has object dtype; only plain numeric "
+                    "arrays can live in shared memory"
+                )
+            offset = _align(offset)
+            prepared.append((key, a, offset))
+            meta.append((key, a.shape, a.dtype.str, offset))
+            offset += a.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for key, a, off in prepared:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf[off:])
+            dst[...] = a
+        return cls(shm.name, meta, _shm=shm, _owner=True)
+
+    # -- mapping protocol ----------------------------------------------
+    def _attach(self) -> "shared_memory.SharedMemory":
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self._segment_name)
+        return self._shm
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        arr = self._arrays.get(key)
+        if arr is not None:
+            return arr
+        for name, shape, dtype, offset in self._meta:
+            if name == key:
+                shm = self._attach()
+                arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                                 buffer=shm.buf[offset:])
+                arr.flags.writeable = False
+                self._arrays[key] = arr
+                return arr
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _, _, _ in self._meta)
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def segment_name(self) -> str:
+        return self._segment_name
+
+    def close(self) -> None:
+        """Detach from the segment (views become invalid)."""
+        if self._shm is not None:
+            self._arrays.clear()
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Free the segment (creator only; call after all workers exit)."""
+        owner = self._owner
+        self._owner = False
+        if owner:
+            shm = self._shm or shared_memory.SharedMemory(
+                name=self._segment_name
+            )
+            self._arrays.clear()
+            shm.close()
+            self._shm = None
+            shm.unlink()
+
+    def __enter__(self) -> "SharedOperands":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- pickling ------------------------------------------------------
+    def __reduce__(self):
+        # Metadata only — a worker re-attaches by segment name, so the
+        # operand bytes never ride the pickle stream.
+        return (SharedOperands, (self._segment_name, self._meta))
+
+    def __repr__(self) -> str:
+        total = sum(
+            int(np.prod(shape)) * np.dtype(dt).itemsize
+            for _, shape, dt, _ in self._meta
+        )
+        return (
+            f"SharedOperands({self._segment_name!r}, "
+            f"{len(self._meta)} arrays, {total} bytes)"
+        )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -100,6 +101,46 @@ def _evaluate_point(
     return ("fail", repr(last), max_retries + 1)
 
 
+# The runner rides to each worker exactly once, through the pool
+# initializer; per-point submissions then carry only (config, max_retries).
+# Before this, every submit re-pickled the runner — and with it any operand
+# tensors it closed over — once per design point.
+_pool_runner: Optional[Callable[[Tensaurus], SimReport]] = None
+
+
+def _init_pool_worker(runner_blob: bytes) -> None:
+    """Pool initializer: unpickle the sweep runner once per worker."""
+    global _pool_runner
+    _pool_runner = pickle.loads(runner_blob)
+
+
+def _evaluate_point_pooled(
+    config: TensaurusConfig, max_retries: int
+) -> Tuple[str, object, int]:
+    """Worker body for pooled sweeps: uses the initializer-installed runner."""
+    assert _pool_runner is not None, "pool worker initializer did not run"
+    return _evaluate_point((config, _pool_runner, max_retries))
+
+
+# Runners already warned about (unpicklable → serial fallback), so a
+# many-point or repeated sweep logs the warning once per runner. Runners
+# that cannot be weak-referenced warn every time.
+_warned_unpicklable: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _warn_unpicklable(runner: Callable, exc: Exception) -> None:
+    try:
+        if runner in _warned_unpicklable:
+            return
+        _warned_unpicklable.add(runner)
+    except TypeError:
+        pass
+    logger.warning(
+        "sweep_configs runner is not picklable; falling back to "
+        "serial evaluation (%r)", exc,
+    )
+
+
 def sweep_configs(
     base: TensaurusConfig,
     grid: Dict[str, Sequence],
@@ -119,10 +160,15 @@ def sweep_configs(
     back in grid order regardless of completion order, so parallel and
     serial sweeps return identical lists (fault injection included: every
     point draws from streams keyed by its own config and attempt, never by
-    scheduling). The runner (and everything it closes over) must pickle;
+    scheduling). The runner is serialized once and handed to each worker
+    through the pool initializer, so per-point submissions carry only the
+    design-point config — a runner closing over large operands costs its
+    pickle size per worker, not per point; wrap the operands in
+    :class:`repro.sim.shm.SharedOperands` to drop even that to metadata
+    bytes. The runner (and everything it closes over) must pickle;
     if it does not, the sweep logs a warning on the ``repro.sim.sweep``
-    logger with the pickling error, records it as ``fallback_reason``, and
-    falls back to serial evaluation. (Worker processes do not share the
+    logger with the pickling error (once per runner), records it as
+    ``fallback_reason``, and falls back to serial evaluation. (Worker processes do not share the
     parent's observation state, so per-launch tracing covers serial sweeps
     only; the sweep-level span and point counters are always recorded in
     the submitting process.)
@@ -160,20 +206,21 @@ def sweep_configs(
     ):
         if workers is not None and workers > 1 and len(combos) > 1:
             try:
-                pickle.dumps(runner)
+                runner_blob = pickle.dumps(runner)
             except Exception as exc:
                 result.fallback_reason = repr(exc)
-                logger.warning(
-                    "sweep_configs runner is not picklable; falling back to "
-                    "serial evaluation (%r)", exc,
-                )
+                _warn_unpicklable(runner, exc)
             else:
                 max_workers = min(workers, len(combos))
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_init_pool_worker,
+                    initargs=(runner_blob,),
+                )
                 try:
                     futures = [
                         pool.submit(
-                            _evaluate_point, (config, runner, max_retries)
+                            _evaluate_point_pooled, config, max_retries
                         )
                         for _, config in combos
                     ]

@@ -1,0 +1,301 @@
+"""Bit-identity of the simulator engines (fast / legacy / jit).
+
+The ``engine="fast"`` (and, with numba installed, ``engine="jit"``) paths
+in :mod:`repro.sim.pe`, :mod:`repro.sim.event` and :mod:`repro.sim.memory`
+must reproduce the legacy Python loops *exactly* — same cycles, same stall
+breakdown, same fault events, bit-identical float outputs — so that
+choosing an engine is purely a speed decision. These tests sweep the three
+loops over a grid of kernels, lane counts, queue depths and fault plans
+and compare every observable field.
+
+Without numba the jit cases still run: the jit kernels in
+:mod:`repro.sim.jit` are plain-Python functions that numba would compile,
+so executing them interpreted pins the exact logic that would be compiled.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.formats import CISSMatrix, CISSTensor, COOMatrix
+from repro.sim.config import MemoryConfig, TensaurusConfig
+from repro.sim.costs import kernel_costs
+from repro.sim.engine import (
+    default_sim_engine,
+    jit_available,
+    resolve_sim_engine,
+    set_sim_engine,
+)
+from repro.sim.event import EventDrivenTensaurus
+from repro.sim.faults import FaultPlan
+from repro.sim.memory import StreamMemory
+from repro.sim.pe import PELane
+
+from .conftest import random_tensor
+
+RANK = 8
+ENGINES = ["fast", "jit"]  # each compared against "legacy"
+
+
+def _cfg(lanes, banks=8):
+    return TensaurusConfig(rows=lanes, spm_banks=banks)
+
+
+def _tensor_workload(seed, lanes, kernel):
+    rng = np.random.default_rng(seed + 100)
+    t = random_tensor(shape=(30, 20, 16), density=0.03, seed=seed)
+    ciss = CISSTensor.from_sparse(t, lanes)
+    costs = kernel_costs(kernel, _cfg(lanes), fiber_elems=16, f1_tile=4)
+    f0 = rng.standard_normal((16, RANK))
+    if kernel == "spmttkrp":
+        f1 = rng.standard_normal((20, RANK))
+        out_shape = (30, RANK)
+    else:  # spttmc
+        f1 = rng.standard_normal((20, 6))
+        out_shape = (30, 4, RANK)
+    return ciss, costs, f0, f1, out_shape
+
+
+def _matrix_workload(lanes, kernel):
+    rng = np.random.default_rng(7)
+    dense = (rng.random((40, 32)) < 0.05) * rng.standard_normal((40, 32))
+    ciss = CISSMatrix.from_coo(COOMatrix.from_dense(dense), lanes)
+    costs = kernel_costs(kernel, _cfg(lanes), fiber_elems=16)
+    if kernel == "spmm":
+        f0 = rng.standard_normal((32, RANK))
+        out_shape = (40, RANK)
+    else:  # spmv
+        f0 = rng.standard_normal(32)
+        out_shape = (40,)
+    return ciss, costs, f0, out_shape
+
+
+def _assert_event_identical(a, b, tag):
+    assert a.cycles == b.cycles, (tag, "cycles", a.cycles, b.cycles)
+    assert a.ops == b.ops, (tag, "ops")
+    assert a.output.tobytes() == b.output.tobytes(), (tag, "output")
+    assert a.bank_conflict_stalls == b.bank_conflict_stalls, (tag, "bank")
+    assert a.msu_stalls == b.msu_stalls, (tag, "msu")
+    assert a.tlu_stall_cycles == b.tlu_stall_cycles, (tag, "tlu")
+    assert np.array_equal(a.lane_busy_cycles, b.lane_busy_cycles), (tag, "busy")
+    assert a.injected_stall_cycles == b.injected_stall_cycles, (tag, "inj")
+    assert [(e.kind, e.location) for e in a.fault_events] == [
+        (e.kind, e.location) for e in b.fault_events
+    ], (tag, "faults")
+
+
+class TestEngineSeam:
+    def test_default_engine_valid(self):
+        assert default_sim_engine() in ("fast", "legacy", "jit")
+
+    def test_set_sim_engine_round_trip(self):
+        prev = set_sim_engine("legacy")
+        try:
+            assert default_sim_engine() == "legacy"
+            assert resolve_sim_engine(None) == "legacy"
+        finally:
+            set_sim_engine(prev)
+        assert default_sim_engine() == prev
+
+    def test_set_sim_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="engine"):
+            set_sim_engine("turbo")
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="engine"):
+            resolve_sim_engine("turbo")
+
+    def test_resolve_jit_degrades_without_numba(self):
+        resolved = resolve_sim_engine("jit")
+        if jit_available():
+            assert resolved == "jit"
+        else:
+            assert resolved == "fast"
+
+    def test_env_var_mirrors_encoder_seam(self):
+        # Same spelling and validation style as REPRO_ENCODER_ENGINE.
+        import repro.sim.engine as engine_mod
+
+        assert "REPRO_SIM_ENGINE" in engine_mod.__doc__
+
+
+class TestEventEngineAgreement:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kernel", ["spmttkrp", "spttmc"])
+    @pytest.mark.parametrize("lanes", [1, 3, 8])
+    def test_tensor_kernels(self, lanes, kernel, engine):
+        for seed in (0, 1):
+            for qd in (1, 4):
+                ciss, costs, f0, f1, out_shape = _tensor_workload(
+                    seed, lanes, kernel
+                )
+                args = (_cfg(lanes), costs, f0, f1, 4)
+                ref = EventDrivenTensaurus(*args, queue_depth=qd).run(
+                    ciss, out_shape, engine="legacy"
+                )
+                got = EventDrivenTensaurus(*args, queue_depth=qd).run(
+                    ciss, out_shape, engine=engine
+                )
+                _assert_event_identical(ref, got, (lanes, kernel, seed, qd))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kernel", ["spmm", "spmv"])
+    @pytest.mark.parametrize("lanes", [1, 4, 8])
+    def test_matrix_kernels(self, lanes, kernel, engine):
+        ciss, costs, f0, out_shape = _matrix_workload(lanes, kernel)
+        ref = EventDrivenTensaurus(_cfg(lanes), costs, f0).run(
+            ciss, out_shape, engine="legacy"
+        )
+        got = EventDrivenTensaurus(_cfg(lanes), costs, f0).run(
+            ciss, out_shape, engine=engine
+        )
+        _assert_event_identical(ref, got, (lanes, kernel))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "rate,each", [(0.15, 9), (0.6, 25), (1.0, 3)]
+    )
+    def test_fault_injection(self, rate, each, engine):
+        ciss, costs, f0, f1, out_shape = _tensor_workload(2, 4, "spmttkrp")
+        plan = FaultPlan(seed=1, hbm_stall_rate=rate, hbm_stall_cycles=each)
+        args = (_cfg(4), costs, f0, f1, 4)
+        ref = EventDrivenTensaurus(*args, fault_plan=plan).run(
+            ciss, out_shape, engine="legacy"
+        )
+        got = EventDrivenTensaurus(*args, fault_plan=plan).run(
+            ciss, out_shape, engine=engine
+        )
+        _assert_event_identical(ref, got, (rate, each))
+
+    def test_jit_kernel_logic_pinned(self):
+        # Force the jit code path (interpreted when numba is absent) and
+        # compare against legacy — this is what the compiled kernel runs.
+        ciss, costs, f0, f1, out_shape = _tensor_workload(3, 8, "spmttkrp")
+        ref = EventDrivenTensaurus(_cfg(8), costs, f0, f1, 4).run(
+            ciss, out_shape, engine="legacy"
+        )
+        got = EventDrivenTensaurus(_cfg(8), costs, f0, f1, 4)._run_fast(
+            ciss, out_shape, "jit"
+        )
+        _assert_event_identical(ref, got, "jit-forced")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_obs_metrics_identical_across_engines(self, engine):
+        ciss, costs, f0, f1, out_shape = _tensor_workload(1, 8, "spmttkrp")
+        snaps = []
+        for eng in ("legacy", engine):
+            with obs.observe() as ob:
+                EventDrivenTensaurus(_cfg(8), costs, f0, f1, 4).run(
+                    ciss, out_shape, engine=eng
+                )
+                snaps.append(ob.registry.snapshot())
+        assert snaps[0] == snaps[1]
+
+
+class TestPELaneAgreement:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kernel", ["spmttkrp", "spttmc"])
+    @pytest.mark.parametrize("lanes", [1, 3, 8])
+    def test_tensor_kernels(self, lanes, kernel, engine):
+        for seed in (0, 5):
+            ciss, costs, f0, f1, out_shape = _tensor_workload(
+                seed, lanes, kernel
+            )
+            for lane in range(lanes):
+                out_ref = np.zeros(out_shape)
+                out_got = np.zeros(out_shape)
+                ref = PELane(costs, f0, f1, 4).run_stream(
+                    ciss, lane, out_ref, engine="legacy"
+                )
+                got = PELane(costs, f0, f1, 4).run_stream(
+                    ciss, lane, out_got, engine=engine
+                )
+                assert ref.cycles == got.cycles, (lanes, kernel, seed, lane)
+                assert ref.ops == got.ops
+                assert out_ref.tobytes() == out_got.tobytes()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kernel", ["spmm", "spmv"])
+    def test_matrix_kernels(self, kernel, engine):
+        for lanes in (1, 4, 8):
+            ciss, costs, f0, out_shape = _matrix_workload(lanes, kernel)
+            for lane in range(lanes):
+                out_ref = np.zeros(out_shape)
+                out_got = np.zeros(out_shape)
+                ref = PELane(costs, f0).run_stream(
+                    ciss, lane, out_ref, engine="legacy"
+                )
+                got = PELane(costs, f0).run_stream(
+                    ciss, lane, out_got, engine=engine
+                )
+                assert ref.cycles == got.cycles
+                assert ref.ops == got.ops
+                assert out_ref.tobytes() == out_got.tobytes()
+
+
+def _random_trace(seed, groups, max_per_group, addr_span, sizes):
+    rng = np.random.default_rng(seed)
+    trace = []
+    for _ in range(groups):
+        n = int(rng.integers(0, max_per_group + 1))
+        trace.append(
+            [
+                (int(rng.integers(0, addr_span)), int(rng.choice(sizes)))
+                for _ in range(n)
+            ]
+        )
+    return trace
+
+
+class TestStreamMemoryAgreement:
+    CONFIGS = [
+        MemoryConfig(
+            name="hbm-like", peak_gbs=128.0, latency_ns=60.0,
+            max_outstanding=48, burst_bytes=64, clock_ghz=1.0,
+        ),
+        MemoryConfig(
+            name="narrow", peak_gbs=16.0, latency_ns=45.0,
+            max_outstanding=4, burst_bytes=32, clock_ghz=1.2,
+        ),
+        MemoryConfig(
+            name="wide", peak_gbs=256.0, latency_ns=10.0,
+            max_outstanding=64, burst_bytes=128, clock_ghz=2.0,
+        ),
+    ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("cfg_i", range(len(CONFIGS)))
+    def test_random_traces(self, cfg_i, engine):
+        cfg = self.CONFIGS[cfg_i]
+        for seed in range(4):
+            trace = _random_trace(
+                seed, groups=60, max_per_group=6,
+                addr_span=1 << 14, sizes=(4, 12, 64, 200),
+            )
+            ref = StreamMemory(cfg).service_trace(trace, engine="legacy")
+            got = StreamMemory(cfg).service_trace(trace, engine=engine)
+            assert ref.cycles == got.cycles, (cfg_i, seed)
+            assert ref.useful_bytes == got.useful_bytes
+            assert ref.fetched_bytes == got.fetched_bytes
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_and_degenerate(self, engine):
+        cfg = self.CONFIGS[0]
+        for trace in ([], [[]], [[], []], [[(0, 1)]]):
+            ref = StreamMemory(cfg).service_trace(trace, engine="legacy")
+            got = StreamMemory(cfg).service_trace(trace, engine=engine)
+            assert ref.cycles == got.cycles
+            assert ref.fetched_bytes == got.fetched_bytes
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_metrics_identical(self, engine):
+        cfg = self.CONFIGS[1]
+        trace = _random_trace(
+            9, groups=40, max_per_group=4, addr_span=1 << 12, sizes=(8, 64)
+        )
+        snaps = []
+        for eng in ("legacy", engine):
+            with obs.observe() as ob:
+                StreamMemory(cfg).service_trace(trace, engine=eng)
+                snaps.append(ob.registry.snapshot())
+        assert snaps[0] == snaps[1]

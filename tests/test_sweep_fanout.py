@@ -1,0 +1,212 @@
+"""Zero-copy sweep fan-out: one runner pickle per worker, not per point.
+
+``sweep_configs`` used to re-pickle the runner — and any operand tensors
+it closed over — into every design-point submission. It now ships the
+runner once through the pool initializer, and
+:class:`repro.sim.shm.SharedOperands` moves the operand bytes out of the
+pickle stream entirely (workers attach to the parent's shared-memory
+segment). These tests pin both properties by counting serialized payload
+bytes with a stub executor, plus the once-per-runner dedupe of the
+unpicklable-runner warning.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.sim.sweep as sweep_mod
+from repro.sim import SharedOperands, sweep_configs
+from repro.sim.config import TensaurusConfig
+from repro.sim.sweep import _evaluate_point_pooled, _init_pool_worker
+from repro.util.errors import ConfigError
+
+from .conftest import random_tensor
+from repro.util.rng import make_rng
+
+BASE = TensaurusConfig()
+GRID = {"rows": [4, 8], "spm_banks": [4, 8]}
+
+# Big enough that accidental per-point operand pickling is unmistakable.
+_BLOB = np.arange(250_000, dtype=np.float64)
+
+
+def _small_runner(acc):
+    t = random_tensor(shape=(16, 12, 10), density=0.2, seed=90)
+    rng = make_rng(91)
+    return acc.run_mttkrp(
+        t, rng.random((12, 6)), rng.random((10, 6)), compute_output=False
+    )
+
+
+class _HeavyRunner:
+    """A runner closing over ~2 MB of operands (module-level: pickles)."""
+
+    def __init__(self):
+        self.operands = _BLOB.copy()
+
+    def __call__(self, acc):
+        return _small_runner(acc)
+
+
+class _StubFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def result(self, timeout=None):
+        return self._value
+
+    def cancel(self):
+        pass
+
+
+class _StubExecutor:
+    """In-process ProcessPoolExecutor double that records what a real pool
+    would serialize: the initializer payload once, and each submission's
+    pickled (fn, args) bytes."""
+
+    instances = []
+
+    def __init__(self, max_workers, initializer=None, initargs=()):
+        self.max_workers = max_workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.submit_payloads = []
+        self.init_ran = False
+        _StubExecutor.instances.append(self)
+
+    def submit(self, fn, *args):
+        # A real pool pickles the callable and its arguments per task.
+        self.submit_payloads.append(len(pickle.dumps((fn, args))))
+        if not self.init_ran and self.initializer is not None:
+            self.initializer(*self.initargs)
+            self.init_ran = True
+        return _StubFuture(fn(*args))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+@pytest.fixture
+def stub_pool(monkeypatch):
+    _StubExecutor.instances = []
+    monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", _StubExecutor)
+    yield _StubExecutor
+    sweep_mod._pool_runner = None
+
+
+class TestRunnerShippedOnce:
+    def test_initializer_carries_runner_blob(self, stub_pool):
+        runner = _HeavyRunner()
+        result = sweep_configs(BASE, GRID, runner, workers=2)
+        assert len(result) == 4 and result.fallback_reason is None
+        (pool,) = stub_pool.instances
+        assert pool.initializer is _init_pool_worker
+        assert pool.initargs == (pickle.dumps(runner),)
+
+    def test_per_point_payload_excludes_operands(self, stub_pool):
+        runner = _HeavyRunner()
+        runner_bytes = len(pickle.dumps(runner))
+        assert runner_bytes > _BLOB.nbytes  # the closure really is heavy
+        sweep_configs(BASE, GRID, runner, workers=2)
+        (pool,) = stub_pool.instances
+        assert len(pool.submit_payloads) == 4
+        for payload in pool.submit_payloads:
+            # Submissions carry (config, max_retries) only — orders of
+            # magnitude under the operand blob.
+            assert payload < runner_bytes / 100
+
+    def test_pooled_worker_requires_initializer(self):
+        sweep_mod._pool_runner = None
+        with pytest.raises(AssertionError):
+            _evaluate_point_pooled(BASE, 0)
+
+    def test_real_pool_matches_serial(self):
+        serial = sweep_configs(BASE, {"rows": [4, 8]}, _small_runner)
+        parallel = sweep_configs(
+            BASE, {"rows": [4, 8]}, _small_runner, workers=2
+        )
+        assert [(p.params, p.report.cycles) for p in serial] == [
+            (p.params, p.report.cycles) for p in parallel
+        ]
+
+
+class TestSharedOperands:
+    def test_pickle_is_metadata_only(self):
+        with SharedOperands.create({"vals": _BLOB, "idx": np.arange(7)}) as ops:
+            blob = pickle.dumps(ops)
+            assert len(blob) < 512  # 2 MB of operands, metadata-size pickle
+            clone = pickle.loads(blob)
+            try:
+                assert set(clone) == {"vals", "idx"}
+                assert clone["vals"].tobytes() == _BLOB.tobytes()
+                assert not clone["vals"].flags.writeable
+            finally:
+                clone.close()
+
+    def test_attached_copy_sees_parent_writes_without_copy(self):
+        arr = np.zeros(16)
+        with SharedOperands.create({"a": arr}) as ops:
+            clone = pickle.loads(pickle.dumps(ops))
+            try:
+                assert clone["a"][3] == 0.0
+                # Same physical pages: a write through the creator's
+                # segment is visible in the attached mapping.
+                base = np.ndarray((16,), dtype=np.float64,
+                                  buffer=ops._attach().buf)
+                base[3] = 9.5
+                assert clone["a"][3] == 9.5
+            finally:
+                clone.close()
+
+    def test_runner_over_shared_operands_is_light(self):
+        with SharedOperands.create({"vals": _BLOB}) as ops:
+            runner = _SharedRunner(ops)
+            assert len(pickle.dumps(runner)) < 1024
+
+    def test_missing_key_and_empty_create(self):
+        with pytest.raises(ConfigError):
+            SharedOperands.create({})
+        with SharedOperands.create({"a": np.ones(3)}) as ops:
+            with pytest.raises(KeyError):
+                ops["missing"]
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedOperands.create({"bad": np.array([object()])})
+
+
+class _SharedRunner:
+    def __init__(self, ops):
+        self.ops = ops
+
+    def __call__(self, acc):
+        return _small_runner(acc)
+
+
+class TestWarningDedupe:
+    def _unpicklable(self):
+        captured = []
+        return lambda acc: captured.append(1) or _small_runner(acc)
+
+    def test_warning_once_per_runner(self, caplog):
+        runner = self._unpicklable()
+        with caplog.at_level("WARNING", logger="repro.sim.sweep"):
+            first = sweep_configs(BASE, {"rows": [4, 8]}, runner, workers=2)
+            second = sweep_configs(BASE, {"rows": [4, 8]}, runner, workers=2)
+        warnings = [
+            r for r in caplog.records if "not picklable" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        # The fallback itself still happens (and is still recorded) twice.
+        assert first.fallback_reason and second.fallback_reason
+        assert len(first) == len(second) == 2
+
+    def test_distinct_runners_each_warn(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.sim.sweep"):
+            sweep_configs(BASE, {"rows": [4, 8]}, self._unpicklable(), workers=2)
+            sweep_configs(BASE, {"rows": [4, 8]}, self._unpicklable(), workers=2)
+        warnings = [
+            r for r in caplog.records if "not picklable" in r.getMessage()
+        ]
+        assert len(warnings) == 2
