@@ -32,6 +32,11 @@ Commands
     admission / degradation / deadline summary; ``--naive`` compares
     against the unbounded FIFO baseline, ``--faults`` layers launch
     aborts under the overload spike.
+``fleet-replay``
+    Replay a trace through the sharded serving fleet
+    (``repro.serving.fleet``): cache-affinity consistent-hash routing,
+    per-tenant quotas, health-driven autoscaling; ``--kill SID@FRAC``
+    kills a shard mid-trace and exercises cross-shard failover.
 """
 
 from __future__ import annotations
@@ -158,6 +163,35 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--faults", type=float, default=0.0, metavar="RATE",
                        help="also arm a launch-abort FaultPlan at RATE")
     serve.add_argument("--out", default=None,
+                       help="write the summary + decision log as JSON")
+
+    fleet = sub.add_parser(
+        "fleet-replay",
+        help="replay a trace through the sharded serving fleet "
+        "(cache-affinity routing, tenant quotas, shard-kill failover)",
+    )
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="trace + fleet seed")
+    fleet.add_argument("--duration", type=float, default=0.6,
+                       help="virtual trace length in seconds")
+    fleet.add_argument("--rate", type=float, default=120.0,
+                       help="baseline arrival rate (requests/s)")
+    fleet.add_argument("--spike", type=float, default=5.0,
+                       help="overload multiplier during the spike window")
+    fleet.add_argument("--deadline", type=float, default=0.05,
+                       help="nominal per-request deadline budget (s)")
+    fleet.add_argument("--shards", type=int, default=3)
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="replicas per shard")
+    fleet.add_argument("--routing", choices=("affinity", "random"),
+                       default="affinity")
+    fleet.add_argument("--tenants", default="acme,beta,core",
+                       help="comma-separated tenant names for the trace")
+    fleet.add_argument("--kill", action="append", default=[],
+                       metavar="SID@FRAC",
+                       help="kill shard SID at FRAC of the arrival window "
+                       "(repeatable), e.g. --kill 1@0.5")
+    fleet.add_argument("--out", default=None,
                        help="write the summary + decision log as JSON")
     return parser
 
@@ -493,6 +527,95 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_replay(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        FleetConfig, TensaurusFleet, WorkloadPool, synthetic_trace,
+    )
+    from repro.serving.trace import trace_stats
+    from repro.sim.faults import FaultPlan
+
+    kills = []
+    for spec in args.kill:
+        try:
+            sid, frac = spec.split("@", 1)
+            kills.append((int(sid), float(frac)))
+        except ValueError:
+            print(f"bad --kill spec {spec!r}; expected SID@FRAC",
+                  file=sys.stderr)
+            return 2
+    tenants = tuple(t for t in args.tenants.split(",") if t) or ("default",)
+    pool = WorkloadPool(seed=args.seed, variants=3)
+    trace = synthetic_trace(
+        pool, duration_s=args.duration, base_rate=args.rate,
+        spike_factor=args.spike, deadline_s=args.deadline, seed=args.seed,
+        tenants=tenants,
+    )
+    fault_plan = (
+        FaultPlan(seed=args.seed, forced_shard_kills=tuple(kills))
+        if kills else None
+    )
+    config = FleetConfig(
+        seed=args.seed, shards=args.shards,
+        replicas_per_shard=args.replicas, routing=args.routing,
+        queue_depth=64,
+    )
+    fleet = TensaurusFleet(config, fault_plan=fault_plan, pool=pool)
+    result = fleet.run_trace(trace)
+    summary = result.summary()
+    rows = [[k, f"{v:.4g}" if isinstance(v, float) else str(v)]
+            for k, v in summary.items()]
+    print(format_table(["metric", "value"], rows))
+    stats = trace_stats(trace)
+    print(
+        f"\ntrace: {stats['count']} requests over {stats['duration_s']:.3f} "
+        f"virtual seconds across {len(tenants)} tenants "
+        f"(routing={args.routing})"
+    )
+    print("per-shard:")
+    for sid, st in result.shard_stats.items():
+        status = (
+            "killed" if st["killed_at"] is not None
+            else "draining" if st["draining"] else "alive"
+        )
+        print(
+            f"  shard {sid}: routed={st['routed']} served={st['served']} "
+            f"cache {st['cache_hits']}/{st['cache_hits'] + st['cache_misses']}"
+            f" warm, {status}"
+        )
+    print("per-tenant:")
+    for name, st in result.tenant_stats.items():
+        print(
+            f"  {name}: admitted={st['admitted']} rejected={st['rejected']} "
+            f"served={st['served']} usage={st['usage_s']:.4f}s "
+            f"(weight {st['weight']:g})"
+        )
+    if result.fault_events:
+        print(
+            f"faults: {len(result.fault_events)} shard kills, "
+            f"{result.counters['redeals']} requests re-dealt, "
+            f"{result.counters['voided_inflight']} in-flight voided, "
+            f"{len(result.lost_request_ids)} lost"
+        )
+    if args.out:
+        import json
+
+        payload = {
+            "summary": summary,
+            "trace": stats,
+            "shard_stats": {str(k): v for k, v in result.shard_stats.items()},
+            "tenant_stats": result.tenant_stats,
+            "autoscale_events": [list(e) for e in result.autoscale_events],
+            "health_transitions": [
+                list(t) for t in result.health_transitions
+            ],
+            "decision_log": [list(row) for row in result.decision_log],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"\nwrote replay record to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -515,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve-replay":
         return _cmd_serve_replay(args)
+    if args.command == "fleet-replay":
+        return _cmd_fleet_replay(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

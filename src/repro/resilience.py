@@ -344,6 +344,42 @@ class CheckpointStore:
             return ckpt
         return None
 
+    def prune(self, keep_latest: Optional[int] = None) -> int:
+        """Drop all but the newest ``keep_latest`` checkpoints.
+
+        Trims both the in-memory ring and (when a store is attached) the
+        persisted blobs plus their index, so long-running fleet or
+        factorization loops do not grow on-disk state without bound. Fit
+        history is deliberately kept — it is tiny and ``fit_trace()``
+        needs the full record. Returns the number of distinct iterations
+        removed. ``keep_latest=None`` prunes to ``self.keep``.
+        """
+        k = self.keep if keep_latest is None else int(keep_latest)
+        if k < 1:
+            raise ConfigError("keep_latest must be >= 1")
+        dropped = set()
+        while len(self._ckpts) > k:
+            it, _ = self._ckpts.popitem(last=False)
+            dropped.add(it)
+        if self.store is not None:
+            persisted = self.persisted_iterations()
+            keep_set = persisted[-k:]
+            stale = [i for i in persisted if i not in keep_set]
+            for it in stale:
+                path = self.store.path_for(
+                    self._NAMESPACE, (self.run_key, it)
+                )
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                dropped.add(it)
+            if stale:
+                self.store.put(
+                    self._NAMESPACE, (self.run_key, "index"), keep_set
+                )
+        return len(dropped)
+
     def restore_persisted(self) -> Optional[FactorCheckpoint]:
         """Load the newest valid on-disk checkpoint into the in-memory ring
         (fit history included) and return it; ``None`` when nothing valid

@@ -20,6 +20,13 @@ Everything is deterministic: requests carry virtual arrival times,
 service durations come from a seeded cost model (not the host clock),
 and every admit / shed / hedge / degrade decision replays bit-for-bit
 for a given seed. See ``ARCHITECTURE.md`` ("Serving & overload").
+
+On top of the single server, :class:`repro.serving.fleet.TensaurusFleet`
+shards traffic across N servers behind a seeded consistent-hash ring
+(cache-affinity routing on workload fingerprints), with per-tenant
+quotas and weighted-fair dispatch, shard health monitoring with seeded
+autoscaling, and cross-shard failover that re-deals a dead shard's work
+to survivors exactly once. See ``ARCHITECTURE.md`` ("Serving fleet").
 """
 
 from repro.serving.breaker import (
@@ -30,6 +37,22 @@ from repro.serving.breaker import (
     TokenBucket,
 )
 from repro.serving.config import ServingConfig
+from repro.serving.fleet import (
+    ROUTING_AFFINITY,
+    ROUTING_RANDOM,
+    FleetConfig,
+    FleetResult,
+    FleetShard,
+    TensaurusFleet,
+)
+from repro.serving.health import (
+    HEALTH_CRITICAL,
+    HEALTH_DEAD,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HealthMonitor,
+    ShardHealth,
+)
 from repro.serving.ladder import (
     TIER_ANALYTIC,
     TIER_BATCHED,
@@ -39,10 +62,27 @@ from repro.serving.ladder import (
     calibrate_analytic_error,
 )
 from repro.serving.request import ServingRequest, ServingResponse
+from repro.serving.ring import HashRing
 from repro.serving.server import ServingResult, TensaurusServer
+from repro.serving.tenant import TenantGovernor, TenantQuota
 from repro.serving.trace import WorkloadItem, WorkloadPool, synthetic_trace
 
 __all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "FleetShard",
+    "TensaurusFleet",
+    "ROUTING_AFFINITY",
+    "ROUTING_RANDOM",
+    "HashRing",
+    "TenantGovernor",
+    "TenantQuota",
+    "HealthMonitor",
+    "ShardHealth",
+    "HEALTH_HEALTHY",
+    "HEALTH_DEGRADED",
+    "HEALTH_CRITICAL",
+    "HEALTH_DEAD",
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",

@@ -30,8 +30,16 @@ class TokenBucket:
     """
 
     def __init__(self, rate: float, capacity: int) -> None:
-        if rate <= 0 or capacity <= 0:
-            raise ConfigError("token bucket rate and capacity must be positive")
+        # ConfigError subclasses ValueError, so plain ``except ValueError``
+        # callers catch these too.
+        if rate <= 0:
+            raise ConfigError(
+                f"token bucket rate must be positive, got {rate!r}"
+            )
+        if capacity <= 0:
+            raise ConfigError(
+                f"token bucket capacity must be positive, got {capacity!r}"
+            )
         self.rate = float(rate)
         self.capacity = int(capacity)
         self.tokens = float(capacity)
@@ -54,6 +62,10 @@ class TokenBucket:
             self.acquired += 1
             return True, 0.0
         self.rejected += 1
+        if self.rate <= 0:
+            # Defensive: a bucket mutated to zero rate after construction
+            # can never refill — "retry never" beats ZeroDivisionError.
+            return False, float("inf")
         return False, (1.0 - self.tokens) / self.rate
 
     def __repr__(self) -> str:
@@ -72,6 +84,13 @@ class CircuitBreaker:
     A failure during half-open re-opens immediately (restarting the
     cooldown). Every transition is appended to :attr:`transitions` as
     ``(now, from_state, to_state)`` for the chaos tests.
+
+    Half-open admits **one probe in flight at a time**: a caller that
+    actually launches must reserve the slot with :meth:`start_probe`,
+    and the slot is released by the matching ``record_success`` /
+    ``record_failure``. While the slot is taken, :meth:`allow` returns
+    False — concurrent callers cannot race a second probe through a
+    breaker that is still waiting to learn whether the backend healed.
     """
 
     def __init__(
@@ -92,6 +111,7 @@ class CircuitBreaker:
         self.state = BREAKER_CLOSED
         self.consecutive_failures = 0
         self.probe_successes = 0
+        self.probe_inflight = 0
         self.opened_at_s = 0.0
         self.transitions: List[Tuple[float, str, str]] = []
 
@@ -100,6 +120,7 @@ class CircuitBreaker:
         if new_state != self.state:
             self.transitions.append((now, self.state, new_state))
             self.state = new_state
+            self.probe_inflight = 0
 
     def allow(self, now: float) -> bool:
         """May a launch be routed to this backend at ``now``?"""
@@ -111,12 +132,30 @@ class CircuitBreaker:
                 self.probe_successes = 0
                 return True
             return False
-        # Half-open: admit probes one at a time.
+        # Half-open: admit one probe at a time — the slot frees when the
+        # in-flight probe records its outcome.
+        return self.probe_inflight < 1
+
+    def start_probe(self, now: float) -> bool:
+        """Reserve the half-open probe slot before actually launching.
+
+        Returns True when the caller may proceed (always, outside
+        half-open — closed breakers need no reservation and open ones
+        should have been filtered by :meth:`allow`). In half-open the
+        slot is exclusive: a second caller gets False until the first
+        probe's ``record_success`` / ``record_failure`` releases it.
+        """
+        if self.state != BREAKER_HALF_OPEN:
+            return self.state == BREAKER_CLOSED
+        if self.probe_inflight >= 1:
+            return False
+        self.probe_inflight += 1
         return True
 
     def record_success(self, now: float) -> None:
         self.consecutive_failures = 0
         if self.state == BREAKER_HALF_OPEN:
+            self.probe_inflight = max(0, self.probe_inflight - 1)
             self.probe_successes += 1
             if self.probe_successes >= self.halfopen_probes:
                 self._move(now, BREAKER_CLOSED)

@@ -1,0 +1,900 @@
+"""Fault-tolerant sharded serving fleet with cache-affinity routing.
+
+:class:`TensaurusFleet` fronts N shards — each a
+:class:`~repro.serving.server.TensaurusServer` bundle of simulated
+replicas, circuit breakers, and a real :class:`~repro.sim.Tensaurus`
+per replica — behind a seeded consistent-hash ring
+(:class:`~repro.serving.ring.HashRing`) keyed by each workload's
+content fingerprint. Repeat traffic for a tensor therefore lands on the
+shard whose encoding cache already holds its CISS stream; the virtual
+cost model charges a cold-encode penalty on the first touch of a
+(workload, shard) pair and nothing afterwards, which is exactly the
+latency shape the PR-1 :class:`~repro.sim.batch.EncodingCache`
+produces.
+
+Robustness substrate on top of the routing:
+
+- **Tenant isolation** — per-tenant token buckets and weighted-fair
+  dispatch via :class:`~repro.serving.tenant.TenantGovernor`; a noisy
+  neighbor is clipped at its own rate and its admitted surplus queues
+  behind light tenants, never in front of them.
+- **Health + autoscaling** — a :class:`~repro.serving.health.
+  HealthMonitor` folds breaker states and queue depth into shard
+  health; seeded autoscale ticks spin shards up under pressure and
+  drain idle ones down (graceful: the drained shard leaves the ring
+  first, so nothing is lost).
+- **Cross-shard failover** — a killed shard's ring arcs collapse onto
+  the survivors (consistent hashing moves only the dead shard's keys),
+  and its queued + in-flight requests are re-dealt heaviest-first over
+  the survivors with the same least-loaded machinery the multichip farm
+  uses for chip failures (:func:`repro.sim.multichip.
+  least_loaded_redeal`). Re-dealt work is bounded by
+  ``failover_redeal_cap`` per failure.
+- **At-most-once execution** — every request carries an execution
+  epoch; a kill voids the victim's in-flight work by bumping epochs, so
+  the voided completions are discarded as stale when they pop and the
+  re-dealt copy is the only one that can commit. Each admitted request
+  is served exactly once.
+
+Everything runs on the same deterministic virtual-time event loop the
+single server uses: the decision log replays bit-identically per seed,
+kills included.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.serving.config import ServingConfig
+from repro.serving.health import (
+    HEALTH_CRITICAL,
+    HEALTH_HEALTHY,
+    HealthMonitor,
+)
+from repro.serving.ladder import (
+    TIER_ANALYTIC,
+    TIER_BATCHED,
+    TIER_FULL,
+    DegradationLadder,
+    calibrate_analytic_error,
+)
+from repro.serving.request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    ServingRequest,
+    ServingResponse,
+)
+from repro.serving.ring import HashRing
+from repro.serving.server import ServingResult, TensaurusServer
+from repro.serving.tenant import TenantGovernor, TenantQuota
+from repro.serving.trace import WorkloadPool
+from repro.sim.config import TensaurusConfig
+from repro.sim.faults import SHARD_KILL, FaultEvent, FaultPlan
+from repro.sim.multichip import least_loaded_redeal
+from repro.util.errors import ConfigError, FaultError
+from repro.util.rng import DEFAULT_SEED, derive_seed, make_rng
+
+logger = obs.get_logger(__name__)
+
+#: Fraction of the nominal service time after which a faulted launch is
+#: detected (mirrors the single-server constant).
+_FAULT_DETECT_FRACTION = 0.25
+
+ROUTING_AFFINITY = "affinity"
+ROUTING_RANDOM = "random"
+
+#: Event kinds, in tie-break order at equal virtual time.
+_EV_COMPLETION = 0
+_EV_ARRIVAL = 1
+_EV_REDEAL = 2
+_EV_KILL = 3
+_EV_TICK = 4
+_EV_KICK = 5
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for :class:`TensaurusFleet`.
+
+    ``serving`` carries the per-shard service-time model and breaker
+    settings (its ``replicas``/``seed`` fields are overridden per shard
+    — each shard gets ``replicas_per_shard`` replicas and a derived
+    seed). Fleet-level admission is per-tenant, so the per-server token
+    bucket is unused here.
+    """
+
+    seed: int = DEFAULT_SEED
+    shards: int = 3
+    replicas_per_shard: int = 2
+    vnodes: int = 48
+    routing: str = ROUTING_AFFINITY
+    queue_depth: int = 24
+    #: LRU capacity of each shard's (virtual) encoding-cache mirror.
+    shard_cache_entries: int = 6
+    #: extra virtual seconds a cold (workload, shard) first touch pays.
+    cold_encode_s: float = 1.0e-2
+    #: shards the autoscaler may not go below / above.
+    min_shards: int = 2
+    max_shards: int = 6
+    autoscale: bool = True
+    autoscale_interval_s: float = 0.05
+    #: mean queued requests per routable shard that triggers scale-up.
+    scale_up_queue_depth: float = 6.0
+    #: consecutive idle ticks before a shard is drained down.
+    scale_down_idle_ticks: int = 4
+    #: virtual seconds a freshly spun shard needs before serving.
+    spinup_delay_s: float = 0.02
+    #: virtual seconds between a shard death and its work re-arriving.
+    failover_detect_s: float = 0.005
+    #: most requests a single failover may re-deal; overflow fails fast.
+    failover_redeal_cap: int = 4096
+    #: ticks continue this long past the last arrival (lets the fleet
+    #: drain, scale down, and flush every completion).
+    horizon_pad_s: float = 0.3
+    tenant_default: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: Tuple[Tuple[str, TenantQuota], ...] = ()
+    serving: ServingConfig = field(default_factory=ServingConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ConfigError("shards must be positive")
+        if self.replicas_per_shard <= 0:
+            raise ConfigError("replicas_per_shard must be positive")
+        if self.routing not in (ROUTING_AFFINITY, ROUTING_RANDOM):
+            raise ConfigError(
+                f"routing must be 'affinity' or 'random', got {self.routing!r}"
+            )
+        if self.queue_depth <= 0:
+            raise ConfigError("queue_depth must be positive")
+        if self.shard_cache_entries <= 0:
+            raise ConfigError("shard_cache_entries must be positive")
+        if not 0 < self.min_shards <= self.max_shards:
+            raise ConfigError("need 0 < min_shards <= max_shards")
+        if self.shards > self.max_shards:
+            raise ConfigError("shards must not exceed max_shards")
+        if self.autoscale_interval_s <= 0:
+            raise ConfigError("autoscale_interval_s must be positive")
+        if self.scale_down_idle_ticks <= 0:
+            raise ConfigError("scale_down_idle_ticks must be positive")
+        if self.failover_redeal_cap <= 0:
+            raise ConfigError("failover_redeal_cap must be positive")
+        for name in (
+            "cold_encode_s", "spinup_delay_s", "failover_detect_s",
+            "horizon_pad_s", "scale_up_queue_depth",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+class FleetShard:
+    """One shard: a server bundle plus fleet-side queue and cache state."""
+
+    def __init__(
+        self,
+        sid: int,
+        fleet_config: FleetConfig,
+        sim_config: TensaurusConfig,
+        ladder: DegradationLadder,
+        pool: WorkloadPool,
+        fault_plan: Optional[FaultPlan],
+        spawned_at: float = 0.0,
+        ready_at: float = 0.0,
+    ) -> None:
+        self.sid = sid
+        cfg = replace(
+            fleet_config.serving,
+            replicas=fleet_config.replicas_per_shard,
+            seed=derive_seed(fleet_config.seed, "shard", sid),
+        )
+        # Accelerator-level faults (aborts, bit-flips, ...) are forwarded;
+        # fleet-level shard kills are consumed by the fleet event loop.
+        forwarded = (
+            fault_plan if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        self.server = TensaurusServer(
+            cfg, sim_config, fault_plan=forwarded, calibrate=False,
+            pool=pool, ladder=ladder,
+        )
+        self.spawned_at = spawned_at
+        self.ready_at = ready_at
+        self.free_at = [ready_at] * fleet_config.replicas_per_shard
+        self.queue: List[Tuple[ServingRequest, int]] = []
+        #: LRU mirror of the shard's encoding cache: workload fingerprints
+        #: whose streams are resident (cold first touch pays
+        #: ``cold_encode_s``).
+        self.warm: "OrderedDict[str, bool]" = OrderedDict()
+        self.alive = True
+        self.draining = False
+        self.killed_at: Optional[float] = None
+        self.idle_ticks = 0
+        self.stats = {
+            "routed": 0, "served": 0, "cache_hits": 0, "cache_misses": 0,
+        }
+
+    @property
+    def routable(self) -> bool:
+        return self.alive and not self.draining
+
+    def idle_replicas(self, now: float) -> List[int]:
+        return [
+            i for i, t in enumerate(self.free_at) if t <= now + 1e-15
+        ]
+
+    def warm_touch(self, key: str, capacity: int) -> bool:
+        """LRU lookup-and-insert; True on a warm hit."""
+        hit = key in self.warm
+        if hit:
+            self.warm.move_to_end(key)
+            self.stats["cache_hits"] += 1
+        else:
+            self.warm[key] = True
+            self.stats["cache_misses"] += 1
+            while len(self.warm) > capacity:
+                self.warm.popitem(last=False)
+        return hit
+
+
+@dataclass
+class FleetResult(ServingResult):
+    """Everything one fleet trace replay produced."""
+
+    shard_stats: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    tenant_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    autoscale_events: List[Tuple] = field(default_factory=list)
+    health_transitions: List[Tuple] = field(default_factory=list)
+    lost_request_ids: List[int] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(s["cache_hits"] for s in self.shard_stats.values())
+        total = hits + sum(
+            s["cache_misses"] for s in self.shard_stats.values()
+        )
+        return hits / total if total else 0.0
+
+    @property
+    def exactly_once(self) -> bool:
+        """No admitted request lost, duplicated, or double-committed."""
+        return (
+            not self.lost_request_ids
+            and self.counters.get("duplicate_completions", 0) == 0
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        base = super().summary()
+        base.update(
+            {
+                "cache_hit_rate": self.cache_hit_rate,
+                "exactly_once": self.exactly_once,
+                "lost_requests": len(self.lost_request_ids),
+                "shards_final": len(self.shard_stats),
+                "fault_events": len(self.fault_events),
+                "autoscale_events": len(self.autoscale_events),
+                "tenants": len(self.tenant_stats),
+            }
+        )
+        return base
+
+
+class TensaurusFleet:
+    """Deterministic sharded serving fleet over simulated accelerators."""
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        sim_config: Optional[TensaurusConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        pool: Optional[WorkloadPool] = None,
+        calibrate: bool = True,
+    ) -> None:
+        self.config = config or FleetConfig()
+        self.sim_config = sim_config or TensaurusConfig()
+        self.fault_plan = fault_plan
+        self.pool = (
+            pool if pool is not None else WorkloadPool(self.config.seed)
+        )
+        error_bound = 0.0
+        if calibrate:
+            error_bound = calibrate_analytic_error(
+                self.sim_config, self.pool, seed=self.config.seed
+            )
+        self.ladder = DegradationLadder(self.sim_config, error_bound)
+        self.ring = HashRing(
+            vnodes=self.config.vnodes,
+            seed=derive_seed(self.config.seed, "ring"),
+        )
+        self.governor = TenantGovernor(
+            self.config.tenant_default, dict(self.config.tenant_quotas)
+        )
+        self.monitor = HealthMonitor(self.config.queue_depth)
+        self.shards: Dict[int, FleetShard] = {}
+        self._next_sid = 0
+        for _ in range(self.config.shards):
+            self._spawn_shard(0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    def _spawn_shard(
+        self, now: float, ready_at: float
+    ) -> FleetShard:
+        sid = self._next_sid
+        self._next_sid += 1
+        shard = FleetShard(
+            sid, self.config, self.sim_config, self.ladder, self.pool,
+            self.fault_plan, spawned_at=now, ready_at=ready_at,
+        )
+        self.shards[sid] = shard
+        self.ring.add(sid)
+        return shard
+
+    def routable_shards(self) -> List[FleetShard]:
+        return [
+            self.shards[sid]
+            for sid in sorted(self.shards)
+            if self.shards[sid].routable
+        ]
+
+    def _route(self, req: ServingRequest) -> int:
+        """Pick the target shard for one admitted request."""
+        alive = [s.sid for s in self.routable_shards()]
+        if not alive:
+            raise FaultError(
+                "every fleet shard is dead; request "
+                f"{req.request_id} has nowhere to go"
+            )
+        if self.config.routing == ROUTING_AFFINITY:
+            return self.ring.route(self.pool[req.workload].fingerprint)
+        rng = make_rng(
+            derive_seed(self.config.seed, "route", req.request_id)
+        )
+        return alive[int(rng.integers(0, len(alive)))]
+
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        requests: Sequence[ServingRequest],
+        kills: Optional[Sequence[Tuple[int, float]]] = None,
+    ) -> FleetResult:
+        """Replay ``requests`` through the fleet's virtual-time loop.
+
+        ``kills`` adds explicit ``(shard, time_s)`` kills on top of
+        whatever the armed :class:`FaultPlan` draws via
+        :meth:`~repro.sim.faults.FaultPlan.shard_kills`.
+        """
+        cfg = self.config
+        met = obs.metrics()
+        admitted_c = met.counter("fleet.admitted")
+        rejected_c = met.counter("fleet.rejected")
+        routed_c = met.counter("fleet.routed")
+        cache_c = met.counter("fleet.cache")
+        redeal_c = met.counter("fleet.redeals")
+        kill_c = met.counter("fleet.shard_kills")
+        latency_h = met.histogram("fleet.latency_seconds")
+        alive_g = met.gauge("fleet.alive_shards")
+        health_g = met.gauge("fleet.shard_health")
+
+        result = FleetResult(
+            analytic_error_bound=self.ladder.analytic_error_bound
+        )
+        counters: Dict[str, int] = {
+            "admitted": 0, "rejected": 0, "shed": 0, "evicted": 0,
+            "served": 0, "degraded": 0, "late": 0, "faults": 0,
+            "failed": 0, "analytic_fallbacks": 0, "cache_hits": 0,
+            "cache_misses": 0, "redeals": 0, "shard_kills": 0,
+            "voided_inflight": 0, "stale_completions": 0,
+            "duplicate_completions": 0, "failover_overflow": 0,
+            "scale_ups": 0, "scale_downs": 0,
+        }
+        responses: Dict[int, ServingResponse] = {}
+        admitted_ids: List[int] = []
+        epoch: Dict[int, int] = {}
+        inflight: Dict[int, Tuple[ServingRequest, int, int]] = {}
+        log = result.decision_log
+
+        events: List[Tuple[float, int, int, Any]] = []
+        seq = 0
+
+        def push(when: float, kind: int, payload: Any) -> None:
+            nonlocal seq
+            heapq.heappush(events, (when, kind, seq, payload))
+            seq += 1
+
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        for req in ordered:
+            push(req.arrival_s, _EV_ARRIVAL, req)
+        last_arrival = ordered[-1].arrival_s if ordered else 0.0
+        horizon_end = last_arrival + cfg.horizon_pad_s
+
+        all_kills: List[Tuple[int, float]] = list(kills or [])
+        if self.fault_plan is not None and self.fault_plan.shard_kills_armed:
+            all_kills.extend(
+                self.fault_plan.shard_kills(len(self.shards), last_arrival)
+            )
+        for sid, when in sorted(all_kills, key=lambda kv: (kv[1], kv[0])):
+            push(when, _EV_KILL, int(sid))
+        if cfg.autoscale:
+            push(cfg.autoscale_interval_s, _EV_TICK, None)
+
+        def record(now: float, rid: int, event: str, info: str = "") -> None:
+            log.append((round(now, 12), rid, event, info))
+
+        def reject(req: ServingRequest, now: float, status: str,
+                   reason: str, retry_after: float = 0.0) -> None:
+            responses[req.request_id] = ServingResponse(
+                request_id=req.request_id, status=status,
+                arrival_s=req.arrival_s, deadline_s=req.deadline_s,
+                retry_after_s=retry_after, detail={"reason": reason},
+            )
+            counters["shed" if status == STATUS_SHED else "rejected"] += 1
+            rejected_c.inc()
+            record(now, req.request_id, status, reason)
+
+        def nominal_s(shard: FleetShard, tier: str, nnz: int) -> float:
+            return shard.server._nominal_s(tier, nnz)
+
+        # -------------------------------------------------- admission
+        def arrival(req: ServingRequest, now: float) -> None:
+            ok, retry_after = self.governor.admit(req.tenant, now)
+            if not ok:
+                reject(req, now, STATUS_REJECTED, "tenant_quota",
+                       retry_after)
+                return
+            shard = self.shards[self._route(req)]
+            if len(shard.queue) >= cfg.queue_depth:
+                victim_i = min(
+                    range(len(shard.queue)),
+                    key=lambda i: (
+                        shard.queue[i][0].priority,
+                        -shard.queue[i][0].arrival_s,
+                    ),
+                )
+                victim = shard.queue[victim_i][0]
+                if victim.priority < req.priority:
+                    shard.queue.pop(victim_i)
+                    counters["evicted"] += 1
+                    reject(victim, now, STATUS_SHED, "evicted",
+                           retry_after=victim.deadline_s)
+                else:
+                    reject(req, now, STATUS_REJECTED, "queue_full",
+                           retry_after=1.0 / self.governor.quota(
+                               req.tenant).rate)
+                    return
+            epoch[req.request_id] = 0
+            shard.queue.append((req, 0))
+            shard.stats["routed"] += 1
+            admitted_ids.append(req.request_id)
+            counters["admitted"] += 1
+            admitted_c.inc()
+            routed_c.labels(shard=shard.sid).inc()
+            record(now, req.request_id, "admit",
+                   f"tenant={req.tenant} shard={shard.sid} "
+                   f"depth={len(shard.queue)}")
+
+        # -------------------------------------------------- dispatch
+        def choose_tier(shard: FleetShard, req: ServingRequest,
+                        now: float, nnz: int) -> str:
+            """Admitted work is never shed: the floor is analytic."""
+            remaining = req.absolute_deadline_s - now
+            scfg = shard.server.config
+            if remaining <= 0:
+                counters["late"] += 1
+                return TIER_ANALYTIC
+            if (
+                len(shard.queue) < scfg.degrade_queue_depth
+                and nominal_s(shard, TIER_FULL, nnz)
+                <= remaining * scfg.full_headroom
+            ):
+                return TIER_FULL
+            if (
+                nominal_s(shard, TIER_BATCHED, nnz)
+                <= remaining * scfg.batched_headroom
+            ):
+                return TIER_BATCHED
+            return TIER_ANALYTIC
+
+        def analytic_response(
+            req: ServingRequest, item, shard: FleetShard, now: float,
+            start: float, ep: int, reason: str,
+        ) -> Tuple[ServingResponse, float]:
+            counters["analytic_fallbacks"] += 1
+            report, _, err = self.ladder.execute(
+                TIER_ANALYTIC, item, req.kernel
+            )
+            service = nominal_s(shard, TIER_ANALYTIC, item.nnz)
+            finish = start + service
+            record(now, req.request_id, "degrade", f"analytic:{reason}")
+            return (
+                ServingResponse(
+                    request_id=req.request_id, status=STATUS_OK,
+                    tier=TIER_ANALYTIC, degraded=True, error_bound=err,
+                    shard=shard.sid, epoch=ep, replica=None,
+                    arrival_s=req.arrival_s, start_s=start,
+                    finish_s=finish, deadline_s=req.deadline_s,
+                    report=report, detail={"reason": reason},
+                ),
+                service,
+            )
+
+        # Pick by weighted fairness, then priority, then FIFO.
+        def pick_queued(shard: FleetShard) -> Tuple[ServingRequest, int]:
+            best_i = min(
+                range(len(shard.queue)),
+                key=lambda i: (
+                    self.governor.fairness_key(shard.queue[i][0].tenant),
+                    -shard.queue[i][0].priority,
+                    shard.queue[i][0].arrival_s,
+                    shard.queue[i][0].request_id,
+                ),
+            )
+            return shard.queue.pop(best_i)
+
+        def dispatch(shard: FleetShard, req: ServingRequest, ep: int,
+                     now: float) -> None:
+            item = self.pool[req.workload]
+            tier = choose_tier(shard, req, now, item.nnz)
+            rid = req.request_id
+            if tier == TIER_ANALYTIC:
+                resp, service = analytic_response(
+                    req, item, shard, now, now, ep, "tier"
+                )
+                inflight[rid] = (req, shard.sid, ep)
+                push(resp.finish_s, _EV_COMPLETION,
+                     (rid, ep, shard.sid, None, resp, service))
+                record(now, rid, "dispatch", f"{TIER_ANALYTIC}@{shard.sid}")
+                return
+            idle = shard.idle_replicas(now)
+            breakers = shard.server.breakers
+            allowed = [i for i in idle if breakers[i].allow(now)]
+            if not allowed:
+                # Every reachable replica's breaker refused: host-side
+                # analytic answer, no backend consumed.
+                resp, service = analytic_response(
+                    req, item, shard, now, now, ep, "breakers_open"
+                )
+                inflight[rid] = (req, shard.sid, ep)
+                push(resp.finish_s, _EV_COMPLETION,
+                     (rid, ep, shard.sid, None, resp, service))
+                return
+            replica = min(allowed)
+            breakers[replica].start_probe(now)
+            nominal = nominal_s(shard, tier, item.nnz)
+            factor = shard.server._speed_factor(rid, replica, "primary")
+            hit = shard.warm_touch(
+                item.fingerprint, cfg.shard_cache_entries
+            )
+            cold_extra = 0.0 if hit else cfg.cold_encode_s
+            counters["cache_hits" if hit else "cache_misses"] += 1
+            cache_c.labels(outcome="hit" if hit else "miss").inc()
+            try:
+                report, degraded, err = self.ladder.execute(
+                    tier, item, req.kernel,
+                    shard.server.accelerators[replica],
+                )
+            except FaultError as exc:
+                counters["faults"] += 1
+                breakers[replica].record_failure(now)
+                detect = now + _FAULT_DETECT_FRACTION * nominal * factor
+                shard.free_at[replica] = detect
+                push(detect, _EV_KICK, None)
+                record(now, rid, "fault",
+                       f"shard={shard.sid}:{replica}:"
+                       f"{type(exc).__name__}")
+                resp, service = analytic_response(
+                    req, item, shard, now, detect, ep, "fault"
+                )
+                inflight[rid] = (req, shard.sid, ep)
+                push(resp.finish_s, _EV_COMPLETION,
+                     (rid, ep, shard.sid, replica, resp, service))
+                return
+            service = nominal * factor + cold_extra + report.time_s
+            finish = now + service
+            shard.free_at[replica] = finish
+            inflight[rid] = (req, shard.sid, ep)
+            resp = ServingResponse(
+                request_id=rid, status=STATUS_OK, tier=tier,
+                degraded=degraded, error_bound=err, shard=shard.sid,
+                epoch=ep, replica=replica, arrival_s=req.arrival_s,
+                start_s=now, finish_s=finish, deadline_s=req.deadline_s,
+                report=report,
+                detail={"cache": "hit" if hit else "cold"},
+            )
+            push(finish, _EV_COMPLETION,
+                 (rid, ep, shard.sid, replica, resp, service))
+            record(now, rid, "dispatch",
+                   f"{tier}@{shard.sid}:{replica} "
+                   f"cache={'hit' if hit else 'cold'}")
+
+        def dispatch_all(now: float) -> None:
+            for shard in self.routable_shards():
+                if now < shard.ready_at:
+                    continue
+                while shard.queue and shard.idle_replicas(now):
+                    req, ep = pick_queued(shard)
+                    dispatch(shard, req, ep, now)
+
+        # -------------------------------------------------- completion
+        def completion(now: float, payload: Tuple) -> None:
+            rid, ep, sid, replica, resp, service = payload
+            if epoch.get(rid, 0) != ep:
+                counters["stale_completions"] += 1
+                record(now, rid, "stale", f"epoch={ep} shard={sid}")
+                return
+            prior = responses.get(rid)
+            if prior is not None and prior.status == STATUS_OK:
+                counters["duplicate_completions"] += 1
+                record(now, rid, "duplicate", f"shard={sid}")
+                return
+            responses[rid] = resp
+            inflight.pop(rid, None)
+            shard = self.shards.get(sid)
+            if shard is not None:
+                shard.stats["served"] += 1
+                if replica is not None and shard.alive:
+                    shard.server.breakers[replica].record_success(now)
+            counters["served"] += 1
+            if resp.degraded:
+                counters["degraded"] += 1
+            if resp.latency_s is not None:
+                latency_h.observe(resp.latency_s)
+            self.governor.charge(resp_tenant(resp, rid), service)
+            record(now, rid, "complete",
+                   f"{resp.tier}@{sid} epoch={ep}")
+
+        tenant_of: Dict[int, str] = {
+            r.request_id: r.tenant for r in requests
+        }
+
+        def resp_tenant(resp: ServingResponse, rid: int) -> str:
+            return tenant_of.get(rid, "default")
+
+        # -------------------------------------------------- failover
+        def redeal(orphans: List[Tuple[ServingRequest, int]],
+                   now: float) -> None:
+            """Deal orphaned requests over routable survivors with the
+            multichip least-loaded machinery, bounded by the cap."""
+            if not orphans:
+                return
+            survivors = [s.sid for s in self.routable_shards()]
+            if not survivors:
+                raise FaultError(
+                    "every fleet shard is dead; nothing can absorb the "
+                    f"{len(orphans)} orphaned requests"
+                )
+            if len(orphans) > cfg.failover_redeal_cap:
+                keep_order = sorted(
+                    orphans,
+                    key=lambda t: (
+                        -t[0].priority, t[0].arrival_s, t[0].request_id
+                    ),
+                )
+                overflow = keep_order[cfg.failover_redeal_cap:]
+                orphans = keep_order[:cfg.failover_redeal_cap]
+                for req, _ in overflow:
+                    counters["failover_overflow"] += 1
+                    responses[req.request_id] = ServingResponse(
+                        request_id=req.request_id, status=STATUS_FAILED,
+                        arrival_s=req.arrival_s,
+                        deadline_s=req.deadline_s,
+                        detail={"reason": "redeal_overflow"},
+                    )
+                    record(now, req.request_id, "failed",
+                           "redeal_overflow")
+            by_rid = {req.request_id: (req, ep) for req, ep in orphans}
+            weights = {
+                rid: self.pool[req.workload].nnz
+                for rid, (req, _) in by_rid.items()
+            }
+            ordered_rids = sorted(
+                by_rid, key=lambda rid: (-weights[rid], rid)
+            )
+            loads = {
+                s.sid: sum(
+                    self.pool[q.workload].nnz for q, _ in s.queue
+                ) + sum(
+                    self.pool[r.workload].nnz
+                    for r, sid2, _ in inflight.values()
+                    if sid2 == s.sid
+                )
+                for s in self.routable_shards()
+            }
+            deal = least_loaded_redeal(
+                ordered_rids, weights, survivors, loads
+            )
+            deliveries = []
+            for sid in survivors:
+                for rid in deal.get(sid, []):
+                    req, ep = by_rid[rid]
+                    deliveries.append((sid, req, ep))
+                    counters["redeals"] += 1
+                    redeal_c.inc()
+                    record(now, rid, "redeal", f"shard={sid}")
+            if deliveries:
+                push(now + cfg.failover_detect_s, _EV_REDEAL, deliveries)
+
+        def kill_shard(sid: int, now: float) -> None:
+            shard = self.shards.get(sid)
+            if shard is None or not shard.alive:
+                record(now, -1, "kill_skipped", f"shard={sid}")
+                return
+            with obs.tracer().span(
+                "fleet.failover", args={"shard": sid}
+            ):
+                shard.alive = False
+                shard.killed_at = now
+                if sid in self.ring:
+                    self.ring.remove(sid)
+                counters["shard_kills"] += 1
+                kill_c.inc()
+                result.fault_events.append(
+                    FaultEvent(SHARD_KILL, ("shard", sid))
+                )
+                record(now, -1, "shard_kill", f"shard={sid}")
+                orphans = list(shard.queue)
+                shard.queue.clear()
+                # Void the dead shard's in-flight work: bumping the
+                # epoch turns its already-scheduled completions into
+                # stale events, so only the re-dealt copy can commit
+                # (at-most-once execution).
+                for rid in sorted(inflight):
+                    req, isid, iep = inflight[rid]
+                    if isid != sid:
+                        continue
+                    epoch[rid] = iep + 1
+                    orphans.append((req, iep + 1))
+                    del inflight[rid]
+                    counters["voided_inflight"] += 1
+                    record(now, rid, "void", f"epoch={iep + 1}")
+                redeal(orphans, now)
+
+        def deliver_redeal(deliveries: List[Tuple], now: float) -> None:
+            bounce: List[Tuple[ServingRequest, int]] = []
+            for sid, req, ep in deliveries:
+                shard = self.shards.get(sid)
+                if shard is None or not shard.routable:
+                    # Target died inside the detection window: deal its
+                    # share out again over whoever is left.
+                    bounce.append((req, ep))
+                    continue
+                shard.queue.append((req, ep))
+                shard.stats["routed"] += 1
+                record(now, req.request_id, "requeue", f"shard={sid}")
+            if bounce:
+                redeal(bounce, now)
+
+        # -------------------------------------------------- autoscaling
+        def autoscale_tick(now: float) -> None:
+            routable = self.routable_shards()
+            alive_g.set(len(routable))
+            healths = {}
+            for shard in routable:
+                h = self.monitor.assess(
+                    shard.sid, shard.server.breakers, len(shard.queue),
+                    len(shard.free_at) - len(shard.idle_replicas(now)),
+                    now, alive=shard.alive,
+                )
+                healths[shard.sid] = h
+                health_g.labels(shard=shard.sid).set(h.code)
+                idle = (
+                    not shard.queue
+                    and len(shard.idle_replicas(now)) == len(shard.free_at)
+                    and h.state == HEALTH_HEALTHY
+                    and now >= shard.ready_at
+                )
+                shard.idle_ticks = shard.idle_ticks + 1 if idle else 0
+            pressure = (
+                sum(len(s.queue) for s in routable) / max(1, len(routable))
+            )
+            stressed = any(
+                h.state == HEALTH_CRITICAL for h in healths.values()
+            )
+            if (
+                (pressure >= cfg.scale_up_queue_depth or stressed)
+                and len(routable) < cfg.max_shards
+            ):
+                shard = self._spawn_shard(now, now + cfg.spinup_delay_s)
+                counters["scale_ups"] += 1
+                result.autoscale_events.append(
+                    (round(now, 12), "up", shard.sid)
+                )
+                record(now, -1, "scale_up",
+                       f"shard={shard.sid} pressure={pressure:.3f}")
+                push(shard.ready_at, _EV_KICK, None)
+            elif len(routable) > cfg.min_shards:
+                victims = [
+                    s for s in routable
+                    if s.idle_ticks >= cfg.scale_down_idle_ticks
+                ]
+                if victims:
+                    victim = max(victims, key=lambda s: s.sid)
+                    self.ring.remove(victim.sid)
+                    victim.draining = True
+                    victim.server.begin_drain()
+                    handoff = victim.server.handoff_state()
+                    # Idle by construction: queue empty, replicas free —
+                    # a graceful drain moves no work and loses nothing.
+                    redeal(list(victim.queue), now)
+                    victim.queue.clear()
+                    victim.alive = False
+                    counters["scale_downs"] += 1
+                    result.autoscale_events.append(
+                        (round(now, 12), "down", victim.sid)
+                    )
+                    record(now, -1, "scale_down",
+                           f"shard={victim.sid} "
+                           f"breakers={','.join(handoff['breakers'])}")
+            if now + cfg.autoscale_interval_s <= horizon_end:
+                push(now + cfg.autoscale_interval_s, _EV_TICK, None)
+
+        # -------------------------------------------------- event loop
+        with obs.tracer().span(
+            "fleet.trace",
+            args={"requests": len(requests), "shards": len(self.shards)},
+        ):
+            while events:
+                now, kind, _, payload = heapq.heappop(events)
+                if kind == _EV_COMPLETION:
+                    completion(now, payload)
+                elif kind == _EV_ARRIVAL:
+                    arrival(payload, now)
+                elif kind == _EV_REDEAL:
+                    deliver_redeal(payload, now)
+                elif kind == _EV_KILL:
+                    kill_shard(payload, now)
+                elif kind == _EV_TICK:
+                    autoscale_tick(now)
+                dispatch_all(now)
+
+        # -------------------------------------------------- wrap-up
+        result.responses = [
+            responses[r.request_id]
+            for r in sorted(requests, key=lambda r: r.request_id)
+            if r.request_id in responses
+        ]
+        missing = [
+            r.request_id for r in requests if r.request_id not in responses
+        ]
+        lost = [
+            rid for rid in admitted_ids
+            if rid not in responses
+            or responses[rid].status == STATUS_FAILED
+        ]
+        result.lost_request_ids = sorted(set(lost) | set(missing))
+        counters["failed"] = sum(
+            1 for r in result.responses if r.status == STATUS_FAILED
+        )
+        result.counters = counters
+        result.shard_stats = {
+            sid: {
+                **shard.stats,
+                "alive": shard.alive,
+                "draining": shard.draining,
+                "spawned_at": round(shard.spawned_at, 12),
+                "killed_at": (
+                    None if shard.killed_at is None
+                    else round(shard.killed_at, 12)
+                ),
+            }
+            for sid, shard in sorted(self.shards.items())
+        }
+        result.tenant_stats = self.governor.snapshot()
+        result.health_transitions = list(self.monitor.transitions)
+        for sid, shard in sorted(self.shards.items()):
+            for when, old, new in (
+                t for b in shard.server.breakers for t in b.transitions
+            ):
+                result.breaker_transitions.append((sid, when, old, new))
+        result.breaker_transitions.sort(key=lambda t: (t[1], t[0]))
+        logger.info(
+            "fleet trace done: %d requests, %d served, %d lost, "
+            "%d shard kills",
+            len(requests), counters["served"],
+            len(result.lost_request_ids), counters["shard_kills"],
+        )
+        return result

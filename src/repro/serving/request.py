@@ -28,7 +28,9 @@ class ServingRequest:
     ``deadline_s`` is a *relative* budget: the absolute deadline is
     ``arrival_s + deadline_s``. Priorities are small ints, higher wins;
     under queue pressure a new high-priority arrival may evict a queued
-    strictly-lower-priority request.
+    strictly-lower-priority request. ``tenant`` names the quota bucket
+    the fleet charges this request against (single-server traces can
+    leave the default).
     """
 
     request_id: int
@@ -37,6 +39,7 @@ class ServingRequest:
     workload: str
     deadline_s: float
     priority: int = 1
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -58,6 +61,8 @@ class ServingResponse:
     tier: Optional[str] = None
     degraded: bool = False
     error_bound: float = 0.0
+    shard: Optional[int] = None
+    epoch: int = 0
     replica: Optional[int] = None
     arrival_s: float = 0.0
     start_s: Optional[float] = None
@@ -94,6 +99,8 @@ class ServingResponse:
             self.status,
             self.tier,
             self.degraded,
+            self.shard,
+            self.epoch,
             self.replica,
             self.hedged,
             self.hedge_won,

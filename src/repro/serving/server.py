@@ -29,7 +29,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.serving.breaker import CircuitBreaker, TokenBucket
+from repro.serving.breaker import (
+    BREAKER_HALF_OPEN,
+    CircuitBreaker,
+    TokenBucket,
+)
 from repro.serving.config import ServingConfig
 from repro.serving.ladder import (
     TIER_ANALYTIC,
@@ -142,23 +146,30 @@ class TensaurusServer:
         fault_plan: Optional[FaultPlan] = None,
         calibrate: bool = True,
         pool: Optional[WorkloadPool] = None,
+        ladder: Optional[DegradationLadder] = None,
     ) -> None:
         self.config = serving_config or ServingConfig()
         self.sim_config = sim_config or TensaurusConfig()
         self.fault_plan = fault_plan
         self.pool = pool if pool is not None else WorkloadPool(self.config.seed)
+        self.draining = False
         # Distinct fault epochs per replica: each backend draws an
         # independent (but deterministic) fault stream.
         self.accelerators = [
             Tensaurus(self.sim_config, fault_plan=fault_plan, fault_epoch=i)
             for i in range(self.config.replicas)
         ]
-        error_bound = 0.0
-        if calibrate:
-            error_bound = calibrate_analytic_error(
-                self.sim_config, self.pool, seed=self.config.seed
-            )
-        self.ladder = DegradationLadder(self.sim_config, error_bound)
+        if ladder is not None:
+            # A fleet shares one calibrated ladder across every shard
+            # instead of re-probing the analytic model per server.
+            self.ladder = ladder
+        else:
+            error_bound = 0.0
+            if calibrate:
+                error_bound = calibrate_analytic_error(
+                    self.sim_config, self.pool, seed=self.config.seed
+                )
+            self.ladder = DegradationLadder(self.sim_config, error_bound)
         self.bucket = TokenBucket(self.config.bucket_rate, self.config.bucket_burst)
         self.breakers = [
             CircuitBreaker(
@@ -168,6 +179,35 @@ class TensaurusServer:
             )
             for _ in range(self.config.replicas)
         ]
+
+    # ------------------------------------------------------------------
+    # Fleet hooks: drain and state handoff
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting new work; queued/in-flight work still finishes.
+
+        Used by :class:`repro.serving.fleet.TensaurusFleet` when scaling
+        a shard down: the fleet removes the shard from its routing ring,
+        re-deals its queue, and calls this so any straggler arrival is
+        rejected with ``reason="draining"`` instead of silently queued.
+        """
+        self.draining = True
+
+    def handoff_state(self) -> Dict[str, Any]:
+        """Snapshot of transferable state for a successor shard.
+
+        Returns breaker states, admission-bucket fill, the calibrated
+        analytic error bound, and each replica accelerator's encoding
+        cache statistics — everything a fleet needs to log the drain and
+        pre-warm a replacement.
+        """
+        return {
+            "draining": self.draining,
+            "breakers": [b.state for b in self.breakers],
+            "bucket_tokens": self.bucket.tokens,
+            "analytic_error_bound": self.ladder.analytic_error_bound,
+            "cache_info": [a.cache_info() for a in self.accelerators],
+        }
 
     # ------------------------------------------------------------------
     # Deterministic service-time model
@@ -240,6 +280,9 @@ class TensaurusServer:
             record(now, req.request_id, status, reason)
 
         def arrival(req: ServingRequest, now: float) -> None:
+            if self.draining:
+                shed(req, now, STATUS_REJECTED, "draining")
+                return
             if not cfg.shedding:
                 queue.append(req)
                 record(now, req.request_id, "enqueue", "naive")
@@ -366,6 +409,10 @@ class TensaurusServer:
                 record(now, req.request_id, "complete", "analytic")
                 return
             replica = min(allowed)
+            if cfg.shedding:
+                # Half-open breakers admit one probe at a time; the
+                # reservation frees on record_success/record_failure.
+                self.breakers[replica].start_probe(now)
             nominal = self._nominal_s(tier, item.nnz)
             factor = self._speed_factor(req.request_id, replica, "primary")
             try:
@@ -414,9 +461,13 @@ class TensaurusServer:
                 and nominal * factor > cfg.hedge_trigger * nominal
             ):
                 hedge_start = now + cfg.hedge_trigger * nominal
+                # Hedges never record an outcome on the backup's breaker,
+                # so they must not consume a half-open probe slot: only
+                # fully closed backends may host a hedge.
                 backups = [
                     i for i in _idle_replicas(hedge_start, exclude=replica)
                     if self.breakers[i].allow(now)
+                    and self.breakers[i].state != BREAKER_HALF_OPEN
                 ]
                 if backups:
                     hedge_replica = min(backups)

@@ -39,6 +39,28 @@ class WorkloadItem:
     kind: str  # "tensor" | "matrix"
     nnz: int
     operands: Dict[str, Any] = field(default_factory=dict)
+    _fingerprint: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the operand bundle.
+
+        The fleet's consistent-hash ring routes on this (not on the
+        name), so the same tensor data always lands on the shard whose
+        :class:`repro.sim.batch.EncodingCache` already holds its CISS
+        stream — regardless of what the caller named the workload.
+        Independent of Python's per-process ``hash()`` randomization.
+        """
+        if self._fingerprint is None:
+            from repro.artifacts import fingerprint_value
+
+            keys = sorted(self.operands)
+            self._fingerprint = fingerprint_value(
+                self.kind, keys, *[self.operands[k] for k in keys]
+            )
+        return self._fingerprint
 
     def run(self, kernel: str, accelerator, compute_output: bool = True):
         """Execute on a simulated accelerator; returns a SimReport."""
@@ -92,13 +114,27 @@ class WorkloadPool:
     overload, not wall-clock weight.
     """
 
-    def __init__(self, seed: int = 0, rank: int = 8) -> None:
+    def __init__(
+        self, seed: int = 0, rank: int = 8, variants: int = 1
+    ) -> None:
         if rank <= 0:
             raise ConfigError("rank must be positive")
+        if variants <= 0:
+            raise ConfigError("variants must be positive")
         self.seed = int(seed)
         self.rank = int(rank)
+        #: independent seeded instances per size class. ``variants=1``
+        #: keeps the original five names (and tensors) bit-identical;
+        #: larger pools give a sharded fleet enough distinct ring keys
+        #: to balance — suffixed ``-v1``, ``-v2``, ... beyond the first.
+        self.variants = int(variants)
         self.items: Dict[str, WorkloadItem] = {}
         self._build()
+
+    def _variant_names(self, base: str) -> List[str]:
+        return [base] + [
+            f"{base}-v{v}" for v in range(1, self.variants)
+        ]
 
     def _build(self) -> None:
         rank = self.rank
@@ -107,36 +143,40 @@ class WorkloadPool:
             ("tensor-m", (48, 24, 16), 1200, 1.2),
             ("tensor-l", (64, 32, 24), 3600, 1.4),
         ]
-        for name, shape, nnz, skew in tensor_specs:
-            t = random_sparse_tensor(
-                shape, nnz, skew=skew, seed=derive_seed(self.seed, "pool", name)
-            )
-            rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
-            self.items[name] = WorkloadItem(
-                name=name, kind="tensor", nnz=t.nnz,
-                operands={
-                    "tensor": t,
-                    "mat_b": rng.standard_normal((shape[1], rank)),
-                    "mat_c": rng.standard_normal((shape[2], rank)),
-                },
-            )
+        for base, shape, nnz, skew in tensor_specs:
+            for name in self._variant_names(base):
+                t = random_sparse_tensor(
+                    shape, nnz, skew=skew,
+                    seed=derive_seed(self.seed, "pool", name),
+                )
+                rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
+                self.items[name] = WorkloadItem(
+                    name=name, kind="tensor", nnz=t.nnz,
+                    operands={
+                        "tensor": t,
+                        "mat_b": rng.standard_normal((shape[1], rank)),
+                        "mat_c": rng.standard_normal((shape[2], rank)),
+                    },
+                )
         matrix_specs = [
             ("matrix-s", (64, 64), 0.05),
             ("matrix-m", (128, 128), 0.08),
         ]
-        for name, shape, density in matrix_specs:
-            m = uniform_matrix(
-                shape, density, seed=derive_seed(self.seed, "pool", name)
-            )
-            rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
-            self.items[name] = WorkloadItem(
-                name=name, kind="matrix", nnz=m.nnz,
-                operands={
-                    "matrix": CSRMatrix.from_coo(m),
-                    "mat_b": rng.standard_normal((shape[1], rank)),
-                    "vec": rng.standard_normal(shape[1]),
-                },
-            )
+        for base, shape, density in matrix_specs:
+            for name in self._variant_names(base):
+                m = uniform_matrix(
+                    shape, density,
+                    seed=derive_seed(self.seed, "pool", name),
+                )
+                rng = make_rng(derive_seed(self.seed, "pool", name, "mats"))
+                self.items[name] = WorkloadItem(
+                    name=name, kind="matrix", nnz=m.nnz,
+                    operands={
+                        "matrix": CSRMatrix.from_coo(m),
+                        "mat_b": rng.standard_normal((shape[1], rank)),
+                        "vec": rng.standard_normal(shape[1]),
+                    },
+                )
 
     # ------------------------------------------------------------------
     def __getitem__(self, name: str) -> WorkloadItem:
@@ -166,6 +206,7 @@ def synthetic_trace(
     deadline_s: float = 0.05,
     seed: Optional[int] = None,
     priority_levels: int = 3,
+    tenants: Tuple[str, ...] = ("default",),
 ) -> List[ServingRequest]:
     """A deterministic Poisson arrival trace with an overload spike.
 
@@ -175,15 +216,23 @@ def synthetic_trace(
     10x overload step the benchmark gates on. Kernels, workloads,
     priorities and (lightly jittered) deadlines are drawn from seeded
     child streams, so the same seed always yields the same trace.
+
+    ``tenants`` attributes each request to a quota bucket via its own
+    seeded stream — the default single tenant leaves every other stream
+    (arrivals, choices) untouched, so pre-fleet traces replay
+    bit-identically.
     """
     if duration_s <= 0 or base_rate <= 0 or spike_factor < 1:
         raise ConfigError("duration, rate must be positive; spike_factor >= 1")
     lo, hi = spike_window
     if not 0 <= lo <= hi <= 1:
         raise ConfigError("spike_window must satisfy 0 <= lo <= hi <= 1")
+    if not tenants:
+        raise ConfigError("tenants must name at least one tenant")
     seed = pool.seed if seed is None else int(seed)
     arrival_rng = make_rng(derive_seed(seed, "trace", "arrivals"))
     choice_rng = make_rng(derive_seed(seed, "trace", "choices"))
+    tenant_rng = make_rng(derive_seed(seed, "trace", "tenants"))
     pairs = pool.choices()
     requests: List[ServingRequest] = []
     now = 0.0
@@ -201,6 +250,7 @@ def synthetic_trace(
         kernel, workload = pairs[int(choice_rng.integers(0, len(pairs)))]
         priority = int(choice_rng.integers(1, priority_levels + 1))
         jitter = 0.5 + choice_rng.random()  # deadline in [0.5, 1.5) x nominal
+        tenant = tenants[int(tenant_rng.integers(0, len(tenants)))]
         requests.append(
             ServingRequest(
                 request_id=rid,
@@ -209,6 +259,7 @@ def synthetic_trace(
                 workload=workload,
                 deadline_s=deadline_s * jitter,
                 priority=priority,
+                tenant=tenant,
             )
         )
         rid += 1

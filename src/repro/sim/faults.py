@@ -58,6 +58,7 @@ LANE_DROPOUT = "lane_dropout"
 LAUNCH_ABORT = "launch_abort"
 CHIP_FAILURE = "chip_failure"
 WATCHDOG = "watchdog"
+SHARD_KILL = "shard_kill"
 
 #: Per-run cap on individually recorded events (counters stay exact).
 MAX_EVENTS_PER_RUN = 128
@@ -111,12 +112,20 @@ class FaultPlan:
     #: probability a chip fails for the duration of one multichip run.
     chip_failure_rate: float = 0.0
     forced_chip_failures: Tuple[int, ...] = ()
+    #: probability each serving-fleet shard is killed during one trace
+    #: (fleet-level: consumed by repro.serving.fleet, never by the
+    #: accelerator itself, so arming it leaves single-chip runs
+    #: bit-identical).
+    shard_kill_rate: float = 0.0
+    #: forced ``(shard, time_fraction)`` kills: shard ids paired with the
+    #: fraction of the trace horizon at which each dies.
+    forced_shard_kills: Tuple[Tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         for attr in (
             "spm_bitflip_rate", "detection_coverage", "hbm_stall_rate",
             "hbm_outage_rate", "pe_lane_dropout_rate", "launch_abort_rate",
-            "chip_failure_rate",
+            "chip_failure_rate", "shard_kill_rate",
         ):
             value = getattr(self, attr)
             if not 0.0 <= value <= 1.0:
@@ -134,11 +143,27 @@ class FaultPlan:
             self, "forced_chip_failures",
             tuple(int(x) for x in self.forced_chip_failures),
         )
+        kills = tuple(
+            (int(s), float(f)) for s, f in self.forced_shard_kills
+        )
+        for s, f in kills:
+            if s < 0:
+                raise ConfigError("forced shard ids must be >= 0")
+            if not 0.0 <= f <= 1.0:
+                raise ConfigError(
+                    f"shard kill time fraction must be in [0, 1], got {f!r}"
+                )
+        object.__setattr__(self, "forced_shard_kills", kills)
 
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
-        """False iff the plan can never inject anything (all knobs zero)."""
+        """False iff the plan can never inject *accelerator-level* faults.
+
+        Fleet-level shard kills are deliberately excluded (see
+        :attr:`shard_kills_armed`): a shard-kill-only plan leaves every
+        simulator launch bit-identical to running with no plan at all.
+        """
         return bool(
             self.spm_bitflip_rate > 0
             or self.hbm_stall_rate > 0
@@ -167,6 +192,39 @@ class FaultPlan:
             u = self.uniforms(num_chips, "chip", run_index)
             failed.update(np.flatnonzero(u < self.chip_failure_rate).tolist())
         return sorted(int(c) for c in failed)
+
+    # ------------------------------------------------------------------
+    # Fleet-level faults (consumed by repro.serving.fleet). These knobs
+    # deliberately do NOT participate in :attr:`enabled` — a plan that
+    # only kills shards must not arm the accelerator-level fault
+    # machinery, which would perturb per-launch accounting.
+    # ------------------------------------------------------------------
+    @property
+    def shard_kills_armed(self) -> bool:
+        """True when the plan can kill serving-fleet shards."""
+        return self.shard_kill_rate > 0 or bool(self.forced_shard_kills)
+
+    def shard_kills(
+        self, num_shards: int, horizon_s: float, run_index: int = 0
+    ) -> List[Tuple[int, float]]:
+        """``(shard, kill_time_s)`` pairs for one fleet trace.
+
+        Forced kills fire at their configured fraction of ``horizon_s``;
+        rate-drawn kills pick a seeded uniform kill time over the
+        horizon. Sorted by (time, shard) — the order the fleet's event
+        loop consumes them — and deterministic per (seed, run_index).
+        """
+        kills = {
+            s: f * float(horizon_s)
+            for s, f in self.forced_shard_kills
+            if s < num_shards
+        }
+        if self.shard_kill_rate > 0:
+            u = self.uniforms(num_shards, "shard", run_index)
+            t = self.uniforms(num_shards, "shard-time", run_index)
+            for s in np.flatnonzero(u < self.shard_kill_rate).tolist():
+                kills.setdefault(int(s), float(t[s]) * float(horizon_s))
+        return sorted(kills.items(), key=lambda kv: (kv[1], kv[0]))
 
 
 @dataclass

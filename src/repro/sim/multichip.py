@@ -255,6 +255,34 @@ def partition_slices(
     ]
 
 
+def least_loaded_redeal(
+    ordered_items: List,
+    weights,
+    survivors: List[int],
+    survivor_loads: dict,
+) -> dict:
+    """Deal orphaned work items over survivors, least-loaded-first.
+
+    The generic core of the chip-failure recovery re-deal, shared with
+    the serving fleet's cross-shard failover
+    (:mod:`repro.serving.fleet`): walk ``ordered_items`` (callers pass
+    them heaviest-first for the LPT bound) and hand each to the survivor
+    with the smallest running load, seeding loads with
+    ``survivor_loads`` so recovery work lands on the members that have
+    the least left to do. ``weights`` is any ``weights[item]`` mapping
+    (dict or array). Ties break on the lowest survivor id, which keeps
+    the deal deterministic. Returns ``{survivor: [items in deal
+    order]}``.
+    """
+    loads = {c: int(survivor_loads.get(c, 0)) for c in survivors}
+    assigned: dict = {c: [] for c in survivors}
+    for item in ordered_items:
+        chip = min(survivors, key=lambda c: (loads[c], c))
+        loads[chip] += int(weights[item])
+        assigned[chip].append(item)
+    return assigned
+
+
 def _redistribute_slices(
     tensor: SparseTensor,
     mode: int,
@@ -267,12 +295,9 @@ def _redistribute_slices(
     on the chips that finished earliest)."""
     counts = tensor.slice_nnz_counts(mode)
     order = orphan_slices[np.argsort(counts[orphan_slices])[::-1]]
-    loads = {c: int(survivor_loads.get(c, 0)) for c in survivors}
-    assigned: dict = {c: [] for c in survivors}
-    for s in order:
-        chip = min(survivors, key=lambda c: (loads[c], c))
-        loads[chip] += int(counts[s])
-        assigned[chip].append(int(s))
+    assigned = least_loaded_redeal(
+        [int(s) for s in order], counts, survivors, survivor_loads
+    )
     return {
         c: np.array(sorted(slices), dtype=np.int64)
         for c, slices in assigned.items()

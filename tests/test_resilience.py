@@ -560,3 +560,47 @@ class TestCheckpointPersistence:
         ckpts.save(0, [np.ones((2, 2))])
         assert ckpts.persisted_iterations() == []
         assert ckpts.restore_persisted() is None
+
+    def test_prune_trims_disk_and_memory(self, tmp_path):
+        store = self._store(tmp_path)
+        ckpts = CheckpointStore(keep=8, store=store, run_key="run-p")
+        rng = make_rng(11)
+        for it in range(6):
+            ckpts.save(it, [rng.standard_normal((4, 2))], fit=0.1 * it)
+        assert ckpts.persisted_iterations() == [0, 1, 2, 3, 4, 5]
+        dropped = ckpts.prune(keep_latest=2)
+        assert dropped == 4
+        assert ckpts.persisted_iterations() == [4, 5]
+        assert ckpts.iterations() == [4, 5]
+        # The newest checkpoint still restores in a fresh process.
+        resumed = CheckpointStore(keep=8, store=store, run_key="run-p")
+        ckpt = resumed.restore_persisted()
+        assert ckpt is not None and ckpt.iteration == 5
+        # Pruned blobs are really gone from disk.
+        for it in range(4):
+            path = store.path_for(
+                CheckpointStore._NAMESPACE, ("run-p", it)
+            )
+            assert not path.exists()
+        # Fit history survives pruning.
+        assert len(ckpts.fit_trace()) == 6
+
+    def test_prune_defaults_to_keep_and_validates(self, tmp_path):
+        store = self._store(tmp_path)
+        ckpts = CheckpointStore(keep=2, store=store, run_key="run-q")
+        for it in range(5):
+            ckpts.save(it, [np.ones((2, 2)) * it])
+        # In-memory ring already holds only ``keep``; prune() aligns the
+        # persisted set with it.
+        assert ckpts.prune() == 3
+        assert ckpts.persisted_iterations() == [3, 4]
+        assert ckpts.prune() == 0  # idempotent
+        with pytest.raises(ConfigError):
+            ckpts.prune(keep_latest=0)
+
+    def test_prune_without_store_trims_memory_only(self):
+        ckpts = CheckpointStore(keep=8)
+        for it in range(5):
+            ckpts.save(it, [np.ones((2, 2))])
+        assert ckpts.prune(keep_latest=1) == 4
+        assert ckpts.iterations() == [4]

@@ -65,6 +65,23 @@ class TestTokenBucket:
         with pytest.raises(ConfigError):
             TokenBucket(rate=1.0, capacity=0)
 
+    def test_validation_messages_name_the_bad_value(self):
+        # ConfigError subclasses ValueError: plain except ValueError works.
+        with pytest.raises(ValueError, match=r"rate.*-2\.5"):
+            TokenBucket(rate=-2.5, capacity=1)
+        with pytest.raises(ValueError, match=r"capacity.*0"):
+            TokenBucket(rate=1.0, capacity=0)
+
+    def test_zero_rate_mutation_yields_retry_never(self):
+        # A bucket mutated to zero rate after construction must not
+        # divide by zero in the retry_after computation.
+        bucket = TokenBucket(rate=10.0, capacity=1)
+        bucket.try_acquire(0.0)
+        bucket.rate = 0.0
+        ok, retry_after = bucket.try_acquire(0.0)
+        assert not ok
+        assert retry_after == float("inf")
+
 
 class TestCircuitBreaker:
     def test_opens_after_threshold_failures(self):
@@ -129,6 +146,58 @@ class TestCircuitBreaker:
             CircuitBreaker(cooldown_s=-1.0)
         with pytest.raises(ConfigError):
             CircuitBreaker(halfopen_probes=0)
+
+    def test_halfopen_admits_one_probe_at_a_time(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=0.5)
+        brk.record_failure(0.0)
+        assert brk.allow(0.6)  # cooldown elapsed -> half-open
+        assert brk.start_probe(0.6)  # first caller takes the slot
+        # Second concurrent caller is refused while the probe is out.
+        assert not brk.allow(0.6)
+        assert not brk.start_probe(0.6)
+        # The outcome releases the slot.
+        brk.record_success(0.6)
+        assert brk.state == BREAKER_CLOSED
+
+    def test_halfopen_probe_slot_frees_on_failure(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=0.5)
+        brk.record_failure(0.0)
+        assert brk.allow(0.6) and brk.start_probe(0.6)
+        brk.record_failure(0.6)  # probe lost -> reopen, slot reset
+        assert brk.state == BREAKER_OPEN
+        assert brk.probe_inflight == 0
+        assert brk.allow(1.2) and brk.start_probe(1.2)
+
+    def test_start_probe_outside_halfopen(self):
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=0.5)
+        assert brk.start_probe(0.0)  # closed: no reservation needed
+        brk.record_failure(0.0)
+        assert not brk.start_probe(0.1)  # open: allow() should gate
+
+    def test_flapping_regression_single_probe_per_halfopen_window(self):
+        """A flapping backend must see exactly one probe per half-open
+        window, not a thundering herd that re-trips it instantly."""
+        brk = CircuitBreaker(failure_threshold=1, cooldown_s=0.5,
+                             halfopen_probes=2)
+        brk.record_failure(0.0)
+        for window in range(3):
+            t = 0.6 + 0.7 * window
+            assert brk.allow(t)
+            assert brk.state == BREAKER_HALF_OPEN
+            assert brk.start_probe(t)
+            # Herd of 5 concurrent dispatchers: all refused.
+            assert not any(brk.start_probe(t) for _ in range(5))
+            brk.record_failure(t)  # backend still flapping -> reopen
+            assert brk.state == BREAKER_OPEN
+        # Only one probe was ever in flight per window: transitions
+        # alternate open -> half_open -> open cleanly.
+        states = [new for (_, _, new) in brk.transitions]
+        assert states == [
+            BREAKER_OPEN,
+            BREAKER_HALF_OPEN, BREAKER_OPEN,
+            BREAKER_HALF_OPEN, BREAKER_OPEN,
+            BREAKER_HALF_OPEN, BREAKER_OPEN,
+        ]
 
 
 class TestServingConfig:
