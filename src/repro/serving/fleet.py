@@ -33,8 +33,11 @@ Robustness substrate on top of the routing:
 - **At-most-once execution** — every request carries an execution
   epoch; a kill voids the victim's in-flight work by bumping epochs, so
   the voided completions are discarded as stale when they pop and the
-  re-dealt copy is the only one that can commit. Each admitted request
-  is served exactly once.
+  re-dealt copy is the only one that can commit. Every admitted request
+  is answered exactly once: served, or — when a higher-priority arrival
+  evicts it from a full queue — handed back with an explicit ``SHED``
+  response and counted in :attr:`FleetResult.admitted_evictions`
+  (never silently dropped, never served twice).
 
 Everything runs on the same deterministic virtual-time event loop the
 single server uses: the decision log replays bit-identically per seed,
@@ -261,8 +264,27 @@ class FleetResult(ServingResult):
         return hits / total if total else 0.0
 
     @property
+    def admitted_evictions(self) -> int:
+        """Admitted requests later evicted by a higher-priority arrival.
+
+        Each eviction hands the victim back with an explicit ``SHED``
+        response and a retry hint — deliberate load shedding, not loss —
+        so they are surfaced here rather than in
+        :attr:`lost_request_ids`.
+        """
+        return self.counters.get("evicted", 0)
+
+    @property
     def exactly_once(self) -> bool:
-        """No admitted request lost, duplicated, or double-committed."""
+        """Every admitted-and-retained request completed exactly once.
+
+        True means nothing was silently lost, duplicated, or
+        double-committed. Admitted work shed by a priority eviction got
+        an explicit ``SHED`` response and is counted separately in
+        :attr:`admitted_evictions`; a run where *every* admitted request
+        was actually served is ``exactly_once and admitted_evictions ==
+        0`` (the chaos gate in ``bench_fleet.py`` asserts exactly that).
+        """
         return (
             not self.lost_request_ids
             and self.counters.get("duplicate_completions", 0) == 0
@@ -274,6 +296,7 @@ class FleetResult(ServingResult):
             {
                 "cache_hit_rate": self.cache_hit_rate,
                 "exactly_once": self.exactly_once,
+                "admitted_evictions": self.admitted_evictions,
                 "lost_requests": len(self.lost_request_ids),
                 "shards_final": len(self.shard_stats),
                 "fault_events": len(self.fault_events),
@@ -590,8 +613,14 @@ class TensaurusFleet:
                     req, item, shard, now, detect, ep, "fault"
                 )
                 inflight[rid] = (req, shard.sid, ep)
+                # replica=None in the payload: the fallback answer is
+                # host-side analytic, and record_failure above already
+                # settled the breaker (and released any half-open probe
+                # slot) — crediting the faulted replica with a success
+                # here would reset consecutive_failures and keep the
+                # breaker from ever opening.
                 push(resp.finish_s, _EV_COMPLETION,
-                     (rid, ep, shard.sid, replica, resp, service))
+                     (rid, ep, shard.sid, None, resp, service))
                 return
             service = nominal * factor + cold_extra + report.time_s
             finish = now + service
@@ -751,9 +780,25 @@ class TensaurusFleet:
                     del inflight[rid]
                     counters["voided_inflight"] += 1
                     record(now, rid, "void", f"epoch={iep + 1}")
+                # Autoscale ticks only assess routable shards, so the
+                # dead transition must be recorded here or never.
+                h = self.monitor.assess(
+                    sid, shard.server.breakers, 0, 0, now, alive=False
+                )
+                health_g.labels(shard=sid).set(h.code)
                 redeal(orphans, now)
 
         def deliver_redeal(deliveries: List[Tuple], now: float) -> None:
+            """Land re-dealt requests on their assigned survivors.
+
+            Deliberately bypasses ``cfg.queue_depth``: every re-dealt
+            request was already admitted, so shedding it here would
+            break the zero-loss failover guarantee. A survivor queue may
+            therefore transiently exceed the admission-time bound after
+            a failover — by at most ``failover_redeal_cap`` per failure
+            — while *new* arrivals still face the normal capacity check
+            (and a deeper queue just sheds them sooner).
+            """
             bounce: List[Tuple[ServingRequest, int]] = []
             for sid, req, ep in deliveries:
                 shard = self.shards.get(sid)
@@ -822,6 +867,11 @@ class TensaurusFleet:
                     redeal(list(victim.queue), now)
                     victim.queue.clear()
                     victim.alive = False
+                    h = self.monitor.assess(
+                        victim.sid, victim.server.breakers, 0, 0, now,
+                        alive=False,
+                    )
+                    health_g.labels(shard=victim.sid).set(h.code)
                     counters["scale_downs"] += 1
                     result.autoscale_events.append(
                         (round(now, 12), "down", victim.sid)

@@ -25,7 +25,7 @@ from repro.serving import (
     WorkloadPool,
     synthetic_trace,
 )
-from repro.serving.request import STATUS_OK, STATUS_REJECTED
+from repro.serving.request import STATUS_OK, STATUS_REJECTED, STATUS_SHED
 from repro.util.errors import ConfigError
 
 SEED = 23
@@ -346,6 +346,31 @@ class TestFleet:
         assert rejected
         assert all(r.retry_after_s > 0 for r in rejected)
         assert all(r.detail["reason"] == "tenant_quota" for r in rejected)
+
+    def test_priority_eviction_surfaced_not_silently_lost(self, pool):
+        # Overload a small-queue fleet so higher-priority arrivals evict
+        # admitted work: each victim must get an explicit SHED response
+        # and be counted in admitted_evictions — not in lost_request_ids
+        # (exactly_once covers silent loss/duplication only).
+        heavy = synthetic_trace(
+            pool, duration_s=0.5, base_rate=400.0, spike_factor=8.0,
+            deadline_s=0.08, seed=SEED,
+        )
+        fleet = self._fleet(
+            pool, shards=2, max_shards=2, queue_depth=16,
+            tenant_default=TenantQuota(rate=5000.0, burst=64),
+        )
+        result = fleet.run_trace(heavy)
+        assert result.admitted_evictions > 0
+        assert result.admitted_evictions == result.counters["evicted"]
+        shed = [
+            r for r in result.responses
+            if r.status == STATUS_SHED and r.detail["reason"] == "evicted"
+        ]
+        assert len(shed) == result.admitted_evictions
+        assert result.exactly_once
+        assert result.lost_request_ids == []
+        assert result.summary()["admitted_evictions"] > 0
 
     def test_full_tier_responses_carry_reports(self, pool, trace):
         result = self._fleet(pool).run_trace(trace)

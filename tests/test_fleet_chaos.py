@@ -154,6 +154,33 @@ class TestShardKillFailover:
         with pytest.raises(FaultError):
             fleet.run_trace(trace, kills=[(0, 0.1), (1, 0.15)])
 
+    def test_launch_aborts_trip_fleet_breakers(self, pool, trace):
+        # Regression: the fault-path completion used to carry the
+        # faulted replica, so the analytic fallback's completion called
+        # record_success on the breaker that had just recorded the
+        # failure — consecutive_failures reset every time and fleet
+        # breakers could never open.
+        plan = FaultPlan(seed=SEED, launch_abort_rate=0.9)
+        result = _fleet(pool, plan).run_trace(trace)
+        assert result.counters["faults"] > 0
+        opened = [
+            t for t in result.breaker_transitions if t[3] == "open"
+        ]
+        assert opened
+        # Faulted launches fall back to the analytic tier; nothing is
+        # lost or double-served.
+        assert result.exactly_once
+        assert result.lost_request_ids == []
+
+    def test_killed_shard_records_dead_health_transition(self, pool, trace):
+        plan = FaultPlan(seed=SEED, forced_shard_kills=((1, 0.5),))
+        result = _fleet(pool, plan).run_trace(trace)
+        dead = [
+            (shard, new) for (_, shard, _, new) in result.health_transitions
+            if new == "dead"
+        ]
+        assert (1, "dead") in dead
+
     def test_survivors_absorb_the_keyspace(self, pool, trace):
         plan = FaultPlan(seed=SEED, forced_shard_kills=((1, 0.3),))
         result = _fleet(pool, plan, autoscale=False).run_trace(trace)
@@ -202,6 +229,11 @@ class TestAutoscaling:
         assert downs
         for sid in downs:
             assert result.shard_stats[sid]["draining"] is True
+            # The drain records the shard's terminal dead transition.
+            assert any(
+                shard == sid and new == "dead"
+                for (_, shard, _, new) in result.health_transitions
+            )
         assert result.exactly_once
 
     def test_health_transitions_recorded(self, pool, trace):
