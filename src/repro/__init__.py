@@ -13,6 +13,7 @@ The package layers, bottom to top:
 - :mod:`repro.baselines` / :mod:`repro.energy` — comparison platforms.
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets.
 - :mod:`repro.analysis` — rooflines and result tables.
+- :mod:`repro.tune` — auto-tuning config search over the design space.
 - :mod:`repro.obs` — opt-in tracing, metrics, and structured logging.
 
 Quick start::
@@ -29,7 +30,7 @@ Quick start::
 """
 
 from repro import analysis, apps, baselines, datasets, energy, factorization
-from repro import formats, io, kernels, obs, resilience, sim, tensor, util
+from repro import formats, io, kernels, obs, resilience, sim, tensor, tune, util
 from repro.formats import CISSMatrix, CISSTensor
 from repro.resilience import CheckpointStore, RetryPolicy
 from repro.sim import FastModel, FaultPlan, Tensaurus, TensaurusConfig
@@ -51,6 +52,7 @@ __all__ = [
     "resilience",
     "sim",
     "tensor",
+    "tune",
     "util",
     "CISSMatrix",
     "CISSTensor",

@@ -205,6 +205,18 @@ class ArtifactStore:
         self.bytes_written += len(blob)
 
     # ------------------------------------------------------------------
+    def list_namespace(self, namespace: str) -> list:
+        """Paths of every artifact stored under ``namespace`` (sorted).
+
+        Registries layered on the store (the tuned-config registry, the
+        CLI's ``artifacts info``) use this to enumerate what exists
+        without knowing the original key parts.
+        """
+        ns = self.root / namespace
+        if not ns.is_dir():
+            return []
+        return sorted(ns.glob("*.pkl"))
+
     def entry_count(self) -> int:
         if not self.root.is_dir():
             return 0

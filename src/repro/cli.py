@@ -193,6 +193,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(repeatable), e.g. --kill 1@0.5")
     fleet.add_argument("--out", default=None,
                        help="write the summary + decision log as JSON")
+
+    tune = sub.add_parser(
+        "tune",
+        help="search the config space for a per-workload tuned design "
+        "(learned-cost-model pruning, cycle-level simulator oracle)",
+    )
+    tune.add_argument("kernel", nargs="?",
+                      choices=TENSOR_KERNELS + MATRIX_KERNELS)
+    tune.add_argument("dataset", nargs="?", help="a registered dataset name")
+    tune.add_argument("--rank", type=int, default=32, help="F / F1=F2 / N")
+    tune.add_argument("--mode", type=int, default=0, help="tensor target mode")
+    tune.add_argument("--budget", type=int, default=40,
+                      help="oracle measurement budget (design points)")
+    tune.add_argument("--seed", type=int, default=0, help="search seed")
+    tune.add_argument("--workers", type=int, default=None,
+                      help="fan oracle sims over N processes (shared-memory "
+                      "operand handoff)")
+    tune.add_argument("--quick-space", action="store_true",
+                      help="use the 16-point smoke space instead of the "
+                      "324-point default space")
+    tune.add_argument("--store-dir", default=None,
+                      help="artifact cache directory for oracle memoization "
+                      "and the tuned registry (default: the repro cache)")
+    tune.add_argument("--no-store", action="store_true",
+                      help="skip oracle memoization and registry persistence")
+    tune.add_argument("--out", default=None,
+                      help="write the full search outcome as JSON")
+    tune.add_argument("--list", action="store_true",
+                      help="print the tuned-config registry and exit")
     return parser
 
 
@@ -616,6 +645,60 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactStore
+    from repro.tune import (
+        Tuner, TunedRegistry, default_space, quick_space,
+        workload_from_dataset,
+    )
+
+    store = None
+    if not args.no_store:
+        store = ArtifactStore(root=args.store_dir)
+    if args.list:
+        if store is None:
+            raise SystemExit("--list needs the artifact store (drop --no-store)")
+        print(TunedRegistry(store).as_table())
+        return 0
+    if not args.kernel or not args.dataset:
+        raise SystemExit("tune needs KERNEL and DATASET (or --list)")
+    workload = workload_from_dataset(
+        args.kernel, args.dataset, rank=args.rank, mode=args.mode, store=store
+    )
+    space = quick_space() if args.quick_space else default_space()
+    tuner = Tuner(
+        workload, space, seed=args.seed, budget=args.budget,
+        workers=args.workers, store=store,
+    )
+    print(
+        f"tuning {workload.name}: space of {len(space)} configs, "
+        f"budget {tuner.budget}, batch {tuner.batch}, seed {tuner.seed}"
+    )
+    outcome = tuner.search()
+    params = ", ".join(
+        f"{k}={v}" for k, v in sorted(outcome.best_params.items())
+    )
+    print(
+        f"baseline {outcome.baseline_cycles:,} cycles -> tuned "
+        f"{outcome.best_cycles:,} cycles "
+        f"({outcome.improvement:.1%} faster, {outcome.speedup:.2f}x)"
+    )
+    print(f"tuned params: {params or '(paper default)'}")
+    print(
+        f"oracle: {outcome.oracle_evals} points measured, "
+        f"{outcome.oracle_sims} simulated, {outcome.cache_hits} cached "
+        f"(space is {outcome.space_size})"
+    )
+    if store is not None:
+        entry = TunedRegistry(store).record(workload, outcome)
+        print(f"recorded tuned config under {entry.fingerprint[:12]}…")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(outcome.to_json(indent=1))
+        print(f"wrote search outcome to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -640,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_replay(args)
     if args.command == "fleet-replay":
         return _cmd_fleet_replay(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -47,6 +47,7 @@ from repro.sim.sweep import (
     pareto_front,
     render_sweep,
     sweep_configs,
+    sweep_points,
 )
 from repro.sim.driver import (
     Instruction,
@@ -96,6 +97,7 @@ __all__ = [
     "pareto_front",
     "render_sweep",
     "sweep_configs",
+    "sweep_points",
     "Instruction",
     "Opcode",
     "ProgramError",

@@ -10,7 +10,7 @@ is a scratchpad access, so ``512 * 2 GHz * 0.5 = 512 GOP/s``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 from repro.sim.faults import FaultPlan
@@ -179,5 +179,18 @@ class TensaurusConfig:
         return replace(self, memory=memory)
 
     def scaled(self, **kwargs) -> "TensaurusConfig":
-        """A modified copy (for the PE-array / VLEN scaling ablations)."""
+        """A modified copy (for the scaling ablations and the auto-tuner).
+
+        Unknown field names raise :class:`ConfigError` naming the bad key
+        and the valid fields, instead of the opaque ``TypeError`` that
+        ``dataclasses.replace`` emits (the same pre-check
+        :func:`repro.sim.sweep.sweep_configs` applies to its grid).
+        """
+        valid = tuple(f.name for f in fields(self))
+        for name in kwargs:
+            if name not in valid:
+                raise ConfigError(
+                    f"unknown config field {name!r}; valid fields: "
+                    + ", ".join(valid)
+                )
         return replace(self, **kwargs)

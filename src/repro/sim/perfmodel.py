@@ -91,6 +91,28 @@ class FastModel:
     ) -> SimReport:
         return self._matrix_kernel("spmv", a, 1, msu_mode)
 
+    def run(
+        self,
+        kernel: str,
+        operand,
+        rank: int = 0,
+        rank2: int = 0,
+        mode: int = 0,
+        msu_mode: str = "direct",
+    ) -> SimReport:
+        """Dispatch by kernel name (the interface the auto-tuner's cheap
+        tier uses). Accepts the same aliases as the tiling planner."""
+        k = kernel.lower()
+        if k in ("mttkrp", "spmttkrp", "dmttkrp"):
+            return self.mttkrp(operand, rank, mode, msu_mode)
+        if k in ("ttmc", "spttmc", "dttmc"):
+            return self.ttmc(operand, rank, rank2 or rank, mode, msu_mode)
+        if k in ("spmm", "gemm"):
+            return self.spmm(operand, rank, msu_mode)
+        if k in ("spmv", "gemv"):
+            return self.spmv(operand, msu_mode)
+        raise KernelError(f"unknown kernel {kernel!r}")
+
     # ------------------------------------------------------------------
     def _tensor_kernel(
         self,
@@ -103,6 +125,10 @@ class FastModel:
     ) -> SimReport:
         if tensor.ndim != 3:
             raise KernelError("tensor kernels are 3-d")
+        if msu_mode == "auto":
+            return self._auto_mode(
+                self._tensor_kernel, kernel, tensor, rank, rank2, mode
+            )
         cfg = self.config
         rest = [m for m in range(3) if m != mode]
         perm = tensor if mode == 0 else tensor.permute_modes([mode] + rest)
@@ -145,6 +171,13 @@ class FastModel:
             index_fields=2,
         )
 
+    def _auto_mode(self, kernel_fn, kernel, operand, *args) -> SimReport:
+        """Mirror the cycle simulator's ``msu_mode="auto"`` policy: pick
+        whichever reduction mode moves fewer bytes (buffered on ties)."""
+        buffered = kernel_fn(kernel, operand, *args, "buffered")
+        direct = kernel_fn(kernel, operand, *args, "direct")
+        return buffered if buffered.total_bytes <= direct.total_bytes else direct
+
     def _matrix_kernel(
         self,
         kernel: str,
@@ -152,6 +185,8 @@ class FastModel:
         ncols: int,
         msu_mode: str,
     ) -> SimReport:
+        if msu_mode == "auto":
+            return self._auto_mode(self._matrix_kernel, kernel, a, ncols)
         cfg = self.config
         coo = a.to_coo() if isinstance(a, CSRMatrix) else a
         dims = coo.shape
@@ -231,5 +266,12 @@ class FastModel:
             clock_ghz=cfg.clock_ghz,
             output=None,
             detail={"msu_mode": plan.msu_mode, "passes": plan.passes,
-                    "model": "fast"},
+                    "model": "fast",
+                    # Per-pass cost components, exposed for the auto-tuner's
+                    # learned cost model (featurization) and for debugging
+                    # which side of the max() a prediction sat on.
+                    "compute_cycles": float(compute),
+                    "memory_cycles": float(mem),
+                    "groups": int(groups),
+                    "entries": float(entries)},
         )

@@ -18,6 +18,7 @@ recorded as :class:`SweepFailure` entries on the returned
 from __future__ import annotations
 
 import itertools
+import json
 import pickle
 import time
 import weakref
@@ -79,6 +80,56 @@ class SweepResult(List[DesignPoint]):
         super().__init__(points)
         self.failures: List[SweepFailure] = []
         self.fallback_reason: Optional[str] = None
+
+    def best(self, key="cycles") -> DesignPoint:
+        """The design point minimizing ``key``.
+
+        ``key`` is either a :class:`~repro.sim.report.SimReport` attribute
+        name (``"cycles"``, ``"time_s"``, ``"total_bytes"``, ...) or a
+        callable on a :class:`DesignPoint` returning a comparable. Ties
+        break toward grid order (``min`` is stable), so the choice is
+        deterministic regardless of worker scheduling.
+        """
+        if not self:
+            raise ConfigError("no design points to pick a best from")
+        if callable(key):
+            metric = key
+        else:
+            if not hasattr(self[0].report, key):
+                raise ConfigError(f"unknown report metric {key!r}")
+            metric = lambda p: getattr(p.report, key)  # noqa: E731
+        return min(self, key=metric)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The sweep as a JSON document (params, headline report numbers,
+        failures, fallback reason) — the serialization the tuner's
+        trajectory records and ad-hoc analysis notebooks consume.
+        Non-JSON param values (memory presets, fault plans) fall back to
+        their ``repr``."""
+        payload = {
+            "points": [
+                {
+                    "params": p.params,
+                    "cycles": p.report.cycles,
+                    "ops": p.report.ops,
+                    "total_bytes": p.report.total_bytes,
+                    "gops": p.gops,
+                    "time_s": p.report.time_s,
+                    "kernel": p.report.kernel,
+                }
+                for p in self
+            ],
+            "failures": [
+                {
+                    "params": f.params,
+                    "reason": f.reason,
+                    "attempts": f.attempts,
+                }
+                for f in self.failures
+            ],
+            "fallback_reason": self.fallback_reason,
+        }
+        return json.dumps(payload, indent=indent, default=repr)
 
 
 def _evaluate_point(
@@ -182,10 +233,6 @@ def sweep_configs(
     """
     if not grid:
         raise ConfigError("empty parameter grid")
-    if max_retries < 0:
-        raise ConfigError("max_retries must be >= 0")
-    if timeout_s is not None and timeout_s <= 0:
-        raise ConfigError("timeout_s must be positive")
     for name in grid:
         if not hasattr(base, name):
             raise ConfigError(f"unknown config field {name!r}")
@@ -194,7 +241,53 @@ def sweep_configs(
     for combo in itertools.product(*(grid[n] for n in names)):
         params = dict(zip(names, combo))
         combos.append((params, base.scaled(**params)))
+    return _evaluate_combos(
+        combos, runner, workers=workers, timeout_s=timeout_s,
+        max_retries=max_retries, allow_partial=allow_partial,
+    )
 
+
+def sweep_points(
+    base: TensaurusConfig,
+    points: Sequence[Dict[str, object]],
+    runner: Callable[[Tensaurus], SimReport],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+    allow_partial: bool = False,
+) -> SweepResult:
+    """Evaluate ``runner`` at an explicit list of design points.
+
+    The non-Cartesian sibling of :func:`sweep_configs` for callers — the
+    auto-tuner above all — whose candidate set is *not* a full grid: each
+    entry of ``points`` is a dict of :class:`TensaurusConfig` field
+    overrides applied to ``base`` (an empty dict evaluates ``base``
+    itself). Results come back in ``points`` order with the same
+    parallelism, retry, timeout and partial-failure semantics as
+    :func:`sweep_configs`.
+    """
+    if not points:
+        raise ConfigError("empty design-point list")
+    combos = [(dict(params), base.scaled(**params)) for params in points]
+    return _evaluate_combos(
+        combos, runner, workers=workers, timeout_s=timeout_s,
+        max_retries=max_retries, allow_partial=allow_partial,
+    )
+
+
+def _evaluate_combos(
+    combos: List[Tuple[Dict[str, object], TensaurusConfig]],
+    runner: Callable[[Tensaurus], SimReport],
+    workers: Optional[int],
+    timeout_s: Optional[float],
+    max_retries: int,
+    allow_partial: bool,
+) -> SweepResult:
+    """Shared evaluation core of :func:`sweep_configs`/:func:`sweep_points`."""
+    if max_retries < 0:
+        raise ConfigError("max_retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigError("timeout_s must be positive")
     result = SweepResult()
     outcomes: Optional[List[Tuple[str, object, int]]] = None
     point_counter = obs.metrics().counter(

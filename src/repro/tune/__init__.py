@@ -1,0 +1,66 @@
+"""Auto-tuning config search over the Tensaurus design space.
+
+The package splits the tuner into four orthogonal pieces:
+
+- :mod:`repro.tune.space` — declarative, constrained, seeded-samplable
+  search spaces over :class:`~repro.sim.config.TensaurusConfig` fields;
+- :mod:`repro.tune.cost` — the learned cost model (ridge regression on
+  log-cycles, bootstrapped from the closed-form fast model);
+- :mod:`repro.tune.workload` — workload descriptions with picklable
+  oracle runners (shared-memory operand handoff for process fan-out);
+- :mod:`repro.tune.search` — the budgeted search loop where the cost
+  model prunes and the cycle-level simulator is the memoized oracle;
+- :mod:`repro.tune.tuned` — the persisted per-workload tuned-config
+  registry behind ``repro tune``.
+"""
+
+from repro.tune.cost import (
+    FEATURE_NAMES,
+    MIN_OBSERVATIONS,
+    CostModel,
+    featurize,
+    rank_candidates,
+)
+from repro.tune.search import (
+    Measurement,
+    TuneOutcome,
+    TuneRound,
+    Tuner,
+    exhaustive_search,
+)
+from repro.tune.space import (
+    ConfigSpace,
+    default_space,
+    first_col_double,
+    max_mac_units,
+    quick_space,
+)
+from repro.tune.tuned import TunedConfigEntry, TunedRegistry
+from repro.tune.workload import (
+    TuneWorkload,
+    WorkloadRunner,
+    workload_from_dataset,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "MIN_OBSERVATIONS",
+    "CostModel",
+    "featurize",
+    "rank_candidates",
+    "Measurement",
+    "TuneOutcome",
+    "TuneRound",
+    "Tuner",
+    "exhaustive_search",
+    "ConfigSpace",
+    "default_space",
+    "first_col_double",
+    "max_mac_units",
+    "quick_space",
+    "TunedConfigEntry",
+    "TunedRegistry",
+    "TuneWorkload",
+    "WorkloadRunner",
+    "workload_from_dataset",
+]

@@ -1,0 +1,166 @@
+"""Learned cost model: featurized config x workload -> predicted cycles.
+
+The model is a ridge regression (plain numpy normal equations) on
+log-cycles, bootstrapped from the closed-form
+:class:`repro.sim.perfmodel.FastModel` and refit incrementally as
+cycle-level oracle measurements arrive. The key trick is that the fast
+model's estimate is itself a *feature* (``log_fast``): with zero
+measurements the model predicts the fast estimate verbatim, and every
+oracle measurement teaches it a workload-specific correction — which knob
+interactions the analytic model gets wrong (bank-conflict behaviour above
+all; see the Spearman floor test in ``tests/test_perfmodel_agreement.py``
+for what the fast tier does and does not rank correctly on its own).
+
+Everything here is deterministic: same observations in, same weights out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.config import TensaurusConfig
+from repro.sim.report import SimReport
+from repro.util.errors import ConfigError
+
+#: Feature vector layout (kept in one place so tests can assert against it).
+FEATURE_NAMES = (
+    "bias",
+    "log_fast",          # the fast model's cycle estimate (the prior)
+    "log_rows",
+    "log_cols",
+    "log_vlen",
+    "log_spm_banks",
+    "log_spm_kb",
+    "log_msu_kb",
+    "lanes_per_bank",    # rows/spm_banks drives bank-conflict stalls
+    "log_macs",
+    "log_passes",
+    "mem_fraction",      # memory share of the fast model's max(compute, mem)
+)
+
+#: Refuse to extrapolate from fewer oracle points than features would allow
+#: even ridge-regularized; below this the model just echoes ``log_fast``.
+MIN_OBSERVATIONS = 4
+
+
+def featurize(config: TensaurusConfig, fast_report: SimReport) -> np.ndarray:
+    """One candidate's feature vector from its config and fast estimate."""
+    fast = max(float(fast_report.cycles), 1.0)
+    detail = fast_report.detail
+    compute = float(detail.get("compute_cycles", fast))
+    mem = float(detail.get("memory_cycles", fast))
+    passes = max(int(detail.get("passes", 1)), 1)
+    return np.array(
+        [
+            1.0,
+            math.log(fast),
+            math.log(config.rows),
+            math.log(config.cols),
+            math.log(config.vlen),
+            math.log(config.spm_banks),
+            math.log(config.spm_kb),
+            math.log(config.msu_kb),
+            config.rows / config.spm_banks,
+            math.log(config.mac_units),
+            math.log(passes),
+            mem / max(compute + mem, 1e-12),
+        ]
+    )
+
+
+class CostModel:
+    """Ridge regression over :func:`featurize` vectors, in log-cycle space.
+
+    ``observe`` accumulates (features, measured cycles) pairs; ``fit``
+    re-solves the normal equations over everything observed so far (the
+    design matrices here are tiny — tens of rows, a dozen columns — so a
+    full refit per round costs microseconds and keeps the estimator
+    deterministic and replayable).
+    """
+
+    def __init__(self, ridge_lambda: float = 1e-2) -> None:
+        if ridge_lambda <= 0:
+            raise ConfigError("ridge_lambda must be positive")
+        self.ridge_lambda = float(ridge_lambda)
+        self._features: List[np.ndarray] = []
+        self._targets: List[float] = []
+        self.weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_observations(self) -> int:
+        return len(self._targets)
+
+    @property
+    def fitted(self) -> bool:
+        return self.weights is not None
+
+    def observe(self, features: np.ndarray, cycles: float) -> None:
+        if cycles <= 0:
+            raise ConfigError("measured cycles must be positive")
+        self._features.append(np.asarray(features, dtype=float))
+        self._targets.append(math.log(float(cycles)))
+
+    def fit(self) -> bool:
+        """Refit on everything observed. Returns True once fitted."""
+        if self.num_observations < MIN_OBSERVATIONS:
+            self.weights = None
+            return False
+        a = np.vstack(self._features)
+        y = np.array(self._targets)
+        gram = a.T @ a + self.ridge_lambda * np.eye(a.shape[1])
+        self.weights = np.linalg.solve(gram, a.T @ y)
+        return True
+
+    def predict_log(self, features: np.ndarray) -> np.ndarray:
+        """Predicted log-cycles for a (n, features) matrix or one vector.
+
+        Unfitted, the prediction *is* the fast-model prior: the
+        ``log_fast`` feature passes through unchanged.
+        """
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        if self.weights is None:
+            out = x[:, FEATURE_NAMES.index("log_fast")]
+        else:
+            out = x @ self.weights
+        return out if np.asarray(features).ndim > 1 else out[0]
+
+    def predict_cycles(self, features: np.ndarray) -> np.ndarray:
+        return np.exp(self.predict_log(features))
+
+    def training_rmse(self) -> float:
+        """Log-space RMSE on the observations (0.0 until fitted)."""
+        if self.weights is None or not self._targets:
+            return 0.0
+        a = np.vstack(self._features)
+        y = np.array(self._targets)
+        resid = a @ self.weights - y
+        return float(np.sqrt(np.mean(resid**2)))
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state summary for tune trajectories/benchmarks."""
+        return {
+            "observations": self.num_observations,
+            "fitted": self.fitted,
+            "ridge_lambda": self.ridge_lambda,
+            "training_rmse": self.training_rmse(),
+            "weights": (
+                None if self.weights is None
+                else [float(w) for w in self.weights]
+            ),
+        }
+
+
+def rank_candidates(
+    model: CostModel, feature_rows: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Candidate indices sorted by predicted cycles, ascending.
+
+    A stable argsort, so equal predictions keep enumeration order and the
+    search trajectory is bit-reproducible.
+    """
+    preds = model.predict_log(np.vstack(feature_rows))
+    return np.argsort(preds, kind="stable")

@@ -208,3 +208,73 @@ class TestFastModelOnly:
         assert rep.detail["model"] == "fast"
         assert rep.cycles >= 1
         assert rep.output is None
+
+
+def _spearman(a, b) -> float:
+    def rank(x):
+        order = np.argsort(np.asarray(x), kind="stable")
+        r = np.empty(len(x))
+        r[order] = np.arange(len(x))
+        return r
+
+    ra, rb = rank(a), rank(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    return float((ra * rb).sum() / np.sqrt((ra * ra).sum() * (rb * rb).sum()))
+
+
+def _random_coo(shape, density, seed) -> COOMatrix:
+    rng = make_rng(seed)
+    total = shape[0] * shape[1]
+    nnz = max(1, int(total * density))
+    lin = rng.choice(total, size=nnz, replace=False)
+    return COOMatrix(shape, lin // shape[1], lin % shape[1], rng.random(nnz))
+
+
+class TestRankAgreement:
+    """The fast model must *rank* design points like the cycle simulator.
+
+    The auto-tuner's cheap tier (and its learned cost model's prior) is the
+    fast model; if its ranking over a config grid decorrelated from the
+    simulator's, the tuner's bootstrap round would explore garbage. The
+    floors are deliberately below measured values (~0.84-1.0 at these
+    sizes) so only a real regression trips them; SpMM's floor is lowest —
+    its dense-column traffic makes bank-conflict approximation error a
+    bigger share of the total.
+    """
+
+    #: (kernel, Spearman floor) — seeded, so these are stable.
+    FLOORS = {"mttkrp": 0.85, "ttmc": 0.85, "spmm": 0.6, "spmv": 0.85}
+
+    def _workloads(self):
+        from repro.tune import TuneWorkload
+
+        return {
+            "mttkrp": TuneWorkload.mttkrp(
+                random_tensor(shape=(80, 50, 40), density=0.05, seed=10), 32
+            ),
+            "ttmc": TuneWorkload.ttmc(
+                random_tensor(shape=(60, 40, 30), density=0.05, seed=11), 16
+            ),
+            "spmm": TuneWorkload.spmm(_random_coo((200, 150), 0.05, 12), 32),
+            "spmv": TuneWorkload.spmv(_random_coo((300, 300), 0.02, 13)),
+        }
+
+    @pytest.mark.parametrize("kernel", ["mttkrp", "ttmc", "spmm", "spmv"])
+    def test_spearman_floor(self, kernel):
+        from repro.tune import default_space
+
+        wl = self._workloads()[kernel]
+        space = default_space()
+        points = space.sample(16, seed=0)
+        runner = wl.runner()
+        sim_cycles, fast_cycles = [], []
+        for params in points:
+            cfg = space.base.scaled(**params)
+            sim_cycles.append(runner(Tensaurus(cfg)).cycles)
+            fast_cycles.append(wl.fast_report(cfg).cycles)
+        rho = _spearman(sim_cycles, fast_cycles)
+        assert rho >= self.FLOORS[kernel], (
+            f"{kernel}: fast-vs-sim Spearman {rho:.3f} fell below "
+            f"{self.FLOORS[kernel]} over a 16-point seeded config grid"
+        )

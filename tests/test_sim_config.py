@@ -69,3 +69,33 @@ class TestMemoryConfig:
         with pytest.raises(ConfigError):
             MemoryConfig("x", peak_gbs=1, latency_ns=1, max_outstanding=0,
                          burst_bytes=64, clock_ghz=1)
+
+
+class TestScaledValidation:
+    def test_scaled_overrides(self):
+        cfg = TensaurusConfig().scaled(rows=16, spm_banks=32)
+        assert cfg.rows == 16
+        assert cfg.spm_banks == 32
+        assert TensaurusConfig().rows == 8  # original untouched
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ConfigError, match="unknown config field 'rowz'"):
+            TensaurusConfig().scaled(rowz=16)
+
+    def test_error_names_valid_fields(self):
+        with pytest.raises(ConfigError) as err:
+            TensaurusConfig().scaled(bank_count=4)
+        msg = str(err.value)
+        assert "'bank_count'" in msg
+        assert "rows" in msg and "spm_banks" in msg and "msu_kb" in msg
+
+    def test_first_bad_key_reported(self):
+        # Valid overrides alongside a bad one still fail, naming the bad one.
+        with pytest.raises(ConfigError, match="vln"):
+            TensaurusConfig().scaled(rows=16, vln=4)
+
+    def test_empty_scaled_is_copy(self):
+        cfg = TensaurusConfig()
+        copy = cfg.scaled()
+        assert copy == cfg
+        assert copy is not cfg

@@ -210,3 +210,103 @@ class TestWarningDedupe:
             r for r in caplog.records if "not picklable" in r.getMessage()
         ]
         assert len(warnings) == 2
+
+
+class TestSweepResultHelpers:
+    def _sweep(self):
+        return sweep_configs(BASE, GRID, _small_runner)
+
+    def test_best_default_metric(self):
+        result = self._sweep()
+        best = result.best()
+        assert best.report.cycles == min(p.report.cycles for p in result)
+
+    def test_best_named_metric(self):
+        result = self._sweep()
+        best = result.best("total_bytes")
+        assert best.report.total_bytes == min(
+            p.report.total_bytes for p in result
+        )
+
+    def test_best_callable_key(self):
+        result = self._sweep()
+        worst = result.best(lambda p: -p.report.cycles)
+        assert worst.report.cycles == max(p.report.cycles for p in result)
+
+    def test_best_stable_tie_break(self):
+        result = self._sweep()
+        # A constant key must return the first point in grid order.
+        assert result.best(lambda p: 0) is result[0]
+
+    def test_best_unknown_metric_raises(self):
+        with pytest.raises(ConfigError, match="nonsense"):
+            self._sweep().best("nonsense")
+
+    def test_best_empty_raises(self):
+        from repro.sim.sweep import SweepResult
+
+        with pytest.raises(ConfigError):
+            SweepResult().best()
+
+    def test_to_json_round_trip(self):
+        import json
+
+        result = self._sweep()
+        payload = json.loads(result.to_json())
+        assert len(payload["points"]) == len(result)
+        for point, row in zip(result, payload["points"]):
+            assert row["params"] == {
+                k: v for k, v in point.params.items()
+            }
+            assert row["cycles"] == point.report.cycles
+            assert row["kernel"] == point.report.kernel
+        assert payload["failures"] == []
+        assert payload["fallback_reason"] is None
+
+    def test_to_json_indent(self):
+        text = self._sweep().to_json(indent=1)
+        assert text.startswith("{\n")
+
+
+class TestSweepPoints:
+    def test_matches_sweep_configs_grid(self):
+        from repro.sim import sweep_points
+
+        grid = sweep_configs(BASE, GRID, _small_runner)
+        points = sweep_points(
+            BASE, [p.params for p in grid], _small_runner
+        )
+        assert [p.report.cycles for p in points] == [
+            p.report.cycles for p in grid
+        ]
+        assert [p.params for p in points] == [p.params for p in grid]
+
+    def test_preserves_input_order_and_duplicates(self):
+        from repro.sim import sweep_points
+
+        pts = [{"rows": 8}, {"rows": 4}, {"rows": 8}]
+        result = sweep_points(BASE, pts, _small_runner)
+        assert [p.params for p in result] == pts
+        assert result[0].report.cycles == result[2].report.cycles
+
+    def test_empty_points_raises(self):
+        from repro.sim import sweep_points
+
+        with pytest.raises(ConfigError):
+            sweep_points(BASE, [], _small_runner)
+
+    def test_unknown_field_raises(self):
+        from repro.sim import sweep_points
+
+        with pytest.raises(ConfigError, match="rowz"):
+            sweep_points(BASE, [{"rowz": 8}], _small_runner)
+
+    def test_parallel_matches_serial(self):
+        from repro.sim import sweep_points
+
+        pts = [{"rows": 4}, {"rows": 8}]
+        serial = sweep_points(BASE, pts, _small_runner)
+        parallel = sweep_points(BASE, pts, _small_runner, workers=2)
+        assert [p.report.cycles for p in serial] == [
+            p.report.cycles for p in parallel
+        ]

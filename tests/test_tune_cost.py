@@ -1,0 +1,136 @@
+"""Tests for the learned cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.config import TensaurusConfig
+from repro.tune import (
+    FEATURE_NAMES,
+    MIN_OBSERVATIONS,
+    CostModel,
+    TuneWorkload,
+    featurize,
+    rank_candidates,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import make_rng
+
+from tests.conftest import random_tensor
+
+
+def _features(seed=0, n=12):
+    """Synthetic feature rows shaped like the real layout."""
+    rng = make_rng(seed)
+    rows = rng.random((n, len(FEATURE_NAMES))) * 2
+    rows[:, 0] = 1.0  # bias
+    return rows
+
+
+class TestFeaturize:
+    def test_layout(self):
+        wl = TuneWorkload.mttkrp(random_tensor(seed=5), 8)
+        cfg = TensaurusConfig()
+        vec = featurize(cfg, wl.fast_report(cfg))
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert vec[0] == 1.0
+        assert vec[FEATURE_NAMES.index("log_rows")] == pytest.approx(
+            math.log(cfg.rows)
+        )
+        frac = vec[FEATURE_NAMES.index("mem_fraction")]
+        assert 0.0 <= frac <= 1.0
+
+    def test_log_fast_matches_report(self):
+        wl = TuneWorkload.mttkrp(random_tensor(seed=5), 8)
+        cfg = TensaurusConfig()
+        report = wl.fast_report(cfg)
+        vec = featurize(cfg, report)
+        assert vec[FEATURE_NAMES.index("log_fast")] == pytest.approx(
+            math.log(report.cycles)
+        )
+
+
+class TestCostModel:
+    def test_unfitted_predicts_fast_prior(self):
+        model = CostModel()
+        rows = _features()
+        preds = model.predict_log(rows)
+        np.testing.assert_allclose(
+            preds, rows[:, FEATURE_NAMES.index("log_fast")]
+        )
+        # Single-vector form returns a scalar.
+        single = model.predict_log(rows[0])
+        assert np.ndim(single) == 0
+
+    def test_fit_needs_min_observations(self):
+        model = CostModel()
+        rows = _features()
+        for i in range(MIN_OBSERVATIONS - 1):
+            model.observe(rows[i], 100.0)
+            assert model.fit() is False
+            assert not model.fitted
+        model.observe(rows[MIN_OBSERVATIONS - 1], 100.0)
+        assert model.fit() is True
+        assert model.fitted
+
+    def test_recovers_linear_relation(self):
+        rng = make_rng(2)
+        true_w = rng.random(len(FEATURE_NAMES))
+        rows = _features(seed=3, n=40)
+        model = CostModel(ridge_lambda=1e-6)
+        for row in rows:
+            model.observe(row, math.exp(float(row @ true_w)))
+        model.fit()
+        test = _features(seed=4, n=8)
+        np.testing.assert_allclose(
+            model.predict_log(test), test @ true_w, rtol=1e-3
+        )
+        assert model.training_rmse() < 1e-4
+
+    def test_nonpositive_cycles_rejected(self):
+        model = CostModel()
+        with pytest.raises(ConfigError):
+            model.observe(_features()[0], 0.0)
+
+    def test_bad_ridge_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(ridge_lambda=0.0)
+
+    def test_deterministic_weights(self):
+        rows = _features(seed=6, n=10)
+        models = []
+        for _ in range(2):
+            m = CostModel()
+            for row in rows:
+                m.observe(row, 50.0 + float(row[2]) * 10)
+            m.fit()
+            models.append(m)
+        np.testing.assert_array_equal(models[0].weights, models[1].weights)
+
+    def test_predict_cycles_exponentiates(self):
+        model = CostModel()
+        row = _features()[0]
+        assert model.predict_cycles(row) == pytest.approx(
+            math.exp(model.predict_log(row))
+        )
+
+    def test_snapshot(self):
+        model = CostModel()
+        snap = model.snapshot()
+        assert snap["observations"] == 0
+        assert snap["fitted"] is False
+        assert snap["weights"] is None
+        assert snap["training_rmse"] == 0.0
+
+
+class TestRankCandidates:
+    def test_ascending_and_stable(self):
+        model = CostModel()  # unfitted: ranks by log_fast
+        rows = _features(seed=7, n=6)
+        col = FEATURE_NAMES.index("log_fast")
+        rows[1, col] = rows[4, col]  # tie: index order must hold
+        order = rank_candidates(model, list(rows))
+        fast = rows[:, col]
+        assert list(fast[order]) == sorted(fast)
+        assert list(order).index(1) < list(order).index(4)
