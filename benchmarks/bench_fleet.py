@@ -17,6 +17,16 @@ configurations and records the comparison to ``BENCH_fleet.json``:
 Determinism gate: replaying the chaos run with a fresh fleet produces a
 bit-identical decision log and response rows.
 
+Observability leg (``repro.obs``): the chaos replay runs once more with
+the full observer stack live. Gates: the per-request span tree
+reconciles exactly with every served latency (``trace_reconciles``);
+two observed replays produce bit-identical SLO burn-rate alert logs
+(``slo_replay_deterministic``); the metrics registry round-trips
+through the strict OpenMetrics parser (``openmetrics_roundtrip``); and
+the observed run's decision log and response rows stay bit-identical to
+the unobserved run (``observed_run_identical`` — instrumentation is
+purely observational).
+
 ``--check-baseline`` re-runs the benchmark and compares against the
 committed ``BENCH_fleet.json``: every boolean gate must still hold, and
 the affinity p99 must not regress past the tolerance band (only when
@@ -33,6 +43,10 @@ import argparse
 import json
 from pathlib import Path
 
+from repro import obs
+from repro.obs import RequestTracer, validate_chrome_trace
+from repro.obs.export import roundtrip
+from repro.obs.slo import SLOMonitor
 from repro.serving import (
     FleetConfig,
     TensaurusFleet,
@@ -82,7 +96,10 @@ def bench_fleet(duration_s: float, base_rate: float):
         r.log_row() for r in chaos.responses
     ] == [r.log_row() for r in replay.responses]
 
+    telemetry = bench_obs(trace, plan, chaos)
+
     return {
+        **telemetry,
         "trace": trace_stats(trace),
         "affinity": affinity.summary(),
         "random": random_r.summary(),
@@ -105,6 +122,58 @@ def bench_fleet(duration_s: float, base_rate: float):
     }
 
 
+def bench_obs(trace, plan, unobserved):
+    """The chaos replay again, this time with the observer stack live."""
+    runs = []
+    for _ in range(2):
+        with obs.observe(requests=RequestTracer(seed=SEED)) as ob:
+            result = _fleet("affinity", plan).run_trace(trace)
+        runs.append((result, ob))
+    result, ob = runs[0]
+
+    try:
+        ob.requests.reconcile(result)
+        reconciles = True
+    except ValueError:
+        reconciles = False
+    validate_chrome_trace(ob.requests.chrome_trace())
+
+    monitor = SLOMonitor()
+    slo = monitor.evaluate(result)
+    slo_replay = monitor.evaluate(runs[1][0])
+    slo_deterministic = (
+        slo.digest() == slo_replay.digest()
+        and ob.requests.digest() == runs[1][1].requests.digest()
+    )
+
+    try:
+        roundtrip(ob.registry.snapshot())
+        metrics_ok = True
+    except ValueError:
+        metrics_ok = False
+
+    identical = unobserved.decision_log == result.decision_log and [
+        r.log_row() for r in unobserved.responses
+    ] == [r.log_row() for r in result.responses]
+
+    spans = sum(
+        len(ob.requests.spans(rid)) for rid in ob.requests.request_ids()
+    )
+    return {
+        "obs": {
+            "traces": len(ob.requests.request_ids()),
+            "spans": spans,
+            "slo_digest": slo.digest(),
+            "slo_alerts_fired": len(slo.fired),
+            "slo_ok": slo.ok,
+        },
+        "trace_reconciles": bool(reconciles),
+        "slo_replay_deterministic": bool(slo_deterministic),
+        "openmetrics_roundtrip": bool(metrics_ok),
+        "observed_run_identical": bool(identical),
+    }
+
+
 GATES = (
     "affinity_beats_random_p99",
     "affinity_beats_random_cache",
@@ -113,6 +182,10 @@ GATES = (
     "chaos_exactly_once",
     "chaos_work_redealt",
     "deterministic_replay",
+    "trace_reconciles",
+    "slo_replay_deterministic",
+    "openmetrics_roundtrip",
+    "observed_run_identical",
 )
 
 
@@ -181,6 +254,16 @@ def main() -> int:
         f"{c['exactly_once']}"
     )
     print(f"determinism: chaos replay={results['deterministic_replay']}")
+    o = results["obs"]
+    print(
+        f"telemetry: {o['traces']} traces / {o['spans']} spans "
+        f"(reconciled={results['trace_reconciles']}), "
+        f"{o['slo_alerts_fired']} SLO alerts fired "
+        f"(digest {o['slo_digest'][:12]}..., "
+        f"replay={results['slo_replay_deterministic']}), "
+        f"openmetrics={results['openmetrics_roundtrip']}, "
+        f"observational purity={results['observed_run_identical']}"
+    )
 
     if args.check_baseline:
         ok = check_baseline(results, Path(args.out))

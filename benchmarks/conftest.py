@@ -97,11 +97,17 @@ def pytest_addoption(parser):
         "--metrics-out", default=None,
         help="enable metrics; write the registry snapshot JSON here",
     )
+    group.addoption(
+        "--openmetrics-out", default=None,
+        help="enable metrics; write a strict-parser-validated OpenMetrics "
+        "text exposition here at session end",
+    )
 
 
-#: ``(trace_path, metrics_path)`` when ``--trace-out``/``--metrics-out``
-#: armed the session-wide observers; both None otherwise.
-_OBS_OUT = (None, None)
+#: ``(trace_path, metrics_path, openmetrics_path)`` when the
+#: ``--trace-out``/``--metrics-out``/``--openmetrics-out`` options armed
+#: the session-wide observers; all None otherwise.
+_OBS_OUT = (None, None, None)
 
 
 def pytest_configure(config):
@@ -112,10 +118,11 @@ def pytest_configure(config):
 
     trace_out = config.getoption("--trace-out")
     metrics_out = config.getoption("--metrics-out")
-    _OBS_OUT = (trace_out, metrics_out)
+    openmetrics_out = config.getoption("--openmetrics-out")
+    _OBS_OUT = (trace_out, metrics_out, openmetrics_out)
     if trace_out:
         obs.set_tracer(obs.Tracer())
-    if metrics_out:
+    if metrics_out or openmetrics_out:
         obs.set_registry(obs.MetricsRegistry())
 
 
@@ -171,7 +178,7 @@ def pytest_cmdline_main(config):
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not os.environ.get(_CHILD_ENV):
         terminalreporter.write_line(_STORE.report_line())
-    trace_out, metrics_out = _OBS_OUT
+    trace_out, metrics_out, openmetrics_out = _OBS_OUT
     if trace_out:
         obs.tracer().export_chrome(trace_out)
         terminalreporter.write_line(f"wrote Chrome trace to {trace_out}")
@@ -179,10 +186,19 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         with open(metrics_out, "w") as fh:
             fh.write(obs.metrics().to_json())
         terminalreporter.write_line(f"wrote metrics snapshot to {metrics_out}")
+    if openmetrics_out:
+        from repro.obs.export import roundtrip
+
+        text = roundtrip(obs.metrics().snapshot())
+        with open(openmetrics_out, "w") as fh:
+            fh.write(text)
+        terminalreporter.write_line(
+            f"wrote validated OpenMetrics exposition to {openmetrics_out}"
+        )
 
 
 def pytest_unconfigure(config):
-    if _OBS_OUT != (None, None):
+    if _OBS_OUT != (None, None, None):
         obs.set_tracer(None)
         obs.set_registry(None)
 

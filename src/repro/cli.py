@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -193,6 +193,76 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(repeatable), e.g. --kill 1@0.5")
     fleet.add_argument("--out", default=None,
                        help="write the summary + decision log as JSON")
+    fleet.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="also record per-request span trees and write "
+                       "them as a Chrome trace (validated + reconciled)")
+    fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also collect fleet metrics and write them as "
+                       "OpenMetrics text exposition")
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="fleet telemetry: OpenMetrics export, SLO burn-rate "
+        "evaluation, benchmark regression sentinel",
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    def _replay_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--duration", type=float, default=0.6,
+                       help="virtual trace length in seconds")
+        p.add_argument("--rate", type=float, default=120.0,
+                       help="baseline arrival rate (requests/s)")
+        p.add_argument("--spike", type=float, default=5.0)
+        p.add_argument("--deadline", type=float, default=0.05)
+        p.add_argument("--shards", type=int, default=3)
+        p.add_argument("--replicas", type=int, default=2)
+        p.add_argument("--kill", action="append", default=[],
+                       metavar="SID@FRAC",
+                       help="kill shard SID at FRAC of the arrival window")
+
+    oexp = obs_sub.add_parser(
+        "export",
+        help="replay a fleet trace and emit its metrics as OpenMetrics "
+        "text exposition (validated by the strict parser)",
+    )
+    _replay_args(oexp)
+    oexp.add_argument("--out", default=None,
+                      help="write the exposition here (default: stdout)")
+    oexp.add_argument("--snapshots", default=None, metavar="PATH",
+                      help="also append a JSON-lines registry snapshot "
+                      "sidecar")
+
+    oslo = obs_sub.add_parser(
+        "slo",
+        help="replay a fleet trace and evaluate SLO objectives with "
+        "multi-window burn-rate alerting",
+    )
+    _replay_args(oslo)
+    oslo.add_argument("--deadline-target", type=float, default=0.90)
+    oslo.add_argument("--latency-threshold", type=float, default=0.05,
+                      metavar="S")
+    oslo.add_argument("--latency-target", type=float, default=0.99)
+    oslo.add_argument("--error-target", type=float, default=0.999)
+    oslo.add_argument("--json", default=None, metavar="PATH",
+                      help="write the full SLO report as JSON")
+    oslo.add_argument("--strict", action="store_true",
+                      help="exit 1 when any objective is missed")
+
+    osent = obs_sub.add_parser(
+        "sentinel",
+        help="compare BENCH_*.json headline figures against a baseline "
+        "directory with per-metric tolerance bands",
+    )
+    osent.add_argument("--dir", default=".",
+                       help="directory holding the current BENCH_*.json")
+    osent.add_argument("--baseline", default=None, metavar="DIR",
+                       help="baseline artifact directory (default: "
+                       "compare --dir against itself, a schema self-check)")
+    osent.add_argument("--json", default=None, metavar="PATH",
+                       help="write the delta report as JSON")
+    osent.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0")
 
     tune = sub.add_parser(
         "tune",
@@ -556,23 +626,29 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet_replay(args: argparse.Namespace) -> int:
-    from repro.serving import (
-        FleetConfig, TensaurusFleet, WorkloadPool, synthetic_trace,
-    )
-    from repro.serving.trace import trace_stats
-    from repro.sim.faults import FaultPlan
-
-    kills = []
-    for spec in args.kill:
+def _parse_kills(specs: List[str]) -> List[Tuple[int, float]]:
+    kills: List[Tuple[int, float]] = []
+    for spec in specs:
         try:
             sid, frac = spec.split("@", 1)
             kills.append((int(sid), float(frac)))
         except ValueError:
-            print(f"bad --kill spec {spec!r}; expected SID@FRAC",
-                  file=sys.stderr)
-            return 2
-    tenants = tuple(t for t in args.tenants.split(",") if t) or ("default",)
+            raise SystemExit(f"bad --kill spec {spec!r}; expected SID@FRAC")
+    return kills
+
+
+def _fleet_replay(args: argparse.Namespace, tenants: Tuple[str, ...],
+                  routing: str = "affinity",
+                  observed: bool = False):
+    """Build + run the standard CLI fleet replay; returns
+    ``(result, trace, observation-or-None)``."""
+    from repro import obs
+    from repro.serving import (
+        FleetConfig, TensaurusFleet, WorkloadPool, synthetic_trace,
+    )
+    from repro.sim.faults import FaultPlan
+
+    kills = _parse_kills(args.kill)
     pool = WorkloadPool(seed=args.seed, variants=3)
     trace = synthetic_trace(
         pool, duration_s=args.duration, base_rate=args.rate,
@@ -585,11 +661,27 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
     )
     config = FleetConfig(
         seed=args.seed, shards=args.shards,
-        replicas_per_shard=args.replicas, routing=args.routing,
+        replicas_per_shard=args.replicas, routing=routing,
         queue_depth=64,
     )
     fleet = TensaurusFleet(config, fault_plan=fault_plan, pool=pool)
-    result = fleet.run_trace(trace)
+    if observed:
+        from repro.obs import RequestTracer
+
+        with obs.observe(requests=RequestTracer(seed=args.seed)) as ob:
+            result = fleet.run_trace(trace)
+        return result, trace, ob
+    return fleet.run_trace(trace), trace, None
+
+
+def _cmd_fleet_replay(args: argparse.Namespace) -> int:
+    from repro.serving.trace import trace_stats
+
+    tenants = tuple(t for t in args.tenants.split(",") if t) or ("default",)
+    observed = bool(args.trace_out or args.metrics_out)
+    result, trace, ob = _fleet_replay(
+        args, tenants, routing=args.routing, observed=observed
+    )
     summary = result.summary()
     rows = [[k, f"{v:.4g}" if isinstance(v, float) else str(v)]
             for k, v in summary.items()]
@@ -642,7 +734,112 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=1)
         print(f"\nwrote replay record to {args.out}")
+    if args.trace_out:
+        from repro.obs import validate_chrome_trace
+
+        ob.requests.reconcile(result)
+        payload = ob.requests.chrome_trace()
+        validate_chrome_trace(payload)
+        ob.requests.export_chrome(args.trace_out)
+        print(
+            f"wrote request trace to {args.trace_out} "
+            f"({len(payload['traceEvents'])} events, validated, "
+            "reconciled against "
+            f"{sum(1 for r in result.responses if r.latency_s is not None)} "
+            "served latencies)"
+        )
+    if args.metrics_out:
+        from repro.obs.export import roundtrip
+
+        text = roundtrip(ob.registry.snapshot())
+        with open(args.metrics_out, "w") as fh:
+            fh.write(text)
+        print(
+            f"wrote OpenMetrics exposition to {args.metrics_out} "
+            f"({len(text.splitlines())} lines, round-trip validated)"
+        )
     return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import SnapshotWriter, roundtrip
+
+    result, _, ob = _fleet_replay(args, ("default",), observed=True)
+    text = roundtrip(ob.registry.snapshot())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(
+            f"wrote OpenMetrics exposition to {args.out} "
+            f"({len(text.splitlines())} lines, round-trip validated, "
+            f"{len(result.responses)} requests replayed)"
+        )
+    else:
+        sys.stdout.write(text)
+    if args.snapshots:
+        horizon = max(
+            (r.finish_s for r in result.responses if r.finish_s is not None),
+            default=0.0,
+        )
+        SnapshotWriter(args.snapshots).write(
+            ob.registry.snapshot(), t=horizon
+        )
+        print(f"appended snapshot sidecar to {args.snapshots}")
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SLOMonitor, default_objectives
+
+    result, _, _ = _fleet_replay(args, ("default",), observed=False)
+    monitor = SLOMonitor(default_objectives(
+        deadline_target=args.deadline_target,
+        latency_threshold_s=args.latency_threshold,
+        latency_target=args.latency_target,
+        error_target=args.error_target,
+    ))
+    report = monitor.evaluate(result)
+    print(report.as_table())
+    print(
+        f"\nhorizon {report.horizon_s:.3f}s, "
+        f"{len(report.fired)} alerts fired, digest {report.digest()}"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote SLO report to {args.json}")
+    if args.strict and not report.ok:
+        missed = [n for n, o in report.objectives.items() if not o["met"]]
+        print(f"SLO MISSED: {', '.join(sorted(missed))}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_sentinel(args: argparse.Namespace) -> int:
+    from repro.obs import sentinel
+
+    report = sentinel.run(args.dir, baseline_dir=args.baseline)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote sentinel report to {args.json}")
+    if report.ok:
+        return 0
+    if args.warn_only:
+        print("sentinel: regressions found (warn-only mode)", file=sys.stderr)
+        return 0
+    return 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+    if args.obs_command == "slo":
+        return _cmd_obs_slo(args)
+    if args.obs_command == "sentinel":
+        return _cmd_obs_sentinel(args)
+    raise SystemExit(f"unknown obs command {args.obs_command!r}")
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -725,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fleet_replay(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

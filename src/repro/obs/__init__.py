@@ -1,19 +1,23 @@
-"""Observability layer: metrics registry, span tracer, structured logging.
+"""Observability layer: metrics, span tracing, request tracing, logging.
 
-Zero overhead when disabled (the default): the active tracer and registry
-are module-level singletons that start as :data:`NULL_TRACER` /
-:data:`NULL_REGISTRY`, whose every method is a no-op. Instrumented code
-reads them through :func:`tracer` / :func:`metrics` each time (never
-caching across calls), so activation is a single global swap:
+Zero overhead when disabled (the default): the active tracer, registry,
+and request tracer are module-level singletons that start as
+:data:`NULL_TRACER` / :data:`NULL_REGISTRY` /
+:data:`NULL_REQUEST_TRACER`, whose every method is a no-op. Instrumented
+code reads them through :func:`tracer` / :func:`metrics` /
+:func:`request_tracer` each time (never caching across calls), so
+activation is a single global swap:
 
-    with obs.observe() as ob:
-        acc.run_mttkrp(tensor, b, c)
+    with obs.observe(requests=True) as ob:
+        fleet.run_trace(requests)
     ob.tracer.export_chrome("trace.json")
+    ob.requests.export_chrome("requests.json")
     print(ob.registry.render())
 
-Instrumentation is *observational only*: simulator outputs (``SimReport``
-fields, result tables, cached artifacts) are bit-identical whether or not
-an observer is active — the contract CI enforces.
+Instrumentation is *observational only*: simulator and fleet outputs
+(``SimReport`` fields, decision logs, result tables, cached artifacts)
+are bit-identical whether or not an observer is active — the contract CI
+enforces.
 """
 
 from __future__ import annotations
@@ -31,6 +35,13 @@ from repro.obs.metrics import (
     NullMetric,
     NullRegistry,
     NULL_REGISTRY,
+)
+from repro.obs.reqtrace import (
+    NullRequestTracer,
+    RequestTracer,
+    NULL_REQUEST_TRACER,
+    REQUEST_PID,
+    current_context,
 )
 from repro.obs.trace import (
     HOST_PID,
@@ -56,20 +67,28 @@ __all__ = [
     "validate_chrome_trace",
     "HOST_PID",
     "SIM_PID",
+    "REQUEST_PID",
+    "RequestTracer",
+    "NullRequestTracer",
+    "NULL_REQUEST_TRACER",
+    "current_context",
     "get_logger",
     "configure_logging",
     "JsonLinesFormatter",
     "tracer",
     "metrics",
+    "request_tracer",
     "enabled",
     "set_tracer",
     "set_registry",
+    "set_request_tracer",
     "observe",
     "Observation",
 ]
 
 _TRACER: Union[Tracer, NullTracer] = NULL_TRACER
 _REGISTRY: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+_REQUEST_TRACER: Union[RequestTracer, NullRequestTracer] = NULL_REQUEST_TRACER
 
 
 def tracer() -> Union[Tracer, NullTracer]:
@@ -82,9 +101,14 @@ def metrics() -> Union[MetricsRegistry, NullRegistry]:
     return _REGISTRY
 
 
+def request_tracer() -> Union[RequestTracer, NullRequestTracer]:
+    """The active request tracer (null unless request tracing is on)."""
+    return _REQUEST_TRACER
+
+
 def enabled() -> bool:
-    """True when either the tracer or the registry is live."""
-    return _TRACER.enabled or _REGISTRY.enabled
+    """True when any observer (tracer/registry/request tracer) is live."""
+    return _TRACER.enabled or _REGISTRY.enabled or _REQUEST_TRACER.enabled
 
 
 def set_tracer(
@@ -107,11 +131,22 @@ def set_registry(
     return previous
 
 
+def set_request_tracer(
+    new: Optional[Union[RequestTracer, NullRequestTracer]],
+) -> Union[RequestTracer, NullRequestTracer]:
+    """Install ``new`` (or the null request tracer for None)."""
+    global _REQUEST_TRACER
+    previous = _REQUEST_TRACER
+    _REQUEST_TRACER = new if new is not None else NULL_REQUEST_TRACER
+    return previous
+
+
 class Observation(NamedTuple):
-    """The live tracer/registry pair yielded by :func:`observe`."""
+    """The live observer bundle yielded by :func:`observe`."""
 
     tracer: Union[Tracer, NullTracer]
     registry: Union[MetricsRegistry, NullRegistry]
+    requests: Union[RequestTracer, NullRequestTracer] = NULL_REQUEST_TRACER
 
 
 @contextmanager
@@ -119,20 +154,31 @@ def observe(
     tracer: Optional[Union[Tracer, NullTracer]] = None,
     registry: Optional[Union[MetricsRegistry, NullRegistry]] = None,
     micro: bool = False,
+    requests: Union[bool, RequestTracer, NullRequestTracer] = False,
 ) -> Iterator[Observation]:
     """Activate instrumentation for the duration of the block.
 
     Fresh ``Tracer(micro=...)`` / ``MetricsRegistry`` instances are
-    created unless provided. The previous globals are restored on exit;
-    the yielded :class:`Observation` keeps the collected data alive for
-    export after the block.
+    created unless provided. ``requests=True`` additionally installs a
+    fresh :class:`RequestTracer` (or pass one in to control its seed).
+    The previous globals are restored on exit; the yielded
+    :class:`Observation` keeps the collected data alive for export after
+    the block.
     """
     live_tracer = tracer if tracer is not None else Tracer(micro=micro)
     live_registry = registry if registry is not None else MetricsRegistry()
+    if requests is True:
+        live_requests: Union[RequestTracer, NullRequestTracer] = RequestTracer()
+    elif requests is False or requests is None:
+        live_requests = NULL_REQUEST_TRACER
+    else:
+        live_requests = requests
     prev_tracer = set_tracer(live_tracer)
     prev_registry = set_registry(live_registry)
+    prev_requests = set_request_tracer(live_requests)
     try:
-        yield Observation(live_tracer, live_registry)
+        yield Observation(live_tracer, live_registry, live_requests)
     finally:
         set_tracer(prev_tracer)
         set_registry(prev_registry)
+        set_request_tracer(prev_requests)

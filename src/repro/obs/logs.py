@@ -35,7 +35,14 @@ def get_logger(name: str) -> logging.Logger:
 
 
 class JsonLinesFormatter(logging.Formatter):
-    """One JSON object per record: ts, level, logger, msg (+ extras)."""
+    """One JSON object per record: ts, level, logger, msg (+ extras).
+
+    When a request span is active (see
+    :meth:`repro.obs.reqtrace.RequestTracer.activate`), the record also
+    carries ``trace_id``/``span_id``, so fleet logs join against request
+    traces. The lookup is a lazy import + one list peek, and only runs
+    at format time — records emitted with logging disabled never pay it.
+    """
 
     def format(self, record: logging.LogRecord) -> str:
         payload = {
@@ -44,6 +51,13 @@ class JsonLinesFormatter(logging.Formatter):
             "logger": record.name,
             "msg": record.getMessage(),
         }
+        # Imported lazily: logs.py loads before reqtrace in obs/__init__,
+        # and a top-level import would be circular.
+        from repro.obs.reqtrace import current_context
+
+        context = current_context()
+        if context is not None:
+            payload["trace_id"], payload["span_id"] = context
         if record.exc_info and record.exc_info[0] is not None:
             payload["exc"] = self.formatException(record.exc_info)
         extra = getattr(record, "fields", None)

@@ -40,12 +40,16 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "SNAPSHOT_QUANTILES",
 ]
 
 #: Default histogram bucket upper bounds (powers of ten; +inf is implicit).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 10.0, 100.0, 1.0e3, 1.0e4, 1.0e5, 1.0e6, 1.0e7
 )
+
+#: Quantiles estimated in every histogram snapshot.
+SNAPSHOT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 
 class _Metric:
@@ -192,12 +196,48 @@ class Histogram(_Metric):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q`` quantile from the bucket counts.
+
+        Prometheus ``histogram_quantile`` style: find the bucket holding
+        the target rank and interpolate linearly inside it (the lower
+        edge of the first bucket is 0, of the +inf bucket the last finite
+        bound). Estimates are clamped to the observed ``[min, max]`` so
+        coarse buckets never report a quantile outside the data, and the
+        result is exact at the extremes (``q`` beyond the last finite
+        bucket returns ``max``). ``None`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.bucket_counts[i]
+            if in_bucket and seen + in_bucket >= rank:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                frac = (rank - seen) / in_bucket
+                estimate = lower + (bound - lower) * frac
+                return min(max(estimate, self.min), self.max)
+            seen += in_bucket
+        # Target rank lands in the +inf bucket: no finite upper edge to
+        # interpolate against, so report the observed maximum.
+        return self.max
+
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """The standard snapshot quantiles, keyed ``p50``/``p90``/``p99``."""
+        return {
+            f"p{int(q * 100)}": self.quantile(q) for q in SNAPSHOT_QUANTILES
+        }
+
     def state(self) -> Dict[str, object]:
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "quantiles": self.quantiles(),
             "buckets": dict(
                 zip([*map(str, self.buckets), "+inf"], self.bucket_counts)
             ),
@@ -328,10 +368,15 @@ class MetricsRegistry:
 
 def _fmt_state(metric: _Metric) -> str:
     if isinstance(metric, Histogram):
+        quantiles = " ".join(
+            f"{name}={value:g}" if value is not None else f"{name}=-"
+            for name, value in metric.quantiles().items()
+        )
         return (
             f"count={metric.count} sum={metric.sum:g} "
             f"min={metric.min if metric.min is not None else '-'} "
-            f"max={metric.max if metric.max is not None else '-'}"
+            f"max={metric.max if metric.max is not None else '-'} "
+            f"{quantiles}"
         )
     state = metric.state()
     return f"{state:g}" if isinstance(state, float) else str(state)

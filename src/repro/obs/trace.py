@@ -67,6 +67,36 @@ class Tracer:
         self.events: List[dict] = []
         self._t0 = time.perf_counter()
         self._sim_cursor = 0  # cycles; advances once per launch
+        self._bound: Dict[str, object] = {}
+
+    @contextmanager
+    def bind(self, **context: object) -> Iterator[None]:
+        """Attach ambient args to every sim-track event in the block.
+
+        The fleet wraps each shard's ladder execution in
+        ``tracer().bind(shard=sid)`` so micro-mode instants and launch
+        spans emitted deep inside the simulator carry the owning shard id
+        — per-shard flamegraphs then separate cleanly in the summary and
+        in Perfetto, instead of interleaving on one anonymous track.
+        Nested binds merge (inner wins on key collision); explicit event
+        args always win over bound context.
+        """
+        previous = self._bound
+        self._bound = {**previous, **context}
+        try:
+            yield
+        finally:
+            self._bound = previous
+
+    def _merge_args(
+        self, args: Optional[Mapping[str, object]]
+    ) -> Optional[Dict[str, object]]:
+        if not self._bound:
+            return dict(args) if args else None
+        merged = dict(self._bound)
+        if args:
+            merged.update(args)
+        return merged
 
     # ------------------------------------------------------------------
     # host (wall-clock) track
@@ -126,8 +156,9 @@ class Tracer:
         start = self._sim_cursor
         launch = {"name": name, "cat": "sim.launch", "ph": "B",
                   "ts": float(start), "pid": SIM_PID, "tid": 1}
-        if args:
-            launch["args"] = dict(args)
+        merged = self._merge_args(args)
+        if merged:
+            launch["args"] = merged
         self.events.append(launch)
         if phases:
             at = start
@@ -157,8 +188,9 @@ class Tracer:
         event = {"name": name, "cat": "sim.event", "ph": "i", "s": "t",
                  "ts": float(self._sim_cursor + at_cycle), "pid": SIM_PID,
                  "tid": 1}
-        if args:
-            event["args"] = dict(args)
+        merged = self._merge_args(args)
+        if merged:
+            event["args"] = merged
         self.events.append(event)
 
     # ------------------------------------------------------------------
@@ -185,7 +217,9 @@ class Tracer:
         """Flamegraph-style text rollup: total/avg per (category, name).
 
         Host rows aggregate microseconds, sim rows aggregate cycles; the
-        unit column says which.
+        unit column says which. Sim spans carrying a ``shard`` arg (set
+        by :meth:`bind` under the fleet) roll up per shard, so one fleet
+        trace yields cleanly separated per-shard flamegraphs.
         """
         totals: Dict[tuple, List[float]] = {}
         stacks: Dict[tuple, List[dict]] = {}
@@ -198,24 +232,28 @@ class Tracer:
                 if not stack:
                     continue
                 begin = stack.pop()
-                key = (event.get("cat", ""), begin["name"])
+                shard = (begin.get("args") or {}).get("shard")
+                key = (event.get("cat", ""), begin["name"], shard)
                 bucket = totals.setdefault(key, [0, 0.0])
                 bucket[0] += 1
                 bucket[1] += event["ts"] - begin["ts"]
         if not totals:
             return "(no spans recorded)"
+        sharded = any(key[2] is not None for key in totals)
         rows = []
-        for (cat, name), (count, total) in sorted(
+        for (cat, name, shard), (count, total) in sorted(
             totals.items(), key=lambda kv: -kv[1][1]
         ):
             unit = "cycles" if cat.startswith("sim") else "us"
-            rows.append([
-                name, cat, count, f"{total:,.0f}",
-                f"{total / count:,.1f}", unit,
-            ])
-        return format_table(
-            ["span", "category", "count", "total", "avg", "unit"], rows
-        )
+            row = [name, cat, count, f"{total:,.0f}",
+                   f"{total / count:,.1f}", unit]
+            if sharded:
+                row.insert(2, "-" if shard is None else str(shard))
+            rows.append(row)
+        headers = ["span", "category", "count", "total", "avg", "unit"]
+        if sharded:
+            headers.insert(2, "shard")
+        return format_table(headers, rows)
 
 
 def validate_chrome_trace(trace: Mapping[str, object]) -> int:
@@ -226,8 +264,10 @@ def validate_chrome_trace(trace: Mapping[str, object]) -> int:
     non-decreasing, and every span is closed by the end of the trace.
     Instant/counter events ('i'/'C') may be back-dated — viewers sort
     them — so only 'B'/'E' participate in the monotonicity check.
-    Returns the number of events checked; raises ``ValueError`` on the
-    first violation.
+    Complete events ('X', used by the request tracer where hedged spans
+    legitimately overlap) must carry a non-negative numeric ``dur`` and
+    are exempt from stack discipline. Returns the number of events
+    checked; raises ``ValueError`` on the first violation.
     """
     if not isinstance(trace, Mapping) or "traceEvents" not in trace:
         raise ValueError("trace must be a dict with a 'traceEvents' list")
@@ -264,6 +304,13 @@ def validate_chrome_trace(trace: Mapping[str, object]) -> int:
                     f"event {i}: 'E' for {event['name']!r} closes span "
                     f"{begin['name']!r} (interleaved, not nested)"
                 )
+        elif event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event {i} ({event['name']!r}): 'X' requires a "
+                    f"non-negative numeric 'dur', got {dur!r}"
+                )
         elif event["ph"] not in ("i", "C", "M"):
             raise ValueError(f"event {i}: unknown phase {event['ph']!r}")
     for track, stack in stacks.items():
@@ -294,6 +341,9 @@ class NullTracer:
 
     def span(self, name: str, cat: str = "host",
              args: Optional[Mapping[str, object]] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def bind(self, **context: object) -> _NullSpan:
         return _NULL_SPAN
 
     def begin(self, name: str, cat: str = "host",

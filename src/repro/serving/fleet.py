@@ -393,15 +393,16 @@ class TensaurusFleet:
         """
         cfg = self.config
         met = obs.metrics()
+        rt = obs.request_tracer()
         admitted_c = met.counter("fleet.admitted")
         rejected_c = met.counter("fleet.rejected")
-        routed_c = met.counter("fleet.routed")
-        cache_c = met.counter("fleet.cache")
+        routed_c = met.counter("fleet.routed", labels=("shard",))
+        cache_c = met.counter("fleet.cache", labels=("outcome",))
         redeal_c = met.counter("fleet.redeals")
         kill_c = met.counter("fleet.shard_kills")
         latency_h = met.histogram("fleet.latency_seconds")
         alive_g = met.gauge("fleet.alive_shards")
-        health_g = met.gauge("fleet.shard_health")
+        health_g = met.gauge("fleet.shard_health", labels=("shard",))
 
         result = FleetResult(
             analytic_error_bound=self.ladder.analytic_error_bound
@@ -420,6 +421,11 @@ class TensaurusFleet:
         epoch: Dict[int, int] = {}
         inflight: Dict[int, Tuple[ServingRequest, int, int]] = {}
         log = result.decision_log
+        # Request-trace bookkeeping (empty and untouched when tracing is
+        # off — every rt call below is guarded by ``rt.enabled``).
+        root_span: Dict[int, int] = {}
+        queue_span: Dict[int, int] = {}
+        service_span: Dict[int, int] = {}
 
         events: List[Tuple[float, int, int, Any]] = []
         seq = 0
@@ -458,12 +464,30 @@ class TensaurusFleet:
             counters["shed" if status == STATUS_SHED else "rejected"] += 1
             rejected_c.inc()
             record(now, req.request_id, status, reason)
+            if rt.enabled:
+                rid = req.request_id
+                qs = queue_span.pop(rid, None)
+                if qs is not None:
+                    rt.end(rid, qs, now, attrs={"outcome": status})
+                root = root_span.get(rid)
+                rt.event(rid, status, now, parent=root,
+                         attrs={"reason": reason})
+                if root is not None:
+                    rt.end(rid, root, now, attrs={"status": status})
 
         def nominal_s(shard: FleetShard, tier: str, nnz: int) -> float:
             return shard.server._nominal_s(tier, nnz)
 
         # -------------------------------------------------- admission
         def arrival(req: ServingRequest, now: float) -> None:
+            if rt.enabled:
+                root_span[req.request_id] = rt.begin(
+                    req.request_id, "request", req.arrival_s,
+                    attrs={
+                        "kernel": req.kernel, "workload": req.workload,
+                        "tenant": req.tenant, "priority": req.priority,
+                    },
+                )
             ok, retry_after = self.governor.admit(req.tenant, now)
             if not ok:
                 reject(req, now, STATUS_REJECTED, "tenant_quota",
@@ -499,6 +523,16 @@ class TensaurusFleet:
             record(now, req.request_id, "admit",
                    f"tenant={req.tenant} shard={shard.sid} "
                    f"depth={len(shard.queue)}")
+            if rt.enabled:
+                rid = req.request_id
+                rt.event(rid, "admit", now, parent=root_span.get(rid),
+                         attrs={"shard": shard.sid,
+                                "depth": len(shard.queue),
+                                "routing": cfg.routing})
+                queue_span[rid] = rt.begin(
+                    rid, "queue", now, parent=root_span.get(rid),
+                    attrs={"shard": shard.sid, "epoch": 0},
+                )
 
         # -------------------------------------------------- dispatch
         def choose_tier(shard: FleetShard, req: ServingRequest,
@@ -558,6 +592,27 @@ class TensaurusFleet:
             )
             return shard.queue.pop(best_i)
 
+        def note_service(resp: ServingResponse, **extra: object) -> None:
+            """Open+close the request's ``service`` span over the
+            virtual service window (the finish time is already known —
+            this is a simulation). The span id is kept so a shard kill
+            can amend it (``voided=True``, truncated at the kill)."""
+            rid = resp.request_id
+            qs = queue_span.pop(rid, None)
+            if qs is not None:
+                rt.end(rid, qs, resp.start_s, attrs={"tier": resp.tier})
+            sid = rt.begin(
+                rid, "service", resp.start_s,
+                parent=root_span.get(rid),
+                attrs={
+                    "tier": resp.tier, "shard": resp.shard,
+                    "replica": resp.replica, "epoch": resp.epoch,
+                    **extra,
+                },
+            )
+            rt.end(rid, sid, resp.finish_s)
+            service_span[rid] = sid
+
         def dispatch(shard: FleetShard, req: ServingRequest, ep: int,
                      now: float) -> None:
             item = self.pool[req.workload]
@@ -571,6 +626,8 @@ class TensaurusFleet:
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
                 record(now, rid, "dispatch", f"{TIER_ANALYTIC}@{shard.sid}")
+                if rt.enabled:
+                    note_service(resp, reason="tier")
                 return
             idle = shard.idle_replicas(now)
             breakers = shard.server.breakers
@@ -584,6 +641,8 @@ class TensaurusFleet:
                 inflight[rid] = (req, shard.sid, ep)
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
+                if rt.enabled:
+                    note_service(resp, reason="breakers_open")
                 return
             replica = min(allowed)
             breakers[replica].start_probe(now)
@@ -596,10 +655,17 @@ class TensaurusFleet:
             counters["cache_hits" if hit else "cache_misses"] += 1
             cache_c.labels(outcome="hit" if hit else "miss").inc()
             try:
-                report, degraded, err = self.ladder.execute(
-                    tier, item, req.kernel,
-                    shard.server.accelerators[replica],
-                )
+                # bind(shard=...) stamps the owning shard onto every
+                # sim-track event the launch emits (micro instants
+                # included), so per-shard flamegraphs separate; activate
+                # threads the request's trace id into log records and
+                # driver spans emitted underneath.
+                with obs.tracer().bind(shard=shard.sid), \
+                        rt.activate(rid, root_span.get(rid)):
+                    report, degraded, err = self.ladder.execute(
+                        tier, item, req.kernel,
+                        shard.server.accelerators[replica],
+                    )
             except FaultError as exc:
                 counters["faults"] += 1
                 breakers[replica].record_failure(now)
@@ -621,6 +687,11 @@ class TensaurusFleet:
                 # breaker from ever opening.
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
+                if rt.enabled:
+                    rt.event(rid, "fault", now, parent=root_span.get(rid),
+                             attrs={"shard": shard.sid, "replica": replica,
+                                    "error": type(exc).__name__})
+                    note_service(resp, reason="fault")
                 return
             service = nominal * factor + cold_extra + report.time_s
             finish = now + service
@@ -639,6 +710,8 @@ class TensaurusFleet:
             record(now, rid, "dispatch",
                    f"{tier}@{shard.sid}:{replica} "
                    f"cache={'hit' if hit else 'cold'}")
+            if rt.enabled:
+                note_service(resp, cache="hit" if hit else "cold")
 
         def dispatch_all(now: float) -> None:
             for shard in self.routable_shards():
@@ -654,11 +727,19 @@ class TensaurusFleet:
             if epoch.get(rid, 0) != ep:
                 counters["stale_completions"] += 1
                 record(now, rid, "stale", f"epoch={ep} shard={sid}")
+                if rt.enabled:
+                    rt.event(rid, "stale_completion", now,
+                             parent=root_span.get(rid),
+                             attrs={"epoch": ep, "shard": sid})
                 return
             prior = responses.get(rid)
             if prior is not None and prior.status == STATUS_OK:
                 counters["duplicate_completions"] += 1
                 record(now, rid, "duplicate", f"shard={sid}")
+                if rt.enabled:
+                    rt.event(rid, "duplicate_completion", now,
+                             parent=root_span.get(rid),
+                             attrs={"shard": sid})
                 return
             responses[rid] = resp
             inflight.pop(rid, None)
@@ -675,6 +756,16 @@ class TensaurusFleet:
             self.governor.charge(resp_tenant(resp, rid), service)
             record(now, rid, "complete",
                    f"{resp.tier}@{sid} epoch={ep}")
+            if rt.enabled:
+                root = root_span.get(rid)
+                if root is not None:
+                    # Closed at resp.finish_s (== now): the root span
+                    # then covers arrival→finish exactly, which is what
+                    # reconcile() checks against FleetResult latencies.
+                    rt.end(rid, root, resp.finish_s,
+                           attrs={"status": resp.status,
+                                  "tier": resp.tier,
+                                  "degraded": resp.degraded})
 
         tenant_of: Dict[int, str] = {
             r.request_id: r.tenant for r in requests
@@ -715,6 +806,14 @@ class TensaurusFleet:
                     )
                     record(now, req.request_id, "failed",
                            "redeal_overflow")
+                    if rt.enabled:
+                        orid = req.request_id
+                        root = root_span.get(orid)
+                        rt.event(orid, "failed", now, parent=root,
+                                 attrs={"reason": "redeal_overflow"})
+                        if root is not None:
+                            rt.end(orid, root, now,
+                                   attrs={"status": STATUS_FAILED})
             by_rid = {req.request_id: (req, ep) for req, ep in orphans}
             weights = {
                 rid: self.pool[req.workload].nnz
@@ -744,6 +843,10 @@ class TensaurusFleet:
                     counters["redeals"] += 1
                     redeal_c.inc()
                     record(now, rid, "redeal", f"shard={sid}")
+                    if rt.enabled:
+                        rt.event(rid, "redeal", now,
+                                 parent=root_span.get(rid),
+                                 attrs={"to_shard": sid, "epoch": ep})
             if deliveries:
                 push(now + cfg.failover_detect_s, _EV_REDEAL, deliveries)
 
@@ -767,6 +870,14 @@ class TensaurusFleet:
                 record(now, -1, "shard_kill", f"shard={sid}")
                 orphans = list(shard.queue)
                 shard.queue.clear()
+                if rt.enabled:
+                    # Orphaned queue waits end here; the re-dealt copy
+                    # opens a fresh queue span on the survivor.
+                    for oreq, _oep in orphans:
+                        qs = queue_span.pop(oreq.request_id, None)
+                        if qs is not None:
+                            rt.end(oreq.request_id, qs, now,
+                                   attrs={"outcome": "shard_killed"})
                 # Void the dead shard's in-flight work: bumping the
                 # epoch turns its already-scheduled completions into
                 # stale events, so only the re-dealt copy can commit
@@ -780,6 +891,15 @@ class TensaurusFleet:
                     del inflight[rid]
                     counters["voided_inflight"] += 1
                     record(now, rid, "void", f"epoch={iep + 1}")
+                    if rt.enabled:
+                        rt.event(rid, "void", now,
+                                 parent=root_span.get(rid),
+                                 attrs={"shard": sid, "epoch": iep + 1})
+                        # The in-flight service span never committed:
+                        # truncate it at the kill and mark it voided.
+                        ss = service_span.pop(rid, None)
+                        if ss is not None:
+                            rt.end(rid, ss, now, attrs={"voided": True})
                 # Autoscale ticks only assess routable shards, so the
                 # dead transition must be recorded here or never.
                 h = self.monitor.assess(
@@ -810,6 +930,15 @@ class TensaurusFleet:
                 shard.queue.append((req, ep))
                 shard.stats["routed"] += 1
                 record(now, req.request_id, "requeue", f"shard={sid}")
+                if rt.enabled:
+                    rid = req.request_id
+                    rt.event(rid, "requeue", now,
+                             parent=root_span.get(rid),
+                             attrs={"shard": sid, "epoch": ep})
+                    queue_span[rid] = rt.begin(
+                        rid, "queue", now, parent=root_span.get(rid),
+                        attrs={"shard": sid, "epoch": ep},
+                    )
             if bounce:
                 redeal(bounce, now)
 

@@ -236,12 +236,13 @@ class TensaurusServer:
         """Replay ``requests`` through the virtual-time event loop."""
         cfg = self.config
         met = obs.metrics()
+        rt = obs.request_tracer()
         admitted_c = met.counter("serving.admitted")
         shed_c = met.counter("serving.shed")
         degraded_c = met.counter("serving.degraded")
         hedged_c = met.counter("serving.hedged")
         latency_h = met.histogram("serving.latency_seconds")
-        breaker_g = met.gauge("serving.breaker_state")
+        breaker_g = met.gauge("serving.breaker_state", labels=("replica",))
 
         result = ServingResult(
             analytic_error_bound=self.ladder.analytic_error_bound
@@ -264,6 +265,10 @@ class TensaurusServer:
         # Bounded priority queue of waiting requests.
         queue: List[ServingRequest] = []
         free_at = [0.0] * cfg.replicas
+        # Request-trace bookkeeping (untouched when tracing is off).
+        root_span: Dict[int, int] = {}
+        queue_span: Dict[int, int] = {}
+        service_span: Dict[int, int] = {}
 
         def record(now: float, rid: int, event: str, info: str = "") -> None:
             log.append((round(now, 12), rid, event, info))
@@ -278,14 +283,37 @@ class TensaurusServer:
             counters["shed" if status == STATUS_SHED else "rejected"] += 1
             shed_c.inc()
             record(now, req.request_id, status, reason)
+            if rt.enabled:
+                rid = req.request_id
+                qs = queue_span.pop(rid, None)
+                if qs is not None:
+                    rt.end(rid, qs, now, attrs={"outcome": status})
+                root = root_span.get(rid)
+                rt.event(rid, status, now, parent=root,
+                         attrs={"reason": reason})
+                if root is not None:
+                    rt.end(rid, root, now, attrs={"status": status})
 
         def arrival(req: ServingRequest, now: float) -> None:
+            if rt.enabled:
+                root_span[req.request_id] = rt.begin(
+                    req.request_id, "request", req.arrival_s,
+                    attrs={
+                        "kernel": req.kernel, "workload": req.workload,
+                        "tenant": req.tenant, "priority": req.priority,
+                    },
+                )
             if self.draining:
                 shed(req, now, STATUS_REJECTED, "draining")
                 return
             if not cfg.shedding:
                 queue.append(req)
                 record(now, req.request_id, "enqueue", "naive")
+                if rt.enabled:
+                    queue_span[req.request_id] = rt.begin(
+                        req.request_id, "queue", now,
+                        parent=root_span.get(req.request_id),
+                    )
                 return
             ok, retry_after = self.bucket.try_acquire(now)
             if not ok:
@@ -306,6 +334,13 @@ class TensaurusServer:
             counters["admitted"] += 1
             admitted_c.inc()
             record(now, req.request_id, "admit", f"depth={len(queue)}")
+            if rt.enabled:
+                rid = req.request_id
+                rt.event(rid, "admit", now, parent=root_span.get(rid),
+                         attrs={"depth": len(queue)})
+                queue_span[rid] = rt.begin(
+                    rid, "queue", now, parent=root_span.get(rid)
+                )
 
         def pick_queued(now: float) -> ServingRequest:
             if not cfg.shedding:
@@ -351,6 +386,25 @@ class TensaurusServer:
                     latency_h.observe(resp.latency_s)
             else:
                 counters["failed"] += 1
+            if rt.enabled:
+                rid = req.request_id
+                root = root_span.get(rid)
+                if resp.start_s is not None and resp.finish_s is not None:
+                    qs = queue_span.pop(rid, None)
+                    if qs is not None:
+                        rt.end(rid, qs, resp.start_s,
+                               attrs={"tier": resp.tier})
+                    sid = rt.begin(
+                        rid, "service", resp.start_s, parent=root,
+                        attrs={"tier": resp.tier, "replica": resp.replica,
+                               "hedged": resp.hedged},
+                    )
+                    rt.end(rid, sid, resp.finish_s)
+                    service_span[rid] = sid
+                if root is not None and resp.finish_s is not None:
+                    rt.end(rid, root, resp.finish_s,
+                           attrs={"status": resp.status, "tier": resp.tier,
+                                  "degraded": resp.degraded})
 
         def run_analytic(req: ServingRequest, item, now: float,
                          start: float, reason: str) -> ServingResponse:
@@ -416,9 +470,11 @@ class TensaurusServer:
             nominal = self._nominal_s(tier, item.nnz)
             factor = self._speed_factor(req.request_id, replica, "primary")
             try:
-                report, degraded, err = self.ladder.execute(
-                    tier, item, req.kernel, self.accelerators[replica]
-                )
+                with rt.activate(req.request_id,
+                                 root_span.get(req.request_id)):
+                    report, degraded, err = self.ladder.execute(
+                        tier, item, req.kernel, self.accelerators[replica]
+                    )
             except FaultError as exc:
                 counters["faults"] += 1
                 self.breakers[replica].record_failure(now)
@@ -430,6 +486,11 @@ class TensaurusServer:
                 _push_free_event(detect)
                 record(now, req.request_id, "fault",
                        f"replica={replica}:{type(exc).__name__}")
+                if rt.enabled:
+                    rt.event(req.request_id, "fault", now,
+                             parent=root_span.get(req.request_id),
+                             attrs={"replica": replica,
+                                    "error": type(exc).__name__})
                 if cfg.shedding:
                     finish_response(
                         run_analytic(req, item, now, detect, "fault"), req
@@ -508,6 +569,17 @@ class TensaurusServer:
             )
             record(now, req.request_id, "complete",
                    f"{tier}@{hedge_replica if hedge_won else replica}")
+            if hedged and rt.enabled:
+                # The hedge overlaps the primary (first-wins) — recorded
+                # as a child of the service span; Chrome export uses "X"
+                # complete events, so the overlap is representable.
+                hid = rt.begin(
+                    req.request_id, "hedge", hedge_start,
+                    parent=service_span.get(req.request_id),
+                    attrs={"replica": hedge_replica},
+                )
+                rt.end(req.request_id, hid, finish,
+                       attrs={"won": hedge_won})
 
         def _push_free_event(when: float) -> None:
             nonlocal seq

@@ -341,11 +341,17 @@ class TensaurusDevice:
         def attempt(attempt_idx: int) -> SimReport:
             check_abort()
             start = self._clock()
+            span_args = {
+                "launch": self._launch_count, "attempt": attempt_idx,
+            }
+            # When a fleet request is being served, stamp its trace id
+            # on the launch span so host flamegraphs join against the
+            # request tree.
+            context = obs.current_context()
+            if context is not None:
+                span_args["trace_id"], span_args["span_id"] = context
             try:
-                with obs.tracer().span(
-                    "driver.launch",
-                    args={"launch": self._launch_count, "attempt": attempt_idx},
-                ):
+                with obs.tracer().span("driver.launch", args=span_args):
                     report = run()
             except (FaultError, SimulationError) as exc:
                 self._bump("faults")

@@ -360,3 +360,108 @@ class TestInstrumentedSimulator:
             _mttkrp_once(Tensaurus(TensaurusConfig()), tensor)
             trace = ob.tracer.chrome_trace()
         validate_chrome_trace(trace)
+
+
+class TestHistogramQuantiles:
+    def _hist(self, values, buckets=(0.01, 0.1, 1.0)):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "test", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_quantile_validates_range(self):
+        h = self._hist([0.05])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = self._hist([])
+        assert h.quantile(0.5) is None
+        assert h.quantiles() == {"p50": None, "p90": None, "p99": None}
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        h = self._hist([0.05] * 10)
+        # Interpolation inside the (0.01, 0.1] bucket can't escape the
+        # observed min/max.
+        assert h.quantile(0.0) == pytest.approx(0.05)
+        assert h.quantile(1.0) == pytest.approx(0.05)
+        assert 0.01 <= h.quantile(0.5) <= 0.1
+
+    def test_quantile_orders_buckets(self):
+        h = self._hist([0.005] * 50 + [0.5] * 50)
+        assert h.quantile(0.25) <= 0.01
+        assert h.quantile(0.75) > 0.1
+
+    def test_overflow_bucket_returns_max(self):
+        h = self._hist([0.005, 5.0, 9.0])
+        assert h.quantile(0.99) == pytest.approx(9.0)
+
+    def test_snapshot_and_render_carry_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(0.01, 0.1))
+        for v in (0.005, 0.05, 0.2):
+            h.observe(v)
+        snap = reg.snapshot()
+        q = snap["lat"]["value"]["quantiles"]
+        assert set(q) == {"p50", "p90", "p99"}
+        assert "p99" in reg.render()
+        assert (
+            json.loads(reg.to_json())["lat"]["value"]["quantiles"] == q
+        )
+
+
+class TestLogTraceCorrelation:
+    def test_active_span_ids_injected(self, tmp_path):
+        from repro.obs import RequestTracer
+
+        path = tmp_path / "log.jsonl"
+        obs.configure_logging(level="INFO", json_path=str(path))
+        try:
+            rt = RequestTracer(seed=3)
+            root = rt.begin(5, "request", 0.0)
+            with rt.activate(5, root):
+                obs.get_logger("test").info("inside span")
+            obs.get_logger("test").info("outside span")
+            for handler in logging.getLogger("repro").handlers:
+                handler.flush()
+            records = [json.loads(l) for l in path.read_text().splitlines()]
+            inside = next(r for r in records if r["msg"] == "inside span")
+            outside = next(r for r in records if r["msg"] == "outside span")
+            assert inside["trace_id"] == rt.trace_id(5)
+            assert inside["span_id"] == root
+            assert "trace_id" not in outside
+        finally:
+            obs.configure_logging(level="WARNING")
+            for handler in list(logging.getLogger("repro").handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    logging.getLogger("repro").removeHandler(handler)
+                    handler.close()
+
+
+class TestTracerBind:
+    def test_bind_merges_and_restores(self):
+        tr = Tracer()
+        with tr.bind(shard=1):
+            tr.add_launch("work", 100)
+            with tr.bind(shard=2, replica=0):
+                tr.add_launch("inner", 100)
+            tr.add_launch("after", 100, args={"nnz": 9})
+        tr.add_launch("unbound", 100)
+        begins = {
+            e["name"]: e.get("args", {})
+            for e in tr.chrome_trace()["traceEvents"]
+            if e["ph"] == "B" and e["cat"] == "sim.launch"
+        }
+        assert begins["work"] == {"shard": 1}
+        assert begins["inner"] == {"shard": 2, "replica": 0}
+        # Explicit args win on collision but keep the bound context.
+        assert begins["after"] == {"shard": 1, "nnz": 9}
+        assert begins["unbound"] == {}
+
+    def test_null_tracer_bind_is_noop(self):
+        tr = NullTracer()
+        with tr.bind(shard=1):
+            pass

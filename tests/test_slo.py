@@ -1,0 +1,190 @@
+"""Tests for SLO objectives and burn-rate alerting (:mod:`repro.obs.slo`).
+
+Validation of objective/window declarations, goodness semantics per kind,
+the multi-window fire/clear state machine on hand-built event streams, and
+the determinism contract on real fleet replays: same seed, bit-identical
+alert log digest.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    KIND_DEADLINE,
+    KIND_ERROR,
+    KIND_LATENCY,
+    BurnWindow,
+    SLOMonitor,
+    SLOObjective,
+    default_objectives,
+    evaluate,
+)
+from repro.serving import (
+    FleetConfig,
+    TensaurusFleet,
+    WorkloadPool,
+    synthetic_trace,
+)
+
+SEED = 29
+
+
+def _resp(rid, arrival, finish, status="ok", deadline_hit=True):
+    latency = None if finish is None else finish - arrival
+    return SimpleNamespace(
+        request_id=rid, arrival_s=arrival, finish_s=finish,
+        latency_s=latency, status=status, deadline_hit=deadline_hit,
+    )
+
+
+def _result(responses):
+    return SimpleNamespace(responses=list(responses))
+
+
+class TestDeclarations:
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SLOObjective("x", "bogus", 0.9)
+        with pytest.raises(ValueError):
+            SLOObjective("x", KIND_ERROR, 1.0)
+        with pytest.raises(ValueError):
+            SLOObjective("x", KIND_ERROR, 0.0)
+        # threshold_s required iff latency kind
+        with pytest.raises(ValueError):
+            SLOObjective("x", KIND_LATENCY, 0.99)
+        with pytest.raises(ValueError):
+            SLOObjective("x", KIND_ERROR, 0.999, threshold_s=0.05)
+        obj = SLOObjective("x", KIND_ERROR, 0.999)
+        assert obj.budget == pytest.approx(0.001)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow(long=0.1, short=0.2, burn=6.0)  # short > long
+        with pytest.raises(ValueError):
+            BurnWindow(long=0.1, short=0.05, burn=0.0)
+        assert BurnWindow(0.1, 0.0125, 14.4).label() == "0.1/0.0125rel@14.4x"
+
+    def test_monitor_rejects_duplicate_names(self):
+        dup = (
+            SLOObjective("a", KIND_ERROR, 0.99),
+            SLOObjective("a", KIND_ERROR, 0.999),
+        )
+        with pytest.raises(ValueError):
+            SLOMonitor(dup)
+
+    def test_default_objectives_shape(self):
+        objs = default_objectives()
+        assert [o.kind for o in objs] == [KIND_DEADLINE, KIND_LATENCY,
+                                          KIND_ERROR]
+
+
+class TestGoodness:
+    def test_deadline_kind(self):
+        good = _resp(1, 0.0, 0.01)
+        missed = _resp(2, 0.0, 0.10, deadline_hit=False)
+        rejected = _resp(3, 0.0, None, status="rejected")
+        obj = SLOObjective("d", KIND_DEADLINE, 0.9)
+        rep = SLOMonitor([obj]).evaluate(_result([good, missed, rejected]))
+        assert rep.objectives["d"]["good"] == 1
+        assert rep.objectives["d"]["bad"] == 2
+
+    def test_latency_kind(self):
+        fast = _resp(1, 0.0, 0.01)
+        slow = _resp(2, 0.0, 0.09)
+        obj = SLOObjective("l", KIND_LATENCY, 0.99, threshold_s=0.05)
+        rep = SLOMonitor([obj]).evaluate(_result([fast, slow]))
+        assert rep.objectives["l"]["good"] == 1
+
+    def test_error_kind_ignores_load_shedding(self):
+        ok = _resp(1, 0.0, 0.01)
+        shed = _resp(2, 0.0, None, status="rejected")
+        failed = _resp(3, 0.0, None, status="failed")
+        obj = SLOObjective("e", KIND_ERROR, 0.999)
+        rep = SLOMonitor([obj]).evaluate(_result([ok, shed, failed]))
+        assert rep.objectives["e"]["good"] == 2
+        assert rep.objectives["e"]["bad"] == 1
+        assert not rep.objectives["e"]["met"]
+
+
+class TestBurnAlerts:
+    def _burst_result(self):
+        # 1s of healthy traffic, then a dense burst of deadline misses.
+        responses = [
+            _resp(i, i * 0.01, i * 0.01 + 0.005) for i in range(100)
+        ]
+        responses += [
+            _resp(100 + i, 1.0 + i * 0.001, 1.0 + i * 0.001 + 0.004,
+                  deadline_hit=False)
+            for i in range(30)
+        ]
+        return _result(responses)
+
+    def test_alert_fires_and_ends(self):
+        # A 99% objective leaves a 1% budget, so the burst's ~57% windowed
+        # bad rate is a ~57x burn — far over both default thresholds.
+        obj = SLOObjective("d", KIND_DEADLINE, 0.99)
+        rep = SLOMonitor([obj]).evaluate(self._burst_result())
+        assert rep.fired
+        states = [a[3] for a in rep.alerts]
+        assert states[0] == "fire"
+        # An alert still firing at the horizon is closed with "end".
+        assert set(states) <= {"fire", "clear", "end"}
+
+    def test_healthy_stream_never_fires(self):
+        responses = [_resp(i, i * 0.01, i * 0.01 + 0.005) for i in range(50)]
+        rep = evaluate(_result(responses))
+        assert rep.alerts == []
+        assert rep.ok
+
+    def test_absolute_windows(self):
+        obj = SLOObjective("d", KIND_DEADLINE, 0.99)
+        windows = (BurnWindow(0.5, 0.1, 2.0, relative=False),)
+        rep = SLOMonitor([obj], windows).evaluate(self._burst_result())
+        assert rep.fired
+        assert all(a[2].endswith("s@2x") for a in rep.alerts)
+
+    def test_empty_stream(self):
+        rep = evaluate(_result([]))
+        assert rep.ok and rep.alerts == [] and rep.horizon_s == 0.0
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    def run():
+        pool = WorkloadPool(seed=SEED, variants=3)
+        trace = synthetic_trace(
+            pool, duration_s=0.4, base_rate=150.0, spike_factor=5.0,
+            deadline_s=0.05, seed=SEED, tenants=("acme", "beta"),
+        )
+        cfg = FleetConfig(seed=SEED, shards=3, replicas_per_shard=2,
+                          queue_depth=64)
+        return TensaurusFleet(cfg, pool=pool).run_trace(trace)
+
+    return run(), run()
+
+
+class TestDeterminism:
+    def test_replay_digest_bit_identical(self, fleet_result):
+        first, second = fleet_result
+        rep1 = evaluate(first)
+        rep2 = evaluate(second)
+        assert rep1.digest() == rep2.digest()
+        assert rep1.alerts == rep2.alerts
+
+    def test_report_renders_and_serializes(self, fleet_result):
+        rep = evaluate(fleet_result[0])
+        text = rep.as_table()
+        assert "deadline-hit" in text and "availability" in text
+        import json
+
+        payload = json.loads(rep.to_json())
+        assert payload["digest"] == rep.digest()
+        assert set(payload["objectives"]) == {
+            "deadline-hit", "latency-p99", "availability",
+        }
+
+    def test_windows_default_are_sre_shaped(self):
+        assert len(DEFAULT_WINDOWS) == 2
+        assert DEFAULT_WINDOWS[0].burn > DEFAULT_WINDOWS[1].burn
