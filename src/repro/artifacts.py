@@ -26,6 +26,7 @@ Pieces:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -34,7 +35,10 @@ from typing import Any, Callable, Dict, Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.sim.batch import fingerprint_arrays
+
+logger = obs.get_logger(__name__)
 
 _SCHEMA_VERSION = 1
 
@@ -203,6 +207,113 @@ class ArtifactStore:
                 pass
             return
         self.bytes_written += len(blob)
+
+    # ------------------------------------------------------------------
+    # Namespace index: a human-readable JSON sidecar mapping entry keys
+    # to metadata (the chaos regression corpus keeps its manifest here).
+    # The pickled blobs stay authoritative — a torn or truncated index is
+    # detected, rebuilt from the blobs on disk, and warned about, never
+    # allowed to poison the store.
+    # ------------------------------------------------------------------
+    def index_path(self, namespace: str) -> Path:
+        return self.root / namespace / "index.json"
+
+    def write_index(self, namespace: str, entries: Dict[str, Any]) -> Optional[Path]:
+        """Atomically write ``entries`` as the namespace's ``index.json``."""
+        if not self.enabled:
+            return None
+        path = self.index_path(namespace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(entries, indent=2, sort_keys=True).encode()
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+        self.bytes_written += len(blob)
+        return path
+
+    def read_index(
+        self,
+        namespace: str,
+        recover: Optional[Callable[[Path, Any], Optional[tuple]]] = None,
+    ) -> Dict[str, Any]:
+        """The namespace's index mapping; ``{}`` when none exists.
+
+        A truncated / partially-written / otherwise invalid ``index.json``
+        is *detected* (counted in ``read_errors``, logged as a warning)
+        and the index is rebuilt from the pickled blobs on disk: each blob
+        is loaded and handed to ``recover(path, value)``, which returns a
+        ``(key, metadata)`` pair to re-index it under (or ``None`` to skip
+        it). The rebuilt index is written back so the next reader gets a
+        clean file. Without a ``recover`` hook, corruption degrades to an
+        empty index — a warning, never a crash.
+        """
+        if not self.enabled:
+            return {}
+        path = self.index_path(namespace)
+        if not path.exists():
+            # No index at all: with a recover hook, treat a deleted /
+            # never-written index the same as a corrupt one and rebuild
+            # from whatever blobs exist (an empty namespace rebuilds to
+            # {} without touching disk).
+            if recover is not None and self.list_namespace(namespace):
+                entries = self._rebuild_index(namespace, recover)
+                self.write_index(namespace, entries)
+                return entries
+            return {}
+        try:
+            blob = path.read_bytes()
+            entries = json.loads(blob)
+            if not isinstance(entries, dict):
+                raise ValueError(
+                    f"index root is {type(entries).__name__}, expected object"
+                )
+        except Exception as exc:
+            self.read_errors += 1
+            logger.warning(
+                "corrupt index for namespace %r (%s); rebuilding from "
+                "on-disk blobs", namespace, exc,
+            )
+            entries = self._rebuild_index(namespace, recover)
+            self.write_index(namespace, entries)
+            return entries
+        self.bytes_read += len(blob)
+        return entries
+
+    def _rebuild_index(
+        self,
+        namespace: str,
+        recover: Optional[Callable[[Path, Any], Optional[tuple]]],
+    ) -> Dict[str, Any]:
+        entries: Dict[str, Any] = {}
+        if recover is None:
+            return entries
+        for path in self.list_namespace(namespace):
+            try:
+                value = pickle.loads(path.read_bytes())
+            except Exception:
+                self.read_errors += 1
+                logger.warning(
+                    "skipping unreadable blob %s during index rebuild", path
+                )
+                continue
+            pair = recover(path, value)
+            if pair is None:
+                continue
+            key, meta = pair
+            entries[str(key)] = meta
+        logger.warning(
+            "rebuilt index for namespace %r with %d entr%s",
+            namespace, len(entries), "y" if len(entries) == 1 else "ies",
+        )
+        return entries
 
     # ------------------------------------------------------------------
     def list_namespace(self, namespace: str) -> list:

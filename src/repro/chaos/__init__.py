@@ -1,0 +1,65 @@
+"""Jepsen-style chaos verification for the Tensaurus serving stack.
+
+The fleet claims strong guarantees — exactly-once completion under
+shard kills, zero lost admitted work, bit-identical seeded replay,
+trace/latency reconciliation, calibrated degraded-tier error bounds.
+This package verifies them across the *space* of fault schedules rather
+than at hand-picked points:
+
+- :mod:`repro.chaos.schedule` — typed fault events (shard kills, HBM
+  outages/stalls, PE dropouts, launch aborts, breaker storms) composed
+  over virtual time into a :class:`~repro.chaos.schedule.ChaosSchedule`
+  that layers onto :class:`repro.sim.faults.FaultPlan`, with exact
+  JSON round-trip;
+- :mod:`repro.chaos.invariants` — the system's guarantees as composable
+  checkers over one executed run's observation;
+- :mod:`repro.chaos.search` — budgeted seeded randomized search: run
+  the deterministic fleet under each schedule, check every invariant;
+- :mod:`repro.chaos.shrink` — delta-debug a failing schedule to a
+  minimal reproducer (event-subset then parameter shrinking, with the
+  deterministic fleet as the oracle);
+- :mod:`repro.chaos.corpus` — an :class:`repro.artifacts.ArtifactStore`
+  -backed regression corpus of shrunk reproducers that CI replays on
+  every commit.
+"""
+
+from repro.chaos.corpus import ChaosCorpus
+from repro.chaos.invariants import (
+    DEFAULT_INVARIANTS,
+    ChaosObservation,
+    Violation,
+    check_all,
+)
+from repro.chaos.schedule import (
+    BREAKER_STORM,
+    EVENT_KINDS,
+    ChaosEvent,
+    ChaosSchedule,
+    ScheduleGenerator,
+)
+from repro.chaos.search import (
+    MUTATIONS,
+    ChaosRunner,
+    ChaosSearch,
+    SearchOutcome,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_schedule
+
+__all__ = [
+    "BREAKER_STORM",
+    "EVENT_KINDS",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ScheduleGenerator",
+    "ChaosObservation",
+    "Violation",
+    "DEFAULT_INVARIANTS",
+    "check_all",
+    "ChaosRunner",
+    "ChaosSearch",
+    "SearchOutcome",
+    "MUTATIONS",
+    "ShrinkResult",
+    "shrink_schedule",
+    "ChaosCorpus",
+]

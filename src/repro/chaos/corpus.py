@@ -1,0 +1,116 @@
+"""An :class:`~repro.artifacts.ArtifactStore`-backed regression corpus.
+
+Every shrunk reproducer (or deliberately nasty hand-built schedule)
+lands here; CI replays the whole corpus on every commit and fails on
+any invariant violation. Blobs are the authoritative record — each
+payload embeds its own key, so the human-readable ``index.json``
+manifest can always be rebuilt from the blobs via the store's
+:meth:`~repro.artifacts.ArtifactStore.read_index` recovery hook even
+when the index is truncated or lost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.artifacts import ArtifactStore
+from repro.chaos.invariants import DEFAULT_INVARIANTS, Checker, check_all
+from repro.chaos.schedule import ChaosSchedule
+from repro.chaos.search import ChaosRunner
+
+__all__ = ["ChaosCorpus"]
+
+logger = obs.get_logger(__name__)
+
+
+class ChaosCorpus:
+    """Persistent keyed collection of chaos schedules."""
+
+    NAMESPACE = "chaos-corpus"
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _recover(path, value) -> Optional[Tuple[str, Dict[str, object]]]:
+        """Index-rebuild hook: corpus payloads embed their own key."""
+        if (
+            isinstance(value, dict)
+            and isinstance(value.get("key"), str)
+            and isinstance(value.get("schedule"), dict)
+        ):
+            return value["key"], ChaosCorpus._meta(value)
+        return None
+
+    @staticmethod
+    def _meta(payload: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "events": len(payload["schedule"].get("events", [])),
+            "invariants": list(payload.get("invariants", [])),
+            "note": payload.get("note", ""),
+        }
+
+    def _index(self) -> Dict[str, Dict[str, object]]:
+        return self.store.read_index(self.NAMESPACE, recover=self._recover)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        schedule: ChaosSchedule,
+        invariants: Sequence[str] = (),
+        note: str = "",
+    ) -> str:
+        """Persist a schedule; returns its content-derived key."""
+        key = f"case-{schedule.digest()}"
+        payload = {
+            "key": key,
+            "schedule": schedule.to_json(),
+            "invariants": list(invariants),
+            "note": note,
+        }
+        self.store.put(self.NAMESPACE, (key,), payload)
+        index = self._index()
+        index[key] = self._meta(payload)
+        self.store.write_index(self.NAMESPACE, index)
+        return key
+
+    def keys(self) -> List[str]:
+        return sorted(self._index())
+
+    def get(self, key: str) -> ChaosSchedule:
+        payload = self.store.load(self.NAMESPACE, (key,))
+        if payload is None:
+            raise KeyError(f"no corpus entry {key!r}")
+        return ChaosSchedule.from_json(payload["schedule"])
+
+    def entries(self) -> List[Tuple[str, ChaosSchedule]]:
+        return [(key, self.get(key)) for key in self.keys()]
+
+    def __len__(self) -> int:
+        return len(self._index())
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        runner: ChaosRunner,
+        invariants: Optional[Dict[str, Checker]] = None,
+    ) -> Dict[str, List[Dict[str, object]]]:
+        """Re-run every stored schedule; key -> violations (empty = pass).
+
+        CI calls this and fails the build if any value is non-empty.
+        """
+        inv = dict(invariants or DEFAULT_INVARIANTS)
+        results: Dict[str, List[Dict[str, object]]] = {}
+        for key, schedule in self.entries():
+            observation = runner.run(schedule)
+            violations = check_all(observation, inv)
+            results[key] = [v.to_json() for v in violations]
+            if violations:
+                logger.warning(
+                    "corpus case %s regressed: %s",
+                    key,
+                    sorted({v.invariant for v in violations}),
+                )
+        return results

@@ -1,0 +1,182 @@
+"""Delta-debugging failing chaos schedules to minimal reproducers.
+
+Classic ddmin over the event tuple — try dropping chunks at increasing
+granularity, keep any subset that still trips the target invariants —
+followed by a parameter-shrinking pass that simplifies the surviving
+events (halve magnitudes toward the small end, pull event times to 0,
+renumber kill targets downward). The deterministic fleet is the oracle:
+a schedule either reproduces the violation on every run or never does,
+so one oracle call per candidate is conclusive. Oracle verdicts are
+memoized by schedule digest; the determinism-replay and checkpoint legs
+are skipped unless the invariants being chased need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.chaos.invariants import DEFAULT_INVARIANTS, Checker
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.chaos.search import ChaosRunner
+
+__all__ = ["ShrinkResult", "shrink_schedule"]
+
+#: Stop parameter-shrink passes after this many full sweeps.
+_MAX_PARAM_PASSES = 4
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal reproducer and its cost."""
+
+    original: ChaosSchedule
+    minimal: ChaosSchedule
+    target: List[str]
+    oracle_calls: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """Minimal event count over original (1.0 = no shrink)."""
+        if self.original.event_count == 0:
+            return 1.0
+        return self.minimal.event_count / self.original.event_count
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "target": list(self.target),
+            "oracle_calls": self.oracle_calls,
+            "ratio": self.ratio,
+            "original_events": self.original.event_count,
+            "minimal_events": self.minimal.event_count,
+            "minimal": self.minimal.to_json(),
+        }
+
+
+class _Oracle:
+    """Memoized 'does this schedule still fail the same way?' predicate."""
+
+    def __init__(
+        self,
+        runner: ChaosRunner,
+        target: Set[str],
+        invariants: Dict[str, Checker],
+    ) -> None:
+        self.runner = runner
+        self.target = target
+        self.invariants = invariants
+        self.calls = 0
+        self._memo: Dict[str, bool] = {}
+        # Only pay for the expensive legs when they can matter.
+        self.replay = "determinism" in target
+        self.checkpoint = "checkpoint_resume" in target
+
+    def fails(self, schedule: ChaosSchedule) -> bool:
+        key = schedule.digest()
+        if key not in self._memo:
+            self.calls += 1
+            violated = set(self.runner.violated(
+                schedule, self.invariants,
+                replay=self.replay, checkpoint=self.checkpoint,
+            ))
+            self._memo[key] = self.target <= violated
+        return self._memo[key]
+
+
+def _ddmin(
+    events: List[ChaosEvent],
+    base: ChaosSchedule,
+    oracle: _Oracle,
+) -> List[ChaosEvent]:
+    """Zeller-style minimizing delta debugging over the event list."""
+    granularity = 2
+    while len(events) >= 2:
+        size = len(events)
+        chunk = max(1, size // granularity)
+        chunks = [events[i:i + chunk] for i in range(0, size, chunk)]
+        reduced = False
+        for i in range(len(chunks)):
+            complement = [
+                ev for j, c in enumerate(chunks) for ev in c if j != i
+            ]
+            if complement and oracle.fails(base.with_events(complement)):
+                events = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    if len(events) == 1:
+        return events
+    return events
+
+
+def _shrink_params(
+    events: List[ChaosEvent],
+    base: ChaosSchedule,
+    oracle: _Oracle,
+) -> List[ChaosEvent]:
+    """Simplify surviving events one field at a time (keep what fails)."""
+    for _ in range(_MAX_PARAM_PASSES):
+        changed = False
+        for i, ev in enumerate(events):
+            candidates: List[ChaosEvent] = []
+            if ev.magnitude > 0.01:
+                candidates.append(
+                    replace(ev, magnitude=round(ev.magnitude / 2, 6))
+                )
+            if ev.at > 0.0:
+                candidates.append(replace(ev, at=0.0))
+            if ev.target > 0:
+                candidates.append(replace(ev, target=0))
+            for cand in candidates:
+                trial = list(events)
+                trial[i] = cand
+                if oracle.fails(base.with_events(trial)):
+                    events = trial
+                    changed = True
+                    break
+        if not changed:
+            break
+    return events
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    runner: ChaosRunner,
+    target: Optional[Sequence[str]] = None,
+    invariants: Optional[Dict[str, Checker]] = None,
+) -> ShrinkResult:
+    """Shrink a failing schedule to a minimal reproducer.
+
+    ``target`` names the invariant(s) the reproducer must keep
+    violating; omitted, it is discovered from the schedule's own
+    failure. Raises ``ValueError`` if the schedule doesn't actually
+    fail — shrinking a passing schedule would minimize to nothing and
+    mask the caller's bug.
+    """
+    inv = dict(invariants or DEFAULT_INVARIANTS)
+    if target is None:
+        discovered = runner.violated(schedule, inv)
+        if not discovered:
+            raise ValueError(
+                "schedule violates no invariant; nothing to shrink"
+            )
+        target = discovered
+    oracle = _Oracle(runner, set(target), inv)
+    if not oracle.fails(schedule):
+        raise ValueError(
+            f"schedule does not violate {sorted(set(target))}; "
+            "nothing to shrink"
+        )
+    events = _ddmin(list(schedule.events), schedule, oracle)
+    events = _shrink_params(events, schedule, oracle)
+    minimal = schedule.with_events(events)
+    return ShrinkResult(
+        original=schedule,
+        minimal=minimal,
+        target=sorted(set(target)),
+        oracle_calls=oracle.calls,
+    )

@@ -42,6 +42,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
@@ -292,6 +293,60 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the full search outcome as JSON")
     tune.add_argument("--list", action="store_true",
                       help="print the tuned-config registry and exit")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="property-based fault-space verification: randomized "
+        "schedule search, counterexample shrinking, corpus replay",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    csearch = chaos_sub.add_parser(
+        "search",
+        help="run the deterministic fleet under randomized fault "
+        "schedules, checking every invariant on every run",
+    )
+    csearch.add_argument("--budget", type=int, default=50,
+                         help="schedules to explore")
+    csearch.add_argument("--seed", type=int, default=0,
+                         help="generator seed (search is a pure function "
+                         "of seed, start, and budget)")
+    csearch.add_argument("--start", type=int, default=0,
+                         help="first schedule index")
+    csearch.add_argument("--min-events", type=int, default=2)
+    csearch.add_argument("--max-events", type=int, default=10)
+    csearch.add_argument("--mutate", default=None, metavar="NAME",
+                         help="arm a named fault injection (mutation "
+                         "test): the search must CATCH it, and failures "
+                         "are shrunk to minimal reproducers")
+    csearch.add_argument("--corpus-dir", default=None, metavar="DIR",
+                         help="store shrunk reproducers in this corpus")
+    csearch.add_argument("--out", default=None, metavar="PATH",
+                         help="write the full search outcome as JSON")
+
+    cshrink = chaos_sub.add_parser(
+        "shrink",
+        help="delta-debug a failing schedule (JSON file) to a minimal "
+        "reproducer",
+    )
+    cshrink.add_argument("schedule", help="path to a ChaosSchedule JSON")
+    cshrink.add_argument("--mutate", default=None, metavar="NAME",
+                         help="arm a named fault injection while "
+                         "shrinking")
+    cshrink.add_argument("--out", default=None, metavar="PATH",
+                         help="write the minimal schedule as JSON")
+
+    creplay = chaos_sub.add_parser(
+        "replay",
+        help="re-run every schedule in a regression corpus; exit 1 on "
+        "any invariant violation",
+    )
+    creplay.add_argument("--corpus-dir", required=True, metavar="DIR")
+    creplay.add_argument("--mutate", default=None, metavar="NAME",
+                         help="arm a named fault injection (the replay "
+                         "is then expected to fail)")
+    creplay.add_argument("--out", default=None, metavar="PATH",
+                         help="write per-case results as JSON")
     return parser
 
 
@@ -896,6 +951,134 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_runner(mutate: Optional[str]):
+    from repro.chaos import MUTATIONS, ChaosRunner
+
+    mutator = None
+    if mutate is not None:
+        try:
+            mutator = MUTATIONS[mutate]
+        except KeyError:
+            raise SystemExit(
+                f"unknown mutation {mutate!r}; have {sorted(MUTATIONS)}"
+            )
+    return ChaosRunner(mutator=mutator)
+
+
+def _cmd_chaos_search(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactStore
+    from repro.chaos import (
+        ChaosCorpus, ChaosSearch, ScheduleGenerator, shrink_schedule,
+    )
+
+    runner = _chaos_runner(args.mutate)
+    generator = ScheduleGenerator(
+        seed=args.seed, min_events=args.min_events,
+        max_events=args.max_events,
+    )
+    outcome = ChaosSearch(runner, generator).run(
+        args.budget, start=args.start
+    )
+    print(
+        f"explored {outcome.schedules_run} schedules in "
+        f"{outcome.elapsed_s:.2f}s ({outcome.schedules_per_s:.1f}/s), "
+        f"{outcome.violation_count} violation(s) across "
+        f"{len(outcome.failures)} schedule(s)"
+    )
+    shrunk = []
+    if outcome.failures:
+        for sched, violations in outcome.failures:
+            names = sorted({v.invariant for v in violations})
+            result = shrink_schedule(sched, runner, target=names)
+            shrunk.append(result)
+            print(
+                f"  {', '.join(names)}: shrunk {sched.event_count} -> "
+                f"{result.minimal.event_count} events "
+                f"(ratio {result.ratio:.2f}, "
+                f"{result.oracle_calls} oracle calls)"
+            )
+        if args.corpus_dir:
+            corpus = ChaosCorpus(ArtifactStore(root=args.corpus_dir))
+            for result in shrunk:
+                key = corpus.add(
+                    result.minimal, invariants=result.target,
+                    note=f"shrunk from {result.original.event_count} "
+                    f"events (seed {result.original.seed})",
+                )
+                print(f"  stored reproducer {key}")
+    if args.out:
+        data = outcome.to_json()
+        data["shrunk"] = [r.to_json() for r in shrunk]
+        with open(args.out, "w") as fh:
+            json.dump(data, fh, indent=1)
+        print(f"wrote search outcome to {args.out}")
+    if args.mutate is not None:
+        # Mutation testing: the armed bug MUST be caught.
+        if not outcome.failures:
+            print(f"mutation {args.mutate!r} went UNDETECTED")
+            return 1
+        return 0
+    return 1 if outcome.failures else 0
+
+
+def _cmd_chaos_shrink(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosSchedule, shrink_schedule
+
+    with open(args.schedule) as fh:
+        schedule = ChaosSchedule.from_json(json.load(fh))
+    runner = _chaos_runner(args.mutate)
+    result = shrink_schedule(schedule, runner)
+    print(
+        f"shrunk {result.original.event_count} -> "
+        f"{result.minimal.event_count} events (ratio {result.ratio:.2f}) "
+        f"for {', '.join(result.target)} in {result.oracle_calls} "
+        "oracle calls"
+    )
+    for ev in result.minimal.events:
+        print(f"  {ev.kind} at={ev.at} target={ev.target} "
+              f"magnitude={ev.magnitude}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.minimal.to_json(), fh, indent=1)
+        print(f"wrote minimal schedule to {args.out}")
+    return 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.artifacts import ArtifactStore
+    from repro.chaos import ChaosCorpus
+
+    corpus = ChaosCorpus(ArtifactStore(root=args.corpus_dir))
+    if not len(corpus):
+        print(f"corpus at {args.corpus_dir} is empty")
+        return 1
+    runner = _chaos_runner(args.mutate)
+    results = corpus.replay(runner)
+    regressed = {k: v for k, v in results.items() if v}
+    for key in sorted(results):
+        names = sorted({v["invariant"] for v in results[key]})
+        status = f"FAIL ({', '.join(names)})" if names else "ok"
+        print(f"  {key}: {status}")
+    print(
+        f"replayed {len(results)} corpus case(s), "
+        f"{len(regressed)} regressed"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=1)
+    return 1 if regressed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "search":
+        return _cmd_chaos_search(args)
+    if args.chaos_command == "shrink":
+        return _cmd_chaos_shrink(args)
+    if args.chaos_command == "replay":
+        return _cmd_chaos_replay(args)
+    raise SystemExit(f"unknown chaos command {args.chaos_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -924,6 +1107,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_tune(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -36,6 +36,11 @@ from repro.obs.metrics import (
     NullRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.probe import (
+    ChaosProbe,
+    NullProbe,
+    NULL_PROBE,
+)
 from repro.obs.reqtrace import (
     NullRequestTracer,
     RequestTracer,
@@ -71,6 +76,9 @@ __all__ = [
     "RequestTracer",
     "NullRequestTracer",
     "NULL_REQUEST_TRACER",
+    "ChaosProbe",
+    "NullProbe",
+    "NULL_PROBE",
     "current_context",
     "get_logger",
     "configure_logging",
@@ -78,10 +86,12 @@ __all__ = [
     "tracer",
     "metrics",
     "request_tracer",
+    "probe",
     "enabled",
     "set_tracer",
     "set_registry",
     "set_request_tracer",
+    "set_probe",
     "observe",
     "Observation",
 ]
@@ -89,6 +99,7 @@ __all__ = [
 _TRACER: Union[Tracer, NullTracer] = NULL_TRACER
 _REGISTRY: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
 _REQUEST_TRACER: Union[RequestTracer, NullRequestTracer] = NULL_REQUEST_TRACER
+_PROBE: Union[ChaosProbe, NullProbe] = NULL_PROBE
 
 
 def tracer() -> Union[Tracer, NullTracer]:
@@ -106,9 +117,19 @@ def request_tracer() -> Union[RequestTracer, NullRequestTracer]:
     return _REQUEST_TRACER
 
 
+def probe() -> Union[ChaosProbe, NullProbe]:
+    """The active chaos probe (null unless one is installed)."""
+    return _PROBE
+
+
 def enabled() -> bool:
     """True when any observer (tracer/registry/request tracer) is live."""
-    return _TRACER.enabled or _REGISTRY.enabled or _REQUEST_TRACER.enabled
+    return (
+        _TRACER.enabled
+        or _REGISTRY.enabled
+        or _REQUEST_TRACER.enabled
+        or _PROBE.enabled
+    )
 
 
 def set_tracer(
@@ -141,12 +162,23 @@ def set_request_tracer(
     return previous
 
 
+def set_probe(
+    new: Optional[Union[ChaosProbe, NullProbe]],
+) -> Union[ChaosProbe, NullProbe]:
+    """Install ``new`` (or the null probe for None); returns the old one."""
+    global _PROBE
+    previous = _PROBE
+    _PROBE = new if new is not None else NULL_PROBE
+    return previous
+
+
 class Observation(NamedTuple):
     """The live observer bundle yielded by :func:`observe`."""
 
     tracer: Union[Tracer, NullTracer]
     registry: Union[MetricsRegistry, NullRegistry]
     requests: Union[RequestTracer, NullRequestTracer] = NULL_REQUEST_TRACER
+    probe: Union[ChaosProbe, NullProbe] = NULL_PROBE
 
 
 @contextmanager
@@ -155,13 +187,16 @@ def observe(
     registry: Optional[Union[MetricsRegistry, NullRegistry]] = None,
     micro: bool = False,
     requests: Union[bool, RequestTracer, NullRequestTracer] = False,
+    probe: Union[bool, ChaosProbe, NullProbe] = False,
 ) -> Iterator[Observation]:
     """Activate instrumentation for the duration of the block.
 
     Fresh ``Tracer(micro=...)`` / ``MetricsRegistry`` instances are
     created unless provided. ``requests=True`` additionally installs a
-    fresh :class:`RequestTracer` (or pass one in to control its seed).
-    The previous globals are restored on exit; the yielded
+    fresh :class:`RequestTracer` (or pass one in to control its seed);
+    ``probe=True`` installs a fresh :class:`ChaosProbe` recording the
+    typed lifecycle-event stream the chaos invariants consume. The
+    previous globals are restored on exit; the yielded
     :class:`Observation` keeps the collected data alive for export after
     the block.
     """
@@ -173,12 +208,20 @@ def observe(
         live_requests = NULL_REQUEST_TRACER
     else:
         live_requests = requests
+    if probe is True:
+        live_probe: Union[ChaosProbe, NullProbe] = ChaosProbe()
+    elif probe is False or probe is None:
+        live_probe = NULL_PROBE
+    else:
+        live_probe = probe
     prev_tracer = set_tracer(live_tracer)
     prev_registry = set_registry(live_registry)
     prev_requests = set_request_tracer(live_requests)
+    prev_probe = set_probe(live_probe)
     try:
-        yield Observation(live_tracer, live_registry, live_requests)
+        yield Observation(live_tracer, live_registry, live_requests, live_probe)
     finally:
         set_tracer(prev_tracer)
         set_registry(prev_registry)
         set_request_tracer(prev_requests)
+        set_probe(prev_probe)

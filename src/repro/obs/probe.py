@@ -1,0 +1,81 @@
+"""Chaos probe: a structured event tap for invariant checking.
+
+The serving layers emit *lifecycle facts* — "request admitted", "launch
+on replica r with breaker state s", "completion committed", "hedge twin
+cancelled" — through this seam. Unlike the tracer (timing spans) and
+the metrics registry (aggregates), the probe records the exact typed
+event stream the chaos invariants (:mod:`repro.chaos.invariants`) need
+to judge a run: breaker-safety wants the breaker state *at launch
+time*, exactly-once wants every commit/void/cancel with its epoch.
+
+Like every ``repro.obs`` observer it is opt-in and observational-only:
+the default :data:`NULL_PROBE` no-ops every call, instrumented code
+guards emission with ``pr.enabled``, and an active probe never changes
+the observed run's outputs (CI asserts bit-identical decision logs with
+and without it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["ChaosProbe", "NullProbe", "NULL_PROBE", "ProbeEvent"]
+
+#: One probe emission: ``(kind, fields)`` with deterministic field order.
+ProbeEvent = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+
+class ChaosProbe:
+    """Records typed lifecycle events emitted by instrumented code.
+
+    Events are ``(kind, ((field, value), ...))`` tuples in emission
+    order; field tuples are sorted by name so two runs that emit the
+    same facts produce identical streams regardless of call-site kwarg
+    order. The stream is append-only and cheap: one tuple per event.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[ProbeEvent] = []
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Record one event of ``kind`` with its keyword facts."""
+        self.events.append((kind, tuple(sorted(fields.items()))))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def of(self, kind: str) -> List[Dict[str, object]]:
+        """All events of ``kind``, each as a plain field dict."""
+        return [dict(f) for k, f in self.events if k == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` recorded so far."""
+        return self.counts.get(kind, 0)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts.clear()
+
+
+class NullProbe:
+    """No-op probe installed by default; every method does nothing."""
+
+    enabled = False
+    events: List[ProbeEvent] = []
+    counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, **fields: object) -> None:
+        pass
+
+    def of(self, kind: str) -> List[Dict[str, object]]:
+        return []
+
+    def count(self, kind: str) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_PROBE = NullProbe()

@@ -114,6 +114,13 @@ HEADLINES: Dict[str, Tuple[Rule, ...]] = {
         Rule(r"(trace_reconciles|slo_replay_deterministic"
              r"|openmetrics_roundtrip|observed_run_identical)", "gate"),
     ),
+    "BENCH_chaos": (
+        Rule(r"search\.violations", "lower", 0.0),
+        Rule(r"mutation\.ratio", "lower", 0.0),
+        Rule(r"(search_zero_violations|all_invariants_checked"
+             r"|replay_bit_identical|mutation_caught|shrink_ratio_ok"
+             r"|minimal_passes_clean|corpus_replay_clean)", "gate"),
+    ),
     "BENCH_tune": (
         Rule(r"kernels\.[^.]+\.speedup", "higher", 0.10),
         Rule(r"kernels\.[^.]+\.tuned_cycles", "lower", 0.0),

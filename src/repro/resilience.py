@@ -28,7 +28,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro import obs
-from repro.util.errors import ConfigError, FaultError, RetryExhaustedError
+from repro.util.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    FaultError,
+    RetryExhaustedError,
+)
 from repro.util.rng import DEFAULT_SEED, derive_seed, make_rng
 
 logger = obs.get_logger(__name__)
@@ -119,8 +124,23 @@ class RetryPolicy:
 
     def for_deadline(self, remaining_s: float) -> "RetryPolicy":
         """This policy clamped to a remaining time budget (the tighter of
-        the existing ``max_elapsed_s`` and ``remaining_s``)."""
-        budget = max(0.0, float(remaining_s))
+        the existing ``max_elapsed_s`` and ``remaining_s``).
+
+        A deadline that has already elapsed raises
+        :class:`~repro.util.errors.DeadlineExceededError` immediately:
+        the old clamp-to-zero behavior still burned one doomed attempt
+        (``retry_call`` always executes the first try before consulting
+        the budget), wasting a launch on a request whose answer nobody
+        is waiting for.
+        """
+        remaining = float(remaining_s)
+        if remaining <= 0.0:
+            raise DeadlineExceededError(
+                f"deadline elapsed {-remaining:.3f}s ago; refusing to "
+                "start a retry loop for it",
+                deadline_s=remaining,
+            )
+        budget = remaining
         if self.max_elapsed_s is not None:
             budget = min(budget, self.max_elapsed_s)
         return dataclasses.replace(self, max_elapsed_s=budget)

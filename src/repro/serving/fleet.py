@@ -52,6 +52,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.serving.breaker import BREAKER_HALF_OPEN
 from repro.serving.config import ServingConfig
 from repro.serving.health import (
     HEALTH_CRITICAL,
@@ -140,6 +141,12 @@ class FleetConfig:
     #: ticks continue this long past the last arrival (lets the fleet
     #: drain, scale down, and flush every completion).
     horizon_pad_s: float = 0.3
+    #: fleet-level hedged launches: when a full-tier primary draws a slow
+    #: speed factor, a twin launch races it on another replica and the
+    #: first completion wins (the loser resolves as ``hedge_cancelled``,
+    #: never as a duplicate). Off by default — hedging adds events to the
+    #: loop, so enabling it changes decision logs.
+    hedging: bool = False
     tenant_default: TenantQuota = field(default_factory=TenantQuota)
     tenant_quotas: Tuple[Tuple[str, TenantQuota], ...] = ()
     serving: ServingConfig = field(default_factory=ServingConfig)
@@ -317,6 +324,7 @@ class TensaurusFleet:
         fault_plan: Optional[FaultPlan] = None,
         pool: Optional[WorkloadPool] = None,
         calibrate: bool = True,
+        ladder: Optional[DegradationLadder] = None,
     ) -> None:
         self.config = config or FleetConfig()
         self.sim_config = sim_config or TensaurusConfig()
@@ -324,12 +332,17 @@ class TensaurusFleet:
         self.pool = (
             pool if pool is not None else WorkloadPool(self.config.seed)
         )
-        error_bound = 0.0
-        if calibrate:
-            error_bound = calibrate_analytic_error(
-                self.sim_config, self.pool, seed=self.config.seed
-            )
-        self.ladder = DegradationLadder(self.sim_config, error_bound)
+        if ladder is not None:
+            # Pre-calibrated ladder injection (the chaos search calibrates
+            # once and shares it across hundreds of fleets).
+            self.ladder = ladder
+        else:
+            error_bound = 0.0
+            if calibrate:
+                error_bound = calibrate_analytic_error(
+                    self.sim_config, self.pool, seed=self.config.seed
+                )
+            self.ladder = DegradationLadder(self.sim_config, error_bound)
         self.ring = HashRing(
             vnodes=self.config.vnodes,
             seed=derive_seed(self.config.seed, "ring"),
@@ -394,6 +407,7 @@ class TensaurusFleet:
         cfg = self.config
         met = obs.metrics()
         rt = obs.request_tracer()
+        pr = obs.probe()
         admitted_c = met.counter("fleet.admitted")
         rejected_c = met.counter("fleet.rejected")
         routed_c = met.counter("fleet.routed", labels=("shard",))
@@ -415,6 +429,7 @@ class TensaurusFleet:
             "voided_inflight": 0, "stale_completions": 0,
             "duplicate_completions": 0, "failover_overflow": 0,
             "scale_ups": 0, "scale_downs": 0,
+            "hedged": 0, "hedge_wins": 0, "hedge_cancelled": 0,
         }
         responses: Dict[int, ServingResponse] = {}
         admitted_ids: List[int] = []
@@ -464,6 +479,9 @@ class TensaurusFleet:
             counters["shed" if status == STATUS_SHED else "rejected"] += 1
             rejected_c.inc()
             record(now, req.request_id, status, reason)
+            if pr.enabled:
+                pr.emit("reject", rid=req.request_id, status=status,
+                        reason=reason, t=round(now, 12))
             if rt.enabled:
                 rid = req.request_id
                 qs = queue_span.pop(rid, None)
@@ -523,6 +541,9 @@ class TensaurusFleet:
             record(now, req.request_id, "admit",
                    f"tenant={req.tenant} shard={shard.sid} "
                    f"depth={len(shard.queue)}")
+            if pr.enabled:
+                pr.emit("admit", rid=req.request_id, tenant=req.tenant,
+                        shard=shard.sid, t=round(now, 12))
             if rt.enabled:
                 rid = req.request_id
                 rt.event(rid, "admit", now, parent=root_span.get(rid),
@@ -626,6 +647,10 @@ class TensaurusFleet:
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
                 record(now, rid, "dispatch", f"{TIER_ANALYTIC}@{shard.sid}")
+                if pr.enabled:
+                    pr.emit("launch", rid=rid, shard=shard.sid,
+                            replica=None, tier=TIER_ANALYTIC, epoch=ep,
+                            breaker=None, t=round(now, 12))
                 if rt.enabled:
                     note_service(resp, reason="tier")
                 return
@@ -641,11 +666,23 @@ class TensaurusFleet:
                 inflight[rid] = (req, shard.sid, ep)
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
+                if pr.enabled:
+                    pr.emit("launch", rid=rid, shard=shard.sid,
+                            replica=None, tier=TIER_ANALYTIC, epoch=ep,
+                            breaker=None, t=round(now, 12))
                 if rt.enabled:
                     note_service(resp, reason="breakers_open")
                 return
             replica = min(allowed)
+            # Breaker state the instant the launch lands (allow() above
+            # already resolved any open->half_open cooldown transition,
+            # so a probe stream showing "open" here is a real violation).
+            launch_state = breakers[replica].state
             breakers[replica].start_probe(now)
+            if pr.enabled:
+                pr.emit("launch", rid=rid, shard=shard.sid,
+                        replica=replica, tier=tier, epoch=ep,
+                        breaker=launch_state, t=round(now, 12))
             nominal = nominal_s(shard, tier, item.nnz)
             factor = shard.server._speed_factor(rid, replica, "primary")
             hit = shard.warm_touch(
@@ -687,6 +724,9 @@ class TensaurusFleet:
                 # breaker from ever opening.
                 push(resp.finish_s, _EV_COMPLETION,
                      (rid, ep, shard.sid, None, resp, service))
+                if pr.enabled:
+                    pr.emit("fault", rid=rid, shard=shard.sid,
+                            replica=replica, epoch=ep, t=round(now, 12))
                 if rt.enabled:
                     rt.event(rid, "fault", now, parent=root_span.get(rid),
                              attrs={"shard": shard.sid, "replica": replica,
@@ -705,8 +745,63 @@ class TensaurusFleet:
                 report=report,
                 detail={"cache": "hit" if hit else "cold"},
             )
-            push(finish, _EV_COMPLETION,
-                 (rid, ep, shard.sid, replica, resp, service))
+            scfg = shard.server.config
+            twin: Optional[int] = None
+            if (
+                cfg.hedging
+                and tier == TIER_FULL
+                and nominal * factor > scfg.hedge_trigger * nominal
+            ):
+                # Slow primary draw: race a twin launch on another
+                # replica. Both completions are real events — whichever
+                # pops first commits, the loser resolves as
+                # ``hedge_cancelled`` (committing the pair twice would be
+                # a duplicate-completion bug, which is exactly what the
+                # chaos exactly-once invariant watches for).
+                hedge_start = now + scfg.hedge_trigger * nominal
+                backups = [
+                    i for i in shard.idle_replicas(hedge_start)
+                    if i != replica
+                    and shard.server.breakers[i].allow(hedge_start)
+                    and shard.server.breakers[i].state != BREAKER_HALF_OPEN
+                ]
+                if backups:
+                    twin = min(backups)
+                    h_factor = shard.server._speed_factor(rid, twin, "hedge")
+                    hedge_finish = (
+                        hedge_start + nominal * h_factor + report.time_s
+                    )
+                    shard.free_at[twin] = hedge_finish
+                    counters["hedged"] += 1
+                    hedge_resp = ServingResponse(
+                        request_id=rid, status=STATUS_OK, tier=tier,
+                        degraded=degraded, error_bound=err,
+                        shard=shard.sid, epoch=ep, replica=twin,
+                        arrival_s=req.arrival_s, start_s=now,
+                        finish_s=hedge_finish, deadline_s=req.deadline_s,
+                        hedged=True, hedge_won=True, report=report,
+                        detail={"cache": "hit" if hit else "cold",
+                                "hedge": "twin"},
+                    )
+                    push(hedge_finish, _EV_COMPLETION,
+                         (rid, ep, shard.sid, twin, hedge_resp,
+                          hedge_finish - now, "hedge", replica,
+                          hedge_start))
+                    record(now, rid, "hedge",
+                           f"shard={shard.sid} twin={twin}")
+                    if pr.enabled:
+                        pr.emit("hedge_launch", rid=rid, shard=shard.sid,
+                                replica=twin, epoch=ep,
+                                breaker=shard.server.breakers[twin].state,
+                                t=round(hedge_start, 12))
+            if twin is not None:
+                resp = replace(resp, hedged=True)
+                push(finish, _EV_COMPLETION,
+                     (rid, ep, shard.sid, replica, resp, service,
+                      "primary", twin, hedge_start))
+            else:
+                push(finish, _EV_COMPLETION,
+                     (rid, ep, shard.sid, replica, resp, service))
             record(now, rid, "dispatch",
                    f"{tier}@{shard.sid}:{replica} "
                    f"cache={'hit' if hit else 'cold'}")
@@ -723,10 +818,18 @@ class TensaurusFleet:
 
         # -------------------------------------------------- completion
         def completion(now: float, payload: Tuple) -> None:
-            rid, ep, sid, replica, resp, service = payload
+            rid, ep, sid, replica, resp, service = payload[:6]
+            # Hedged pairs push two completion events; the extra fields
+            # name this event's role and its twin's replica.
+            role = payload[6] if len(payload) > 6 else None
+            twin = payload[7] if len(payload) > 6 else None
+            hedge_start = payload[8] if len(payload) > 6 else 0.0
             if epoch.get(rid, 0) != ep:
                 counters["stale_completions"] += 1
                 record(now, rid, "stale", f"epoch={ep} shard={sid}")
+                if pr.enabled:
+                    pr.emit("stale", rid=rid, epoch=ep, shard=sid,
+                            t=round(now, 12))
                 if rt.enabled:
                     rt.event(rid, "stale_completion", now,
                              parent=root_span.get(rid),
@@ -734,19 +837,56 @@ class TensaurusFleet:
                 return
             prior = responses.get(rid)
             if prior is not None and prior.status == STATUS_OK:
+                if role is not None and prior.hedged and prior.epoch == ep:
+                    # The losing half of this request's own hedged pair:
+                    # its twin already committed, so this event resolves
+                    # as a cancellation, never as a duplicate commit.
+                    counters["hedge_cancelled"] += 1
+                    record(now, rid, "hedge_cancel", f"{role}@{sid}")
+                    if pr.enabled:
+                        pr.emit("hedge_cancel", rid=rid, role=role,
+                                shard=sid, epoch=ep, t=round(now, 12))
+                    if rt.enabled:
+                        rt.event(rid, "hedge_cancel", now,
+                                 parent=root_span.get(rid),
+                                 attrs={"role": role, "shard": sid})
+                    return
                 counters["duplicate_completions"] += 1
                 record(now, rid, "duplicate", f"shard={sid}")
+                if pr.enabled:
+                    pr.emit("duplicate", rid=rid, epoch=ep, shard=sid,
+                            t=round(now, 12))
                 if rt.enabled:
                     rt.event(rid, "duplicate_completion", now,
                              parent=root_span.get(rid),
                              attrs={"shard": sid})
                 return
+            if role == "hedge":
+                counters["hedge_wins"] += 1
             responses[rid] = resp
             inflight.pop(rid, None)
             shard = self.shards.get(sid)
             if shard is not None:
                 shard.stats["served"] += 1
-                if replica is not None and shard.alive:
+                if role is not None and twin is not None:
+                    # The pair is settled: release the losing replica now
+                    # instead of letting it run out its doomed launch
+                    # (this is what lets a drain tick race the loser's
+                    # still-queued completion event).
+                    loser = twin if role == "primary" else replica
+                    primary = replica if role == "primary" else twin
+                    if role == "primary":
+                        result.hedge_wasted_s += max(0.0, now - hedge_start)
+                    if loser < len(shard.free_at):
+                        shard.free_at[loser] = min(
+                            shard.free_at[loser], now
+                        )
+                    # Breaker outcomes always settle on the primary
+                    # replica (the only launch that took a probe slot) —
+                    # hedge twins never record outcomes on their breaker.
+                    if shard.alive:
+                        shard.server.breakers[primary].record_success(now)
+                elif replica is not None and shard.alive:
                     shard.server.breakers[replica].record_success(now)
             counters["served"] += 1
             if resp.degraded:
@@ -756,6 +896,10 @@ class TensaurusFleet:
             self.governor.charge(resp_tenant(resp, rid), service)
             record(now, rid, "complete",
                    f"{resp.tier}@{sid} epoch={ep}")
+            if pr.enabled:
+                pr.emit("commit", rid=rid, epoch=ep, shard=sid,
+                        replica=replica, tier=resp.tier,
+                        degraded=resp.degraded, t=round(now, 12))
             if rt.enabled:
                 root = root_span.get(rid)
                 if root is not None:
@@ -868,6 +1012,8 @@ class TensaurusFleet:
                     FaultEvent(SHARD_KILL, ("shard", sid))
                 )
                 record(now, -1, "shard_kill", f"shard={sid}")
+                if pr.enabled:
+                    pr.emit("shard_kill", shard=sid, t=round(now, 12))
                 orphans = list(shard.queue)
                 shard.queue.clear()
                 if rt.enabled:
@@ -891,6 +1037,9 @@ class TensaurusFleet:
                     del inflight[rid]
                     counters["voided_inflight"] += 1
                     record(now, rid, "void", f"epoch={iep + 1}")
+                    if pr.enabled:
+                        pr.emit("void", rid=rid, shard=sid,
+                                epoch=iep + 1, t=round(now, 12))
                     if rt.enabled:
                         rt.event(rid, "void", now,
                                  parent=root_span.get(rid),
@@ -930,6 +1079,9 @@ class TensaurusFleet:
                 shard.queue.append((req, ep))
                 shard.stats["routed"] += 1
                 record(now, req.request_id, "requeue", f"shard={sid}")
+                if pr.enabled:
+                    pr.emit("requeue", rid=req.request_id, shard=sid,
+                            epoch=ep, t=round(now, 12))
                 if rt.enabled:
                     rid = req.request_id
                     rt.event(rid, "requeue", now,
@@ -1008,6 +1160,9 @@ class TensaurusFleet:
                     record(now, -1, "scale_down",
                            f"shard={victim.sid} "
                            f"breakers={','.join(handoff['breakers'])}")
+                    if pr.enabled:
+                        pr.emit("drain", shard=victim.sid,
+                                t=round(now, 12))
             if now + cfg.autoscale_interval_s <= horizon_end:
                 push(now + cfg.autoscale_interval_s, _EV_TICK, None)
 

@@ -237,6 +237,7 @@ class TensaurusServer:
         cfg = self.config
         met = obs.metrics()
         rt = obs.request_tracer()
+        pr = obs.probe()
         admitted_c = met.counter("serving.admitted")
         shed_c = met.counter("serving.shed")
         degraded_c = met.counter("serving.degraded")
@@ -463,6 +464,11 @@ class TensaurusServer:
                 record(now, req.request_id, "complete", "analytic")
                 return
             replica = min(allowed)
+            if pr.enabled:
+                pr.emit("launch", rid=req.request_id, shard=None,
+                        replica=replica, tier=tier, epoch=0,
+                        breaker=self.breakers[replica].state,
+                        t=round(now, 12))
             if cfg.shedding:
                 # Half-open breakers admit one probe at a time; the
                 # reservation frees on record_success/record_failure.
@@ -554,6 +560,11 @@ class TensaurusServer:
                     _push_free_event(finish)
                     record(now, req.request_id, "hedge",
                            f"replica={hedge_replica} won={hedge_won}")
+                    if pr.enabled:
+                        pr.emit("hedge_launch", rid=req.request_id,
+                                shard=None, replica=hedge_replica, epoch=0,
+                                breaker=self.breakers[hedge_replica].state,
+                                t=round(hedge_start, 12))
             free_at[replica] = finish
             _push_free_event(finish)
             finish_response(

@@ -229,3 +229,77 @@ def test_disabled_store_put_load_are_noops(tmp_path):
 
 def test_put_unpicklable_returns_none(store):
     assert store.put("ns", ("bad",), lambda: None) is None
+
+
+# ------------------------------------------------------------ index
+
+
+def _recover_payload(path, value):
+    if isinstance(value, dict) and "key" in value:
+        return value["key"], {"n": value.get("n", 0)}
+    return None
+
+
+def test_write_then_read_index_round_trip(store):
+    entries = {"case-a": {"n": 1}, "case-b": {"n": 2}}
+    path = store.write_index("ns", entries)
+    assert path is not None and path.name == "index.json"
+    assert store.read_index("ns") == entries
+
+
+def test_read_index_missing_returns_empty(store):
+    assert store.read_index("never-written") == {}
+
+
+def test_truncated_index_detected_and_rebuilt(store):
+    store.put("ns", ("case-a",), {"key": "case-a", "n": 1})
+    store.put("ns", ("case-b",), {"key": "case-b", "n": 2})
+    store.write_index("ns", {"case-a": {"n": 1}, "case-b": {"n": 2}})
+    store.index_path("ns").write_text('{"case-a": {"n": 1}, "case')
+    rebuilt = store.read_index("ns", recover=_recover_payload)
+    assert rebuilt == {"case-a": {"n": 1}, "case-b": {"n": 2}}
+    assert store.read_errors == 1
+    # The rebuilt index was written back: the next read is clean.
+    assert store.read_index("ns") == rebuilt
+
+
+def test_non_object_index_root_is_treated_as_corrupt(store):
+    store.put("ns", ("case-a",), {"key": "case-a", "n": 1})
+    store.index_path("ns").parent.mkdir(parents=True, exist_ok=True)
+    store.index_path("ns").write_text('["not", "an", "object"]')
+    assert store.read_index("ns", recover=_recover_payload) == {
+        "case-a": {"n": 1}
+    }
+    assert store.read_errors == 1
+
+
+def test_corrupt_index_without_recover_degrades_to_empty(store):
+    store.write_index("ns", {"case-a": {"n": 1}})
+    store.index_path("ns").write_text("{{{")
+    assert store.read_index("ns") == {}
+    assert store.read_errors == 1
+
+
+def test_missing_index_with_blobs_rebuilds_via_recover(store):
+    store.put("ns", ("case-a",), {"key": "case-a", "n": 5})
+    assert not store.index_path("ns").exists()
+    assert store.read_index("ns", recover=_recover_payload) == {
+        "case-a": {"n": 5}
+    }
+    assert store.index_path("ns").exists()
+
+
+def test_unreadable_blob_skipped_during_rebuild(store):
+    store.put("ns", ("case-a",), {"key": "case-a", "n": 1})
+    store.put("ns", ("case-b",), {"key": "case-b", "n": 2})
+    store.path_for("ns", ("case-b",)).write_bytes(b"\x80torn")
+    store.index_path("ns").write_text("oops")
+    rebuilt = store.read_index("ns", recover=_recover_payload)
+    assert rebuilt == {"case-a": {"n": 1}}
+    assert store.read_errors == 2  # bad index + bad blob
+
+
+def test_disabled_store_index_is_noop(tmp_path):
+    store = ArtifactStore(root=tmp_path / "off", enabled=False)
+    assert store.write_index("ns", {"a": {}}) is None
+    assert store.read_index("ns") == {}

@@ -1,0 +1,80 @@
+"""Delta-debugging shrink: minimal reproducers from mutant failures."""
+
+import pytest
+
+from repro.chaos import (
+    MUTATIONS,
+    ChaosRunner,
+    ScheduleGenerator,
+    shrink_schedule,
+)
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.sim.faults import HBM_OUTAGE, SHARD_KILL
+
+
+@pytest.fixture(scope="module")
+def mutant():
+    return ChaosRunner(mutator=MUTATIONS["drop_response"])
+
+
+@pytest.fixture(scope="module")
+def failing_schedule():
+    gen = ScheduleGenerator(seed=23, min_events=8, max_events=12)
+    return next(
+        s for s in (gen.generate(i) for i in range(50))
+        if {SHARD_KILL, HBM_OUTAGE} <= {e.kind for e in s.events}
+    )
+
+
+class TestShrink:
+    def test_shrinks_mutant_to_two_event_reproducer(self, mutant,
+                                                    failing_schedule):
+        result = shrink_schedule(failing_schedule, mutant)
+        assert result.target == ["no_lost_admitted_work"]
+        # The injected bug needs exactly one kill and one outage.
+        kinds = sorted(ev.kind for ev in result.minimal.events)
+        assert kinds == [HBM_OUTAGE, SHARD_KILL]
+        assert result.minimal.event_count == 2
+        assert result.ratio <= 0.25
+        assert result.oracle_calls > 0
+
+    def test_minimal_reproducer_still_fails_on_mutant(self, mutant,
+                                                      failing_schedule):
+        result = shrink_schedule(failing_schedule, mutant)
+        assert mutant.violated(result.minimal, checkpoint=False) == [
+            "no_lost_admitted_work"
+        ]
+
+    def test_minimal_reproducer_passes_on_fixed_system(self, mutant,
+                                                       failing_schedule):
+        result = shrink_schedule(failing_schedule, mutant)
+        clean = ChaosRunner()
+        assert clean.violated(result.minimal) == []
+
+    def test_parameter_shrinking_simplifies_events(self, mutant,
+                                                   failing_schedule):
+        result = shrink_schedule(failing_schedule, mutant)
+        by_kind = {ev.kind: ev for ev in result.minimal.events}
+        original = {
+            ev.kind: ev for ev in failing_schedule.events
+        }
+        # Event times are pulled to zero and kill targets renumbered
+        # when the failure survives the simplification.
+        assert by_kind[SHARD_KILL].at <= original[SHARD_KILL].at
+        assert by_kind[HBM_OUTAGE].magnitude <= original[
+            HBM_OUTAGE
+        ].magnitude
+
+    def test_refuses_to_shrink_passing_schedule(self):
+        clean = ChaosRunner()
+        sched = ScheduleGenerator(seed=11).generate(0)
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink_schedule(sched, clean)
+
+    def test_result_json(self, mutant, failing_schedule):
+        result = shrink_schedule(failing_schedule, mutant)
+        data = result.to_json()
+        assert data["minimal_events"] == 2
+        assert data["ratio"] <= 0.25
+        restored = ChaosSchedule.from_json(data["minimal"])
+        assert restored == result.minimal

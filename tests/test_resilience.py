@@ -23,6 +23,7 @@ from repro.sim.driver import TensaurusDevice, assemble_mttkrp
 from repro.sim.faults import LAUNCH_ABORT, WATCHDOG
 from repro.util.errors import (
     ConfigError,
+    DeadlineExceededError,
     FaultError,
     ReproError,
     RetryExhaustedError,
@@ -478,7 +479,17 @@ class TestMaxElapsedBudget:
         assert tightened.max_retries == 3  # everything else preserved
         # An already-tighter budget is kept.
         assert policy.for_deadline(9.0).max_elapsed_s == 5.0
-        assert policy.for_deadline(-2.0).max_elapsed_s == 0.0
+
+    def test_for_deadline_elapsed_raises_immediately(self):
+        # A deadline already in the past must not clamp to a zero budget
+        # (which would still burn one doomed attempt in retry_call) —
+        # it raises before any work starts.
+        policy = RetryPolicy(max_retries=3, max_elapsed_s=5.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            policy.for_deadline(-2.0)
+        assert info.value.deadline_s == -2.0
+        with pytest.raises(DeadlineExceededError):
+            policy.for_deadline(0.0)
 
     def test_no_budget_runs_full_schedule(self):
         calls = []
